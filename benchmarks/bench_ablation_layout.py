@@ -1,0 +1,68 @@
+"""Ablation — cabinet placement policy (extension; paper's reference [13]).
+
+Compares total switch-switch cable cost of the same networks under three
+placements: index order, DFS order (topology-aware heuristic), and the
+annealed optimizer.  Expected shape: annealed <= DFS <= index for the
+irregular ORP topology; the torus gains little (its index order is already
+an embedding of its first dimensions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import SCALE, emit, proposed
+from repro.analysis.report import format_table
+from repro.layout import Floorplan, optimize_placement, placement_cable_cost
+from repro.layout.optimize import _edge_cost  # noqa: F401 (re-exported kernel)
+from repro.topologies import torus
+
+N, R = (128, 12) if SCALE == "small" else (1024, 15)
+OPT_STEPS = 4_000 if SCALE == "small" else 20_000
+
+
+@pytest.fixture(scope="module")
+def placements():
+    if SCALE == "small":
+        conv, _ = torus(3, 3, 10, num_hosts=min(N, 81))
+    else:
+        conv, _ = torus(5, 3, 15, num_hosts=1024)
+    sol = proposed(N, R)
+    rows = []
+    for name, graph in [("torus", conv), ("proposed", sol.graph)]:
+        index_cost = placement_cable_cost(graph, Floorplan(graph, ordering="index"))
+        dfs_cost = placement_cable_cost(graph, Floorplan(graph, ordering="dfs"))
+        annealed = optimize_placement(graph, num_steps=OPT_STEPS, seed=7)
+        annealed_cost = placement_cable_cost(graph, annealed)
+        rows.append([name, index_cost, dfs_cost, annealed_cost,
+                     annealed_cost / index_cost])
+    return rows
+
+
+def bench_ablation_layout_table(placements, benchmark):
+    emit(
+        "ablation_layout",
+        format_table(
+            ["network", "index $", "dfs $", "annealed $", "annealed/index"],
+            placements,
+            title="Ablation: cabinet placement policy (switch-switch cable cost)",
+        ),
+    )
+
+    # --- assertions --------------------------------------------------------
+    for row in placements:
+        name, index_cost, dfs_cost, annealed_cost, _ = row
+        assert annealed_cost <= index_cost + 1e-6
+        assert annealed_cost <= dfs_cost + 1e-6
+    # The irregular network has real slack for the optimizer to recover.
+    proposed_row = placements[1]
+    assert proposed_row[3] < proposed_row[1] * 0.999
+
+    from repro.core.construct import random_host_switch_graph
+
+    g = random_host_switch_graph(40, 16, 6, seed=0)
+
+    def kernel():
+        return placement_cable_cost(g, Floorplan(g))
+
+    assert benchmark(kernel) > 0

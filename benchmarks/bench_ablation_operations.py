@@ -1,0 +1,73 @@
+"""Ablation — swap vs swing vs 2-neighbor swing (paper Sections 5.1-5.2).
+
+The paper argues the 2-neighbor swing is the right operation because it
+*contains* both the swap (its two-step path) and the swing (its one-step
+path).  This ablation runs the three operations from the same starting
+graph with the same budget and regenerates the comparison the argument
+implies: the composite operation should match or beat each primitive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import SA_STEPS, SCALE, emit
+from repro.analysis.report import format_table
+from repro.core.annealing import AnnealingSchedule, anneal
+from repro.core.bounds import h_aspl_lower_bound
+from repro.core.construct import random_host_switch_graph
+from repro.core.metrics import h_aspl
+from repro.core.moore import optimal_switch_count
+
+N, R = (128, 12) if SCALE == "small" else (1024, 24)
+SEEDS = [1, 2, 3]
+
+
+@pytest.fixture(scope="module")
+def results():
+    m_opt, _ = optimal_switch_count(N, R)
+    schedule = AnnealingSchedule(num_steps=SA_STEPS)
+    rows = []
+    for seed in SEEDS:
+        start = random_host_switch_graph(N, m_opt, R, seed=seed)
+        row = {"seed": seed, "initial": h_aspl(start)}
+        for op in ("swap", "swing", "two-neighbor-swing"):
+            row[op] = anneal(start, operation=op, schedule=schedule, seed=seed).h_aspl
+        rows.append(row)
+    return rows, m_opt
+
+
+def bench_ablation_operations_table(results, benchmark):
+    rows, m_opt = results
+    lb = h_aspl_lower_bound(N, R)
+    table = format_table(
+        ["seed", "initial", "swap only", "swing only", "2-neighbor swing", "Thm-2 LB"],
+        [
+            [r["seed"], r["initial"], r["swap"], r["swing"],
+             r["two-neighbor-swing"], lb]
+            for r in rows
+        ],
+        title=f"Ablation: SA operation comparison (n={N}, r={R}, m={m_opt})",
+    )
+    emit("ablation_operations", table)
+
+    # --- assertions --------------------------------------------------------
+    for r in rows:
+        # Everybody improves on the random start and respects the bound.
+        for op in ("swap", "swing", "two-neighbor-swing"):
+            assert r[op] <= r["initial"] + 1e-12
+            assert r[op] >= lb - 1e-12
+    # Across seeds, the composite operation is at least as good on average
+    # as each primitive (small per-seed noise allowed).
+    mean = lambda op: sum(r[op] for r in rows) / len(rows)  # noqa: E731
+    assert mean("two-neighbor-swing") <= mean("swap") * 1.02
+    assert mean("two-neighbor-swing") <= mean("swing") * 1.02
+
+    start = random_host_switch_graph(N, m_opt, R, seed=0)
+
+    def kernel():
+        return anneal(
+            start, schedule=AnnealingSchedule(num_steps=50), seed=0
+        ).h_aspl
+
+    assert benchmark.pedantic(kernel, rounds=2, iterations=1) < float("inf")

@@ -1,0 +1,72 @@
+"""Ablation — single-link failure resilience across topologies (extension).
+
+Low-diameter random-like graphs degrade gracefully under cable failures
+(many short alternative paths); the fat-tree's redundant core does too;
+tori can lose more.  This bench injects random single switch-switch link
+failures into each topology and compares h-ASPL degradation and
+disconnection probability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import SCALE, emit, proposed
+from repro.analysis.report import format_table
+from repro.analysis.resilience import edge_failure_impact
+from repro.topologies import dragonfly, fat_tree, torus
+
+TRIALS = 25 if SCALE == "small" else 60
+
+
+@pytest.fixture(scope="module")
+def impacts():
+    if SCALE == "small":
+        nets = {
+            "torus": torus(3, 3, 10, num_hosts=64)[0],
+            "dragonfly": dragonfly(4, num_hosts=64)[0],
+            "fat-tree": fat_tree(8)[0],
+            "proposed": proposed(64, 10).graph,
+        }
+    else:
+        nets = {
+            "torus": torus(5, 3, 15, num_hosts=1024)[0],
+            "dragonfly": dragonfly(8, num_hosts=1024)[0],
+            "fat-tree": fat_tree(16)[0],
+            "proposed": proposed(1024, 15).graph,
+        }
+    return {name: edge_failure_impact(g, trials=TRIALS, seed=9) for name, g in nets.items()}
+
+
+def bench_ablation_resilience_table(impacts, benchmark):
+    rows = [
+        [name, imp.baseline_h_aspl, imp.mean_h_aspl,
+         100 * imp.mean_degradation, 100 * imp.disconnection_probability]
+        for name, imp in impacts.items()
+    ]
+    emit(
+        "ablation_resilience",
+        format_table(
+            ["network", "baseline h-ASPL", "mean after failure",
+             "degradation %", "disconnect %"],
+            rows,
+            title=f"Single-link failure impact ({TRIALS} random trials each)",
+        ),
+    )
+
+    # --- assertions --------------------------------------------------------
+    for name, imp in impacts.items():
+        # A single cable loss never partitions any of these networks.
+        assert imp.disconnected == 0, name
+        # Degradation is modest everywhere (single link of many).
+        assert imp.mean_degradation < 0.25, name
+    # The proposed topology's degradation is in the same class as the
+    # redundant fat-tree (graceful).
+    assert impacts["proposed"].mean_degradation < 0.10
+
+    graph = proposed(64 if SCALE == "small" else 1024, 10 if SCALE == "small" else 15).graph
+
+    def kernel():
+        return edge_failure_impact(graph, trials=3, seed=0).mean_h_aspl
+
+    assert benchmark.pedantic(kernel, rounds=2, iterations=1) > 0

@@ -1,0 +1,78 @@
+"""Ablation — routing policy (extension; shortest vs ECMP vs Valiant).
+
+The paper evaluates deterministic shortest-path routing (its topologies
+are what vary).  This ablation quantifies how much the routing policy
+itself matters on a host-switch graph: benign (uniform) and adversarial
+(transpose) synthetic traffic under the three policies.  Classic expected
+shape: ECMP never hurts and rescues adversarial traffic; Valiant pays a
+path-length tax at low load but bounds worst-case imbalance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import SCALE, emit
+from repro.analysis.report import format_table
+from repro.simulation.traffic import run_traffic
+from repro.topologies import torus
+
+N = 64 if SCALE == "small" else 256
+ROUTINGS = ["shortest", "ecmp", "valiant"]
+PATTERNS = ["uniform", "transpose"]
+LOAD = 0.7
+
+
+@pytest.fixture(scope="module")
+def results():
+    side = 4 if SCALE == "small" else 8
+    graph, _ = torus(2, side, 10, num_hosts=N, fill="round-robin")
+    table = {}
+    for pattern in PATTERNS:
+        for routing in ROUTINGS:
+            res = run_traffic(
+                graph, pattern, messages_per_host=15, offered_load=LOAD,
+                routing=routing, seed=3,
+            )
+            table[(pattern, routing)] = res
+    return table
+
+
+def bench_ablation_routing_table(results, benchmark):
+    rows = []
+    for pattern in PATTERNS:
+        for routing in ROUTINGS:
+            res = results[(pattern, routing)]
+            rows.append(
+                [pattern, routing, res.mean_latency_s * 1e6,
+                 res.p99_latency_s * 1e6, res.throughput_bytes_per_s / 1e9]
+            )
+    emit(
+        "ablation_routing",
+        format_table(
+            ["pattern", "routing", "mean us", "p99 us", "throughput GB/s"],
+            rows,
+            title=f"Ablation: routing policy at load {LOAD} (torus, n={N})",
+        ),
+    )
+
+    # --- assertions --------------------------------------------------------
+    # ECMP rescues adversarial (transpose) traffic vs deterministic routing.
+    det = results[("transpose", "shortest")].mean_latency_s
+    ecmp = results[("transpose", "ecmp")].mean_latency_s
+    assert ecmp <= det * 1.02
+    # Valiant pays extra distance on benign uniform traffic.
+    assert (
+        results[("uniform", "valiant")].mean_latency_s
+        > results[("uniform", "shortest")].mean_latency_s * 0.9
+    )
+
+    side = 4 if SCALE == "small" else 8
+    graph, _ = torus(2, side, 10, num_hosts=N, fill="round-robin")
+
+    def kernel():
+        return run_traffic(
+            graph, "uniform", messages_per_host=5, offered_load=0.3, seed=0
+        ).mean_latency_s
+
+    assert benchmark.pedantic(kernel, rounds=2, iterations=1) > 0

@@ -1,0 +1,66 @@
+"""Analytic bound computations (Theorems 1-2, Section 4).
+
+Not a paper figure by itself, but the machinery behind Figs. 5 and 7:
+regenerates a (n, r) sweep of the diameter and h-ASPL lower bounds and
+times the bound kernels (they run inside every SA proposal-evaluation
+report and the m_opt scan).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import emit
+from repro.analysis.report import format_table
+from repro.core.bounds import (
+    diameter_lower_bound,
+    h_aspl_lower_bound,
+    moore_aspl_lower_bound,
+)
+from repro.core.moore import optimal_switch_count
+
+SWEEP = [
+    (128, 12), (128, 24), (256, 12), (256, 24),
+    (512, 12), (512, 24), (1024, 12), (1024, 24),
+    (1024, 15), (1024, 16), (4096, 24), (16384, 48),
+]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    out = []
+    for n, r in SWEEP:
+        m_opt, bound = optimal_switch_count(n, r)
+        out.append(
+            [n, r, diameter_lower_bound(n, r), h_aspl_lower_bound(n, r), m_opt, bound]
+        )
+    return out
+
+
+def bench_bounds_table(rows, benchmark):
+    table = format_table(
+        ["n", "r", "diameter LB (Thm 1)", "h-ASPL LB (Thm 2)",
+         "m_opt", "cont. Moore @ m_opt"],
+        rows,
+        title="Lower bounds and m_opt predictions across (n, r)",
+    )
+    emit("bounds_sweep", table)
+
+    for n, r, d_lb, a_lb, m_opt, moore in rows:
+        assert 2 <= a_lb <= d_lb
+        assert moore >= a_lb - 1e-9  # Moore curve sits above Theorem 2
+
+    value = benchmark(h_aspl_lower_bound, 1_048_576, 48)
+    assert value > 2
+
+
+def bench_bounds_moore_kernel(benchmark):
+    value = benchmark(moore_aspl_lower_bound, 100_000, 32)
+    assert value < float("inf")
+
+
+def bench_bounds_mopt_scan(benchmark):
+    m_opt, _ = benchmark.pedantic(
+        optimal_switch_count, args=(4096, 24), rounds=3, iterations=1
+    )
+    assert m_opt > 1

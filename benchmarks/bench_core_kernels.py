@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Not a paper figure: these time the primitives every experiment is built
+on (h-ASPL evaluation, routing-table construction, one fluid alltoall,
+graph bisection) so performance regressions in the substrate are caught
+by the benchmark suite itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.construct import random_host_switch_graph
+from repro.core.metrics import h_aspl, h_aspl_and_diameter
+from repro.partition import partition_host_switch
+from repro.routing import RoutingTables
+from repro.simulation.mpi import run_mpi_program
+
+
+@pytest.fixture(scope="module")
+def graph_1024():
+    return random_host_switch_graph(1024, 195, 15, seed=0)
+
+
+@pytest.fixture(scope="module")
+def graph_256():
+    return random_host_switch_graph(256, 55, 12, seed=0)
+
+
+def bench_h_aspl_1024(graph_1024, benchmark):
+    """One SA proposal evaluation at paper scale (n=1024, m=195)."""
+    value = benchmark(h_aspl, graph_1024)
+    assert value < float("inf")
+
+
+def bench_h_aspl_and_diameter_256(graph_256, benchmark):
+    value = benchmark(h_aspl_and_diameter, graph_256)
+    assert value[1] >= value[0]
+
+
+def bench_routing_tables_1024(graph_1024, benchmark):
+    tables = benchmark.pedantic(RoutingTables, args=(graph_1024,), rounds=3, iterations=1)
+    assert tables.distance(0, 1) >= 0
+
+
+def bench_bisection_1024(graph_1024, benchmark):
+    def kernel():
+        return partition_host_switch(graph_1024, 2, seed=0, trials=1)[1]
+
+    cut = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    assert cut > 0
+
+
+def bench_fluid_alltoall_16(graph_256, benchmark):
+    """A 16-rank alltoall through the fluid model (the simulator hot path)."""
+
+    def program(mpi):
+        yield from mpi.alltoall(65536)
+
+    def kernel():
+        return run_mpi_program(graph_256, 16, program).time_s
+
+    t = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    assert t > 0

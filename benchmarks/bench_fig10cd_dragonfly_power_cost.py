@@ -1,0 +1,92 @@
+"""Fig. 10c/d — power consumption and cost breakdown: dragonfly vs proposed.
+
+Paper setup (Section 6.3.2): the dragonfly scales by the group size a, so
+its radix grows with size (r = 2a - 1) and its connectable-host counts are
+the quantised points a^4/4 + a^2/2; the proposed topology matches each
+(n, r) at m_opt.  Paper result: the proposed topology needs fewer switches
+and both less power and less cost at every size (unlike the torus case).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import emit
+from repro.analysis.report import format_table
+from repro.core.construct import random_host_switch_graph
+from repro.core.moore import optimal_switch_count
+from repro.layout import Floorplan, network_cost, network_power
+from repro.topologies import dragonfly_spec, dragonfly
+
+GROUP_SIZES = [4, 6, 8, 10]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for a in GROUP_SIZES:
+        spec = dragonfly_spec(a)
+        conv, _ = dragonfly(a)
+        n, r = spec.max_hosts, spec.radix
+        m_opt, _ = optimal_switch_count(n, r)
+        prop = random_host_switch_graph(n, m_opt, r, seed=4)
+        rows.append(
+            {
+                "a": a,
+                "n": n,
+                "r": r,
+                "conv_m": spec.num_switches,
+                "prop_m": m_opt,
+                "conv_power": network_power(conv, Floorplan(conv)),
+                "prop_power": network_power(prop, Floorplan(prop)),
+                "conv_cost": network_cost(conv, Floorplan(conv)),
+                "prop_cost": network_cost(prop, Floorplan(prop)),
+            }
+        )
+    return rows
+
+
+def bench_fig10c_power(sweep, benchmark):
+    table = format_table(
+        ["a", "connectable n", "r", "dfly m", "prop m", "dfly W", "proposed W"],
+        [
+            [r["a"], r["n"], r["r"], r["conv_m"], r["prop_m"],
+             r["conv_power"].total_w, r["prop_power"].total_w]
+            for r in sweep
+        ],
+        title="Fig.10c: power consumption vs connectable hosts (dragonfly)",
+    )
+    emit("fig10c_dragonfly_power", table)
+
+    # --- shape assertions (paper Section 6.3.2) ---------------------------
+    for r in sweep:
+        assert r["prop_m"] < r["conv_m"]
+        assert r["prop_power"].total_w < r["conv_power"].total_w
+
+    g = random_host_switch_graph(72, 20, 7, seed=0)
+    assert benchmark(network_power, g).total_w > 0
+
+
+def bench_fig10d_cost(sweep, benchmark):
+    table = format_table(
+        ["a", "n", "dfly switches $", "dfly cables $",
+         "prop switches $", "prop cables $", "prop/dfly total"],
+        [
+            [r["a"], r["n"],
+             r["conv_cost"].switches_usd, r["conv_cost"].cables_usd,
+             r["prop_cost"].switches_usd, r["prop_cost"].cables_usd,
+             r["prop_cost"].total_usd / r["conv_cost"].total_usd]
+            for r in sweep
+        ],
+        title="Fig.10d: cost breakdown vs connectable hosts (dragonfly)",
+    )
+    emit("fig10d_dragonfly_cost", table)
+
+    # --- shape assertions (paper Section 6.3.2) ---------------------------
+    for r in sweep:
+        # Fewer switches -> lower switch cost; lower total cost throughout.
+        assert r["prop_cost"].switches_usd < r["conv_cost"].switches_usd
+        assert r["prop_cost"].total_usd < r["conv_cost"].total_usd
+
+    g = random_host_switch_graph(72, 20, 7, seed=0)
+    assert benchmark(network_cost, g).total_usd > 0

@@ -1,0 +1,78 @@
+"""Fig. 11a — NAS Parallel Benchmark performance: fat-tree vs proposed.
+
+Paper setup (Section 6.3.3): 16-ary 3-layer fat-tree (r=16, m=320, n=1024)
+vs the proposed topology at (n=1024, r=16, m=183); 1024 ranks; IS and FT
+are omitted as in the paper ("due to computational complexity").  Paper
+result: proposed wins by 84 % on average, with CG extreme — despite the
+fat-tree's higher bisection bandwidth (Fig. 11b), showing h-ASPL matters
+independently of bandwidth.
+
+Scale: small = 8-ary fat-tree (r=8, m=80, n=128) vs proposed
+(n=128, r=8), 64 ranks, class A, 1 iteration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import (
+    NAS_CLASS_DEFAULT,
+    NAS_ITERATIONS,
+    SCALE,
+    emit,
+    geometric_mean,
+    nas_performance_rows,
+    proposed,
+)
+from repro.analysis.report import format_table
+from repro.simulation.apps import run_nas
+from repro.topologies import fat_tree
+
+# IS and FT omitted, as in the paper's Fig. 11a.
+BENCHMARKS = ["bt", "cg", "ep", "lu", "mg", "sp"]
+
+if SCALE == "small":
+    K, N, RANKS = 8, 128, 64
+else:
+    K, N, RANKS = 16, 1024, 1024
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    conv, spec = fat_tree(K)
+    sol = proposed(N, K)
+    rows = nas_performance_rows(
+        conv, sol.graph, BENCHMARKS, RANKS, NAS_CLASS_DEFAULT, NAS_ITERATIONS
+    )
+    return rows, spec, sol
+
+
+def bench_fig11a_nas_suite(comparison, benchmark):
+    rows, spec, sol = comparison
+    mean_ratio = geometric_mean([r[3] for r in rows])
+    table = format_table(
+        ["benchmark", "fat-tree Mop/s", "proposed Mop/s", "proposed/fat-tree",
+         "mapping"],
+        rows + [["GEOMEAN", "", "", mean_ratio, ""]],
+        title=(
+            f"Fig.11a: NPB performance, {spec} vs proposed "
+            f"(m={sol.m}, h-ASPL={sol.h_aspl:.3f}); ranks={RANKS} "
+            f"(IS, FT omitted as in the paper)"
+        ),
+    )
+    emit("fig11a_fattree_performance", table)
+
+    # --- shape assertions (paper Section 6.3.3) ---------------------------
+    by_name = {r[0]: r[3] for r in rows}
+    assert by_name["EP"] == pytest.approx(1.0, abs=0.02)
+    # The fat-tree's 6-hop paths make it the weakest performance
+    # competitor: the proposed topology wins on average.
+    assert mean_ratio > 1.0
+    # CG (irregular traffic) is a paper-highlighted win.
+    assert by_name["CG"] > 1.0
+
+    def kernel():
+        return run_nas("lu", sol.graph, 16, nas_class="A", iterations=1).time_s
+
+    t = benchmark.pedantic(kernel, rounds=2, iterations=1)
+    assert t > 0

@@ -1,0 +1,51 @@
+"""Fig. 11b — bandwidth (partition edge-cut): fat-tree vs proposed.
+
+Paper result (Section 6.3.3): *unlike* the torus and the dragonfly, the
+fat-tree — designed for full bisection — provides **higher** bandwidth
+than the proposed topology (+53 % bisection).  The reproduction must show
+this inversion: it is the paper's evidence that high bisection bandwidth
+alone does not imply high application performance.
+
+Runs the paper-scale graphs (n = 1024).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import bandwidth_rows, emit, proposed
+from repro.analysis.report import format_table
+from repro.partition import partition_host_switch
+from repro.topologies import fat_tree
+
+PARTS = range(2, 17)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    conv, spec = fat_tree(16)
+    sol = proposed(1024, 16)
+    rows = bandwidth_rows(conv, sol.graph, PARTS)
+    return rows, spec, sol
+
+
+def bench_fig11b_partition_cuts(comparison, benchmark):
+    rows, spec, sol = comparison
+    table = format_table(
+        ["P", "fat-tree cut", "proposed cut", "proposed/fat-tree"],
+        rows,
+        title=f"Fig.11b: bandwidth (edge cut), {spec} vs proposed (m={sol.m}); n=1024",
+    )
+    emit("fig11b_fattree_bandwidth", table)
+
+    # --- shape assertions (paper Section 6.3.3) ---------------------------
+    # The inversion: fat-tree has the HIGHER bisection bandwidth.
+    assert rows[0][1] > rows[0][2]
+    losses = sum(1 for r in rows if r[1] > r[2])
+    assert losses >= len(rows) * 0.6
+
+    def kernel():
+        return partition_host_switch(sol.graph, 8, seed=3, trials=1)[1]
+
+    cut = benchmark.pedantic(kernel, rounds=2, iterations=1)
+    assert cut > 0

@@ -1,0 +1,90 @@
+"""Fig. 11c/d — power consumption and cost breakdown: fat-tree vs proposed.
+
+Paper setup (Section 6.3.3): K-ary fat-trees scale as n = K^3/4 with
+m = 5K^2/4 switches of radix K; the proposed topology matches each (n, r)
+at m_opt.  Paper result: the fat-tree is the most power-hungry and most
+expensive of the three conventional topologies; the proposed topology cuts
+both, and (unlike vs torus/dragonfly) even its *cable* cost is lower.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import emit
+from repro.analysis.report import format_table
+from repro.core.construct import random_host_switch_graph
+from repro.core.moore import optimal_switch_count
+from repro.layout import Floorplan, network_cost, network_power
+from repro.topologies import fat_tree, fat_tree_spec
+
+KS = [8, 12, 16]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for k in KS:
+        spec = fat_tree_spec(k)
+        conv, _ = fat_tree(k)
+        n, r = spec.max_hosts, spec.radix
+        m_opt, _ = optimal_switch_count(n, r)
+        prop = random_host_switch_graph(n, m_opt, r, seed=6)
+        rows.append(
+            {
+                "k": k,
+                "n": n,
+                "conv_m": spec.num_switches,
+                "prop_m": m_opt,
+                "conv_power": network_power(conv, Floorplan(conv)),
+                "prop_power": network_power(prop, Floorplan(prop)),
+                "conv_cost": network_cost(conv, Floorplan(conv)),
+                "prop_cost": network_cost(prop, Floorplan(prop)),
+            }
+        )
+    return rows
+
+
+def bench_fig11c_power(sweep, benchmark):
+    table = format_table(
+        ["K", "n", "fat-tree m", "prop m", "fat-tree W", "proposed W"],
+        [
+            [r["k"], r["n"], r["conv_m"], r["prop_m"],
+             r["conv_power"].total_w, r["prop_power"].total_w]
+            for r in sweep
+        ],
+        title="Fig.11c: power consumption vs connectable hosts (fat-tree)",
+    )
+    emit("fig11c_fattree_power", table)
+
+    # --- shape assertions (paper Section 6.3.3) ---------------------------
+    for r in sweep:
+        assert r["prop_m"] < r["conv_m"]
+        assert r["prop_power"].total_w < r["conv_power"].total_w
+
+    g = random_host_switch_graph(128, 30, 8, seed=0)
+    assert benchmark(network_power, g).total_w > 0
+
+
+def bench_fig11d_cost(sweep, benchmark):
+    table = format_table(
+        ["K", "n", "ftree switches $", "ftree cables $",
+         "prop switches $", "prop cables $", "prop/ftree total"],
+        [
+            [r["k"], r["n"],
+             r["conv_cost"].switches_usd, r["conv_cost"].cables_usd,
+             r["prop_cost"].switches_usd, r["prop_cost"].cables_usd,
+             r["prop_cost"].total_usd / r["conv_cost"].total_usd]
+            for r in sweep
+        ],
+        title="Fig.11d: cost breakdown vs connectable hosts (fat-tree)",
+    )
+    emit("fig11d_fattree_cost", table)
+
+    # --- shape assertions (paper Section 6.3.3) ---------------------------
+    for r in sweep:
+        assert r["prop_cost"].switches_usd < r["conv_cost"].switches_usd
+        assert r["prop_cost"].total_usd < r["conv_cost"].total_usd
+
+    g = random_host_switch_graph(128, 30, 8, seed=0)
+    assert benchmark(network_cost, g).total_usd > 0

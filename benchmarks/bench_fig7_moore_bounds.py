@@ -1,0 +1,58 @@
+"""Fig. 7 — Moore bound vs continuous Moore bound.
+
+The discrete Formula-(2) bound exists only where m | n (scattered points);
+the continuous extension is defined everywhere and its minimiser predicts
+m_opt.  Regenerates the overlay for the paper's instance (n=1024, r=24 —
+cheap enough to run at paper scale always).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import emit
+from repro.analysis.report import format_table
+from repro.core.moore import (
+    continuous_moore_bound,
+    moore_bound_series,
+    optimal_switch_count,
+)
+
+N, R = 1024, 24
+
+
+@pytest.fixture(scope="module")
+def series():
+    m_opt, _ = optimal_switch_count(N, R)
+    ms = sorted(set(range(40, 321, 10)) | {m for m in range(40, 321) if N % m == 0} | {m_opt})
+    return moore_bound_series(N, R, ms), m_opt
+
+
+def bench_fig7_table(series, benchmark):
+    rows, m_opt = series
+    table = format_table(
+        ["m", "continuous Moore", "Moore (m | n only)"],
+        [[m, cont, "-" if disc is None else disc] for m, cont, disc in rows],
+        title=f"Fig.7: Moore vs continuous Moore bound  (n={N}, r={R}; m_opt={m_opt})",
+    )
+    emit("fig7_moore_bounds", table)
+
+    # --- shape assertions -------------------------------------------------
+    # Continuous bound agrees with the discrete bound at divisible points.
+    for m, cont, disc in rows:
+        if disc is not None and disc != float("inf"):
+            assert cont == pytest.approx(disc)
+    # The continuous curve is U-shaped with its minimum at m_opt.
+    finite = [(m, c) for m, c, _ in rows if c != float("inf")]
+    best_m = min(finite, key=lambda t: t[1])[0]
+    assert best_m == m_opt
+
+    value = benchmark(continuous_moore_bound, N, m_opt, R)
+    assert value < float("inf")
+
+
+def bench_fig7_mopt_search(benchmark):
+    """Time the full m_opt scan (the paper's design-rule primitive)."""
+    m_opt, bound = benchmark(optimal_switch_count, N, R)
+    assert m_opt == 79  # n=1024, r=24 (cross-checked in unit tests)
+    assert bound < 4.0

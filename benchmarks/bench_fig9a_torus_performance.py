@@ -1,0 +1,78 @@
+"""Fig. 9a — NAS Parallel Benchmark performance: 5-D torus vs proposed.
+
+Paper setup (Section 6.3.1): 5-D 3-ary torus (r=15, m=243, n<=1215) vs the
+proposed topology at (n=1024, r=15, m=194); 1024 MPI ranks; SimGrid with
+100 GFlops hosts.  Paper result: proposed wins by 22 % on average, with
+the largest gains on IS / FT / MG.
+
+Scale: small = 3-D 3-ary torus (r=10, m=27) vs proposed (n=64, r=10),
+64 ranks, class A, 1 iteration; paper = the full instance (slow!).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import (
+    NAS_CLASS_DEFAULT,
+    NAS_ITERATIONS,
+    SCALE,
+    emit,
+    geometric_mean,
+    nas_performance_rows,
+    proposed,
+)
+from repro.analysis.report import format_table
+from repro.simulation.apps import run_nas
+from repro.topologies import torus
+
+BENCHMARKS = ["bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"]
+
+if SCALE == "small":
+    TORUS_ARGS = dict(dimension=3, base=3, radix=10)
+    N, RANKS = 64, 64
+else:
+    TORUS_ARGS = dict(dimension=5, base=3, radix=15)
+    N, RANKS = 1024, 1024
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    conv, spec = torus(num_hosts=N, **TORUS_ARGS)
+    sol = proposed(N, TORUS_ARGS["radix"])
+    rows = nas_performance_rows(
+        conv, sol.graph, BENCHMARKS, RANKS, NAS_CLASS_DEFAULT, NAS_ITERATIONS
+    )
+    return rows, spec, sol
+
+
+def bench_fig9a_nas_suite(comparison, benchmark):
+    rows, spec, sol = comparison
+    mean_ratio = geometric_mean([r[3] for r in rows])
+    table = format_table(
+        ["benchmark", "torus Mop/s", "proposed Mop/s", "proposed/torus", "mapping"],
+        rows + [["GEOMEAN", "", "", mean_ratio, ""]],
+        title=(
+            f"Fig.9a: NPB performance, {spec} vs proposed "
+            f"(m={sol.m}, h-ASPL={sol.h_aspl:.3f}); ranks={RANKS}"
+        ),
+    )
+    emit("fig9a_torus_performance", table)
+
+    # --- shape assertions (paper Section 6.3.1) ---------------------------
+    by_name = {r[0]: r[3] for r in rows}
+    # EP is compute-bound: both topologies tie.
+    assert by_name["EP"] == pytest.approx(1.0, abs=0.02)
+    # The paper's headline winners for the torus comparison.
+    winners = [by_name["IS"], by_name["FT"], by_name["MG"], by_name["CG"]]
+    assert sum(1 for w in winners if w > 1.0) >= 3
+    # On (geometric) average the proposed topology wins clearly
+    # (paper: +22 %).
+    assert mean_ratio > 1.05
+
+    # Timed kernel: one MG run on the proposed topology at 16 ranks.
+    def kernel():
+        return run_nas("mg", sol.graph, 16, nas_class="A", iterations=1).time_s
+
+    t = benchmark.pedantic(kernel, rounds=2, iterations=1)
+    assert t > 0

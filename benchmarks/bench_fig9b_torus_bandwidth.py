@@ -1,0 +1,53 @@
+"""Fig. 9b — bandwidth (partition edge-cut) for P = 2..16: torus vs proposed.
+
+Paper setup (Section 6.2.2): partition V = H ∪ S into P equal subsets with
+METIS; the cut c is the "bandwidth" (P = 2 gives bisection bandwidth).
+Paper result: the proposed topology beats the 5-D torus at essentially
+every P (+31 % bisection).
+
+This bench always runs the paper-scale graphs (n = 1024) — partitioning
+is cheap; only the annealing budget follows REPRO_SCALE.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import bandwidth_rows, emit, proposed
+from repro.analysis.report import format_table
+from repro.partition import partition_host_switch
+from repro.topologies import torus
+
+N = 1024
+PARTS = range(2, 17)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    conv, spec = torus(5, 3, 15, num_hosts=N)
+    sol = proposed(N, 15)
+    rows = bandwidth_rows(conv, sol.graph, PARTS)
+    return rows, spec, sol
+
+
+def bench_fig9b_partition_cuts(comparison, benchmark):
+    rows, spec, sol = comparison
+    table = format_table(
+        ["P", "torus cut", "proposed cut", "proposed/torus"],
+        rows,
+        title=f"Fig.9b: bandwidth (edge cut), {spec} vs proposed (m={sol.m}); n={N}",
+    )
+    emit("fig9b_torus_bandwidth", table)
+
+    # --- shape assertions (paper Section 6.3.1) ---------------------------
+    # Proposed provides higher bisection bandwidth (P=2)...
+    assert rows[0][2] > rows[0][1]
+    # ...and wins at most partition counts (paper: all but one P).
+    wins = sum(1 for r in rows if r[2] > r[1])
+    assert wins >= len(rows) * 0.6
+
+    def kernel():
+        return partition_host_switch(sol.graph, 2, seed=1, trials=1)[1]
+
+    cut = benchmark.pedantic(kernel, rounds=2, iterations=1)
+    assert cut > 0

@@ -1,0 +1,109 @@
+"""Fig. 9c/d — power consumption and cost breakdown: torus vs proposed.
+
+Paper setup (Section 6.3.1): the torus keeps dimension K=5 and radix r=15
+fixed and scales by the base N, so its connectable-host counts are the
+quantised points 5*N^5 (N=2: 160, N=3: 1215, N=4: 5120); the proposed
+topology is built for each host count exactly (at m_opt).  Paper result:
+the proposed topology draws less power up to 1215 connectable hosts, then
+more (the fixed torus barely grows); total cost is within a few percent at
+n=1215 (cable cost up ~45 %, switch cost down ~5 %).
+
+Power/cost need only graph structure, so this bench always runs the full
+paper sweep; the proposed graphs use the m_opt random construction (cable
+statistics are insensitive to annealing — DESIGN.md, Fig. 9c/d entry).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import emit
+from repro.analysis.report import format_table
+from repro.core.construct import random_host_switch_graph
+from repro.core.moore import optimal_switch_count
+from repro.layout import Floorplan, network_cost, network_power
+from repro.topologies import torus
+
+R = 15
+BASES = [2, 3, 4]  # torus 5-D base N -> connectable hosts 5 N^5
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for base in BASES:
+        conv, spec = torus(5, base, R)
+        n = spec.max_hosts
+        m_opt, _ = optimal_switch_count(n, R)
+        prop = random_host_switch_graph(n, m_opt, R, seed=3)
+        conv_power = network_power(conv, Floorplan(conv))
+        prop_power = network_power(prop, Floorplan(prop))
+        conv_cost = network_cost(conv, Floorplan(conv))
+        prop_cost = network_cost(prop, Floorplan(prop))
+        rows.append(
+            {
+                "n": n,
+                "conv_m": spec.num_switches,
+                "prop_m": m_opt,
+                "conv_power": conv_power,
+                "prop_power": prop_power,
+                "conv_cost": conv_cost,
+                "prop_cost": prop_cost,
+            }
+        )
+    return rows
+
+
+def bench_fig9c_power(sweep, benchmark):
+    table = format_table(
+        ["connectable n", "torus m", "prop m", "torus W", "proposed W"],
+        [
+            [r["n"], r["conv_m"], r["prop_m"],
+             r["conv_power"].total_w, r["prop_power"].total_w]
+            for r in sweep
+        ],
+        title="Fig.9c: power consumption vs connectable hosts (torus K=5, r=15)",
+    )
+    emit("fig9c_torus_power", table)
+
+    # --- shape assertions (paper Section 6.3.1) ---------------------------
+    # At and below 1215 connectable hosts the proposed topology uses fewer
+    # switches and less power; at 5120 the fixed torus is cheaper to power.
+    assert sweep[1]["prop_m"] < sweep[1]["conv_m"]
+    assert sweep[1]["prop_power"].total_w < sweep[1]["conv_power"].total_w
+    assert sweep[2]["prop_power"].total_w > sweep[2]["conv_power"].total_w
+
+    g = random_host_switch_graph(160, 40, R, seed=0)
+    breakdown = benchmark(network_power, g)
+    assert breakdown.total_w > 0
+
+
+def bench_fig9d_cost(sweep, benchmark):
+    table = format_table(
+        ["connectable n", "torus switches $", "torus cables $",
+         "prop switches $", "prop cables $", "prop/torus total"],
+        [
+            [r["n"],
+             r["conv_cost"].switches_usd, r["conv_cost"].cables_usd,
+             r["prop_cost"].switches_usd, r["prop_cost"].cables_usd,
+             r["prop_cost"].total_usd / r["conv_cost"].total_usd]
+            for r in sweep
+        ],
+        title="Fig.9d: cost breakdown vs connectable hosts (torus K=5, r=15)",
+    )
+    emit("fig9d_torus_cost", table)
+
+    # --- shape assertions (paper Section 6.3.1) ---------------------------
+    mid = sweep[1]  # the n=1215 point the paper discusses
+    # Switch cost lower (fewer switches); cable costs in the same regime
+    # (the paper's +45 % depends on its exact price sheet; ours are
+    # parameterised — DESIGN.md substitution 4); total within ~25 %.
+    assert mid["prop_cost"].switches_usd < mid["conv_cost"].switches_usd
+    assert 0.7 < mid["prop_cost"].cables_usd / mid["conv_cost"].cables_usd < 2.0
+    assert mid["prop_cost"].total_usd < mid["conv_cost"].total_usd * 1.25
+    # Switch cost dominates the totals, as the paper notes.
+    assert mid["prop_cost"].switches_usd > mid["prop_cost"].cables_usd
+
+    g = random_host_switch_graph(160, 40, R, seed=0)
+    breakdown = benchmark(network_cost, g)
+    assert breakdown.total_usd > 0

@@ -1,0 +1,108 @@
+"""Extension — the topology zoo: every implemented family vs the bounds.
+
+One table putting the whole library together: for a matched host count,
+build each implemented topology (paper comparators + literature
+extensions) and report switches, radix, h-ASPL, diameter, and the
+Theorem-2 bound at that topology's radix.  The ORP solution is the only
+entry free to choose its switch count; the table shows what that freedom
+buys against each family at *its own* radix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import SCALE, emit, proposed
+from repro.analysis.report import format_table
+from repro.core.bounds import h_aspl_lower_bound
+from repro.core.metrics import h_aspl_and_diameter
+from repro.topologies import (
+    dragonfly,
+    fat_tree,
+    hypercube,
+    jellyfish,
+    random_shortcut_ring,
+    slim_fly,
+    torus,
+)
+
+N = 128 if SCALE == "small" else 1024
+
+
+def build_zoo() -> dict:
+    """Instances of every family sized for ~N hosts."""
+    zoo = {}
+    if SCALE == "small":
+        zoo["torus(3,3)"] = torus(3, 3, 12, num_hosts=N)
+        zoo["dragonfly(6)"] = dragonfly(6, num_hosts=N)
+        zoo["fat-tree(8)"] = fat_tree(8)
+        zoo["hypercube(5)"] = hypercube(5, 9, num_hosts=N)
+        zoo["slim-fly(5)"] = slim_fly(5, num_hosts=N)
+        zoo["jellyfish"] = jellyfish(32, 10, 4, seed=0)
+        zoo["shortcut-ring"] = random_shortcut_ring(
+            32, 10, num_matchings=4, num_hosts=N, seed=0, fill="round-robin"
+        )
+    else:
+        zoo["torus(5,3)"] = torus(5, 3, 15, num_hosts=N)
+        zoo["dragonfly(8)"] = dragonfly(8, num_hosts=N)
+        zoo["fat-tree(16)"] = fat_tree(16)
+        zoo["hypercube(8)"] = hypercube(8, 12, num_hosts=N)
+        zoo["slim-fly(13)"] = slim_fly(13, num_hosts=N)
+        zoo["jellyfish"] = jellyfish(256, 16, 4, seed=0)
+        zoo["shortcut-ring"] = random_shortcut_ring(
+            256, 16, num_matchings=8, num_hosts=N, seed=0, fill="round-robin"
+        )
+    return zoo
+
+
+@pytest.fixture(scope="module")
+def zoo_rows():
+    rows = []
+    for name, (graph, spec) in build_zoo().items():
+        aspl, diam = h_aspl_and_diameter(graph)
+        rows.append(
+            [name, spec.num_switches, spec.radix, aspl, diam,
+             h_aspl_lower_bound(N, spec.radix)]
+        )
+    # The ORP solution at a mid-range radix for reference.
+    r_ref = 12 if SCALE == "small" else 15
+    sol = proposed(N, r_ref)
+    rows.append(
+        [f"ORP proposed(r={r_ref})", sol.m, r_ref, sol.h_aspl, sol.diameter,
+         sol.h_aspl_lower_bound]
+    )
+    return rows, sol
+
+
+def bench_topology_zoo(zoo_rows, benchmark):
+    rows, sol = zoo_rows
+    emit(
+        "topology_zoo",
+        format_table(
+            ["topology", "m", "r", "h-ASPL", "diameter", "Thm-2 LB @ r"],
+            rows,
+            title=f"Topology zoo at n = {N} hosts",
+        ),
+    )
+
+    # --- assertions --------------------------------------------------------
+    by_name = {r[0]: r for r in rows}
+    for name, row in by_name.items():
+        # Theorem 2 holds universally.
+        assert row[3] >= row[5] - 1e-9, name
+        assert row[4] >= row[3]
+    # Slim Fly (diameter-2 switch graph) has host diameter 4.
+    sf = next(r for name, r in by_name.items() if name.startswith("slim-fly"))
+    assert sf[4] == 4.0
+    # The ORP solution uses fewer switches than the fat-tree while having
+    # lower h-ASPL.
+    ft = next(r for name, r in by_name.items() if name.startswith("fat-tree"))
+    orp = next(r for name, r in by_name.items() if name.startswith("ORP"))
+    assert orp[1] < ft[1]
+    assert orp[3] < ft[3]
+
+    def kernel():
+        graph, _ = build_zoo()["jellyfish"]
+        return h_aspl_and_diameter(graph)[0]
+
+    assert benchmark.pedantic(kernel, rounds=2, iterations=1) > 2.0

@@ -1,0 +1,73 @@
+"""Extension — latency vs offered load: proposed topology vs torus.
+
+The interconnect-literature companion to the paper's NPB bars: sweep the
+offered load under *saturating uniform-random* traffic and compare mean
+message latency at the same radix.  This exposes the cost side of the
+paper's "20-43 % fewer switches" result: with fewer switches the ORP
+topology also has fewer switch-switch links, so under traffic that loads
+every link uniformly it concedes some headroom to the (bigger) torus even
+though its paths are shorter.  The paper's NPB wins come from patterns
+where latency and collective structure dominate, not sustained uniform
+saturation — this sweep quantifies the boundary.
+
+Expected shape: latency grows with load for both; the proposed topology
+stays within a modest factor of the torus despite ~2-4x fewer switches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import SCALE, emit, proposed
+from repro.analysis.report import format_table
+from repro.simulation.traffic import run_traffic
+from repro.topologies import torus
+
+N, R = (64, 10) if SCALE == "small" else (256, 12)
+LOADS = [0.1, 0.3, 0.5, 0.7, 0.9]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    if SCALE == "small":
+        conv, _ = torus(3, 3, R, num_hosts=N)
+    else:
+        conv, _ = torus(4, 3, R, num_hosts=N)
+    sol = proposed(N, R)
+    rows = []
+    for load in LOADS:
+        r_conv = run_traffic(conv, "uniform", messages_per_host=15,
+                             offered_load=load, seed=2)
+        r_prop = run_traffic(sol.graph, "uniform", messages_per_host=15,
+                             offered_load=load, seed=2)
+        rows.append([load, r_conv.mean_latency_s * 1e6, r_prop.mean_latency_s * 1e6])
+    return rows, sol
+
+
+def bench_traffic_load_sweep(sweep, benchmark):
+    rows, sol = sweep
+    emit(
+        "traffic_load_sweep",
+        format_table(
+            ["offered load", "torus mean us", "proposed mean us"],
+            rows,
+            title=f"Uniform-traffic latency vs load (n={N}, r={R}, proposed m={sol.m})",
+        ),
+    )
+
+    # --- assertions --------------------------------------------------------
+    # Latency is non-decreasing in load for both networks.
+    for col in (1, 2):
+        series = [r[col] for r in rows]
+        assert all(b >= a * 0.8 for a, b in zip(series, series[1:]))
+    # Despite having far fewer switches (and hence links), the proposed
+    # topology stays within a modest factor of the torus at every load.
+    for row in rows:
+        assert row[2] <= row[1] * 1.5
+
+    def kernel():
+        return run_traffic(
+            sol.graph, "uniform", messages_per_host=5, offered_load=0.5, seed=0
+        ).mean_latency_s
+
+    assert benchmark.pedantic(kernel, rounds=2, iterations=1) > 0

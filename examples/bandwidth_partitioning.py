@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Bandwidth evaluation by graph partitioning (the paper's Section 6.2.2).
+
+Partitions the vertex set V = H ∪ S of several topologies into P = 2..16
+equal subsets with the library's multilevel partitioner (its METIS
+substitute) and reports the edge cut — the paper's "bandwidth" metric;
+P = 2 gives the bisection bandwidth.
+
+Usage:
+    python examples/bandwidth_partitioning.py [n]  # default: 256
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import AnnealingSchedule, solve_orp
+from repro.analysis.report import format_table
+from repro.partition import partition_host_switch
+from repro.topologies import dragonfly, fat_tree, torus
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+
+    torus_graph, torus_spec_ = torus(4, 3, 12, num_hosts=n)
+    networks = {
+        "torus(4,3)": torus_graph,
+        "dragonfly(6)": dragonfly(6, num_hosts=n)[0],
+        "fat-tree(12)": fat_tree(12, num_hosts=n)[0],
+        # The paper's rule: m = m_opt (lean — minimises latency and cost).
+        "proposed(m_opt)": solve_orp(
+            n, 12, schedule=AnnealingSchedule(num_steps=3_000), seed=5
+        ).graph,
+        # Same switch budget as the torus: bandwidth at matched hardware.
+        f"proposed(m={torus_spec_.num_switches})": solve_orp(
+            n, 12, m=torus_spec_.num_switches,
+            schedule=AnnealingSchedule(num_steps=3_000), seed=5,
+        ).graph,
+    }
+
+    parts_range = [2, 4, 6, 8, 12, 16]
+    rows = []
+    for p in parts_range:
+        row = [p]
+        for graph in networks.values():
+            _, cut = partition_host_switch(graph, p, seed=1, trials=2)
+            row.append(cut)
+        rows.append(row)
+
+    print(format_table(
+        ["P"] + list(networks),
+        rows,
+        title=f"Edge cut (bandwidth) vs number of partitions, n={n}",
+    ))
+    print(
+        "\nReading the table: the cut counts links crossing a balanced split,"
+        "\nso it scales with deployed hardware.  At m_opt the ORP graph is"
+        "\ndeliberately lean (fewest switches for minimum latency), hence a"
+        "\nsmall cut; at the torus's own switch budget the ORP graph matches"
+        "\nor beats the torus's bandwidth — the paper's Fig. 9b regime, where"
+        "\nn is close to network capacity.  The fat-tree, built for full"
+        "\nbisection, tops the table yet loses on application performance"
+        "\n(paper Fig. 11a)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Floorplan, power, and cost analysis of an interconnect (Section 6.2.3).
+
+Places a network's switches into 60 cm x 210 cm cabinets on a 2-D grid,
+measures Manhattan cable runs, classifies cables (electrical <= 100 cm,
+optical beyond), and applies the FDR10-style power and cost models —
+comparing the index-order placement against the DFS placement that keeps
+topologically adjacent switches in nearby cabinets.
+
+Usage:
+    python examples/datacenter_cost.py [n]         # default: 512
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import AnnealingSchedule, solve_orp
+from repro.analysis.report import format_table
+from repro.layout import (
+    CableKind,
+    Floorplan,
+    enumerate_cables,
+    network_cost,
+    network_power,
+)
+from repro.topologies import torus
+
+
+def describe(name: str, graph, plan: Floorplan) -> list:
+    cables = enumerate_cables(graph, plan)
+    optical = sum(1 for c in cables if c.kind is CableKind.OPTICAL)
+    power = network_power(graph, plan)
+    cost = network_cost(graph, plan)
+    return [
+        name,
+        plan.num_cabinets,
+        f"{plan.total_cable_length_m():.0f}",
+        f"{optical}/{len(cables)}",
+        f"{power.total_w:.0f}",
+        f"{cost.switches_usd:.0f}",
+        f"{cost.cables_usd:.0f}",
+        f"{cost.total_usd:.0f}",
+    ]
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+
+    torus_graph, spec = torus(4, 3, 12, num_hosts=min(n, 324))
+    sol = solve_orp(
+        min(n, 324), 12, schedule=AnnealingSchedule(num_steps=3_000), seed=9
+    )
+
+    rows = [
+        describe("torus / index", torus_graph, Floorplan(torus_graph)),
+        describe("torus / dfs", torus_graph, Floorplan(torus_graph, ordering="dfs")),
+        describe("proposed / index", sol.graph, Floorplan(sol.graph)),
+        describe("proposed / dfs", sol.graph, Floorplan(sol.graph, ordering="dfs")),
+    ]
+    print(format_table(
+        ["network / placement", "cabinets", "cable m", "optical",
+         "power W", "switch $", "cable $", "total $"],
+        rows,
+        title=f"Datacenter floorplan study ({spec} vs proposed, n={torus_graph.num_hosts})",
+    ))
+    print(
+        "\nDFS cabinet placement shortens cable runs for irregular"
+        "\ntopologies; the proposed network spends less on switches"
+        "\n(fewer of them) and somewhat more on cables — the paper's"
+        "\nFig. 9d breakdown."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Order/Degree Problem (Graph Golf) solving with the ORP machinery.
+
+The paper generalises the classic ODP — given vertices and degree, minimise
+the plain ASPL — which the Graph Golf competition popularised.  This
+example solves a few ODP instances, reports the gap to the Moore bound,
+and shows the host-switch embedding identity the solver is built on
+(h-ASPL = ASPL + 2 at one host per switch).
+
+Usage:
+    python examples/odp_graphgolf.py [n] [d]       # defaults: 32 4
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.report import format_table
+from repro.core.annealing import AnnealingSchedule
+from repro.core.odp import odp_aspl_lower_bound, solve_odp
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    d = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    print("Classic instances first — (10, 3) admits the Petersen graph,")
+    print("which meets the Moore bound exactly:\n")
+
+    rows = []
+    for nv, deg in [(10, 3), (16, 4), (n, d)]:
+        sol = solve_odp(
+            nv, deg,
+            schedule=AnnealingSchedule(num_steps=4_000), restarts=2, seed=1,
+        )
+        rows.append([nv, deg, sol.aspl, sol.aspl_lower_bound,
+                     f"{100 * sol.gap:.2f}%", sol.diameter])
+    print(format_table(
+        ["n", "degree", "ASPL", "Moore bound", "gap", "diameter"],
+        rows,
+        title="ODP solutions (swap-operation simulated annealing)",
+    ))
+
+    sol = solve_odp(n, d, schedule=AnnealingSchedule(num_steps=4_000), seed=1)
+    print(f"\n{sol.summary()}")
+    print(
+        f"Embedding identity check: annealer's h-ASPL "
+        f"{sol.annealing.h_aspl:.4f} = ASPL {sol.aspl:.4f} + 2"
+    )
+    print(f"Edge list has {len(sol.edges)} edges; first five: {sol.edges[:5]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for offline editable installs (`pip install -e . --no-use-pep517`).
+
+Environments without the `wheel` package cannot build PEP-517 editable
+wheels; this file enables the legacy setuptools develop path.  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

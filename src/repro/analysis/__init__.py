@@ -1,0 +1,34 @@
+"""Analysis and reporting helpers: host distributions, ASCII tables, series."""
+
+from repro.analysis.distributions import (
+    host_distribution,
+    host_distribution_summary,
+    unused_switch_fraction,
+)
+from repro.analysis.paths import (
+    DistanceProfile,
+    distance_histogram,
+    distance_profile,
+    link_load_summary,
+)
+from repro.analysis.report import format_table, format_series
+from repro.analysis.resilience import (
+    FailureImpact,
+    edge_failure_impact,
+    switch_failure_impact,
+)
+
+__all__ = [
+    "FailureImpact",
+    "edge_failure_impact",
+    "switch_failure_impact",
+    "host_distribution",
+    "host_distribution_summary",
+    "unused_switch_fraction",
+    "DistanceProfile",
+    "distance_histogram",
+    "distance_profile",
+    "link_load_summary",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,82 @@
+"""Path-length and link-utilisation analysis.
+
+Beyond the scalar h-ASPL, the full host-to-host distance *histogram*
+explains where latency comes from (how much traffic would travel 2, 3, 4
+hops), and per-link utilisation from a simulation shows whether a
+topology's cables are evenly loaded — both standard diagnostics when
+comparing interconnects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.core.metrics import host_distance_matrix
+
+__all__ = ["distance_histogram", "DistanceProfile", "distance_profile", "link_load_summary"]
+
+
+def distance_histogram(graph: HostSwitchGraph) -> dict[int, int]:
+    """Histogram ``{distance: number_of_host_pairs}`` over unordered pairs."""
+    d = host_distance_matrix(graph)
+    n = graph.num_hosts
+    upper = d[np.triu_indices(n, k=1)]
+    values, counts = np.unique(upper.astype(np.int64), return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+@dataclass(frozen=True)
+class DistanceProfile:
+    """Summary of the host-to-host distance distribution."""
+
+    histogram: dict[int, int]
+    mean: float
+    median: float
+    diameter: int
+
+    @property
+    def total_pairs(self) -> int:
+        return sum(self.histogram.values())
+
+    def fraction_within(self, hops: int) -> float:
+        """Fraction of host pairs at distance <= ``hops``."""
+        total = self.total_pairs
+        if total == 0:
+            return 0.0
+        return sum(c for d, c in self.histogram.items() if d <= hops) / total
+
+
+def distance_profile(graph: HostSwitchGraph) -> DistanceProfile:
+    """Full distance profile of a host-switch graph."""
+    hist = distance_histogram(graph)
+    expanded = np.repeat(
+        np.fromiter(hist.keys(), dtype=np.int64),
+        np.fromiter(hist.values(), dtype=np.int64),
+    )
+    return DistanceProfile(
+        histogram=hist,
+        mean=float(expanded.mean()),
+        median=float(np.median(expanded)),
+        diameter=int(expanded.max()),
+    )
+
+
+def link_load_summary(link_bytes: np.ndarray) -> dict[str, float]:
+    """Summary statistics of per-link carried bytes from a simulation.
+
+    ``link_bytes`` is e.g. :meth:`FluidNetworkModel.link_utilization`.
+    The max/mean ratio is the classic hot-spot indicator: 1.0 means
+    perfectly even load.
+    """
+    loads = np.asarray(link_bytes, dtype=np.float64)
+    if loads.size == 0 or loads.max() <= 0:
+        return {"max": 0.0, "mean": 0.0, "p95": 0.0, "imbalance": 0.0}
+    return {
+        "max": float(loads.max()),
+        "mean": float(loads.mean()),
+        "p95": float(np.percentile(loads, 95)),
+        "imbalance": float(loads.max() / loads.mean()),
+    }

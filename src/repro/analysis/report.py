@@ -1,0 +1,44 @@
+"""Plain-text table / series rendering for the benchmark harnesses.
+
+Every figure-reproduction bench prints its data through these helpers so
+the regenerated "rows/series the paper reports" have one consistent look.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in str_rows:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_series(
+    name: str, xs: Sequence, ys: Sequence, x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render one (x, y) series as a two-column table."""
+    return format_table([x_label, y_label], list(zip(xs, ys)), title=name)

@@ -1,0 +1,143 @@
+"""Link/switch failure analysis (extension).
+
+Random-like low-diameter topologies are often praised for graceful
+degradation: losing one cable barely moves the ASPL because many short
+alternative paths exist, while structured networks can lose whole
+dimensions.  This module quantifies that for host-switch graphs:
+
+- :func:`edge_failure_impact` — h-ASPL degradation and disconnection
+  probability over random single switch-switch link failures.
+- :func:`switch_failure_impact` — the same for whole-switch failures
+  (its hosts go down with it; the metric covers the survivors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.core.metrics import h_aspl
+from repro.utils.rng import as_generator
+
+__all__ = ["FailureImpact", "edge_failure_impact", "switch_failure_impact"]
+
+
+@dataclass(frozen=True)
+class FailureImpact:
+    """Aggregated results of a failure-injection experiment."""
+
+    baseline_h_aspl: float
+    trials: int
+    disconnected: int
+    mean_h_aspl: float
+    worst_h_aspl: float
+
+    @property
+    def disconnection_probability(self) -> float:
+        return self.disconnected / self.trials if self.trials else 0.0
+
+    @property
+    def mean_degradation(self) -> float:
+        """Relative mean h-ASPL increase over the connected trials."""
+        if self.baseline_h_aspl == 0:
+            return 0.0
+        return self.mean_h_aspl / self.baseline_h_aspl - 1.0
+
+
+def edge_failure_impact(
+    graph: HostSwitchGraph,
+    trials: int = 20,
+    seed: int | np.random.Generator | None = None,
+) -> FailureImpact:
+    """Remove one random switch-switch link per trial and re-measure.
+
+    Each trial restores the graph afterwards (the input is never left
+    modified).  Disconnected outcomes are counted separately and excluded
+    from the mean/worst h-ASPL.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    rng = as_generator(seed)
+    edges = sorted(graph.switch_edges())
+    if not edges:
+        raise ValueError("graph has no switch-switch links to fail")
+    baseline = h_aspl(graph)
+    work = graph.copy()
+    values: list[float] = []
+    disconnected = 0
+    for _ in range(trials):
+        a, b = edges[int(rng.integers(0, len(edges)))]
+        work.remove_switch_edge(a, b)
+        value = h_aspl(work)
+        if value == float("inf"):
+            disconnected += 1
+        else:
+            values.append(value)
+        work.add_switch_edge(a, b)
+    return FailureImpact(
+        baseline_h_aspl=baseline,
+        trials=trials,
+        disconnected=disconnected,
+        mean_h_aspl=float(np.mean(values)) if values else float("inf"),
+        worst_h_aspl=float(np.max(values)) if values else float("inf"),
+    )
+
+
+def switch_failure_impact(
+    graph: HostSwitchGraph,
+    trials: int = 10,
+    seed: int | np.random.Generator | None = None,
+) -> FailureImpact:
+    """Fail one random switch per trial (with its hosts) and re-measure.
+
+    The surviving network is rebuilt without the failed switch; trials
+    whose survivors cannot all reach each other count as disconnected.
+    Switches hosting *all* hosts' only neighbours may leave fewer than two
+    hosts — such degenerate trials count as disconnected too.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    rng = as_generator(seed)
+    baseline = h_aspl(graph)
+    values: list[float] = []
+    disconnected = 0
+    for _ in range(trials):
+        victim = int(rng.integers(0, graph.num_switches))
+        survivor = _without_switch(graph, victim)
+        if survivor is None or survivor.num_hosts < 2:
+            disconnected += 1
+            continue
+        value = h_aspl(survivor)
+        if value == float("inf"):
+            disconnected += 1
+        else:
+            values.append(value)
+    return FailureImpact(
+        baseline_h_aspl=baseline,
+        trials=trials,
+        disconnected=disconnected,
+        mean_h_aspl=float(np.mean(values)) if values else float("inf"),
+        worst_h_aspl=float(np.max(values)) if values else float("inf"),
+    )
+
+
+def _without_switch(graph: HostSwitchGraph, victim: int) -> HostSwitchGraph | None:
+    """Copy of ``graph`` with ``victim`` (and its hosts) removed."""
+    m = graph.num_switches
+    if m <= 1:
+        return None
+    remap = {}
+    for s in range(m):
+        if s != victim:
+            remap[s] = len(remap)
+    out = HostSwitchGraph(num_switches=m - 1, radix=graph.radix)
+    for a, b in graph.switch_edges():
+        if victim not in (a, b):
+            out.add_switch_edge(remap[a], remap[b])
+    for h in range(graph.num_hosts):
+        s = graph.host_attachment(h)
+        if s != victim:
+            out.attach_host(remap[s])
+    return out

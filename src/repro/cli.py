@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``bounds n r``
+    Print Theorem-1/2 lower bounds, m_opt, and the continuous Moore bound.
+``solve n r``
+    Solve the ORP instance (annealed search) and print the summary;
+    optionally save the graph with ``--out``.
+``odp n d``
+    Solve the classic Order/Degree Problem (Graph Golf objective).
+``topology name [params...]``
+    Build a conventional topology and print its spec and metrics.
+``simulate``
+    Run one NAS skeleton on a topology (built or loaded) and print Mop/s.
+``traffic``
+    Drive a synthetic pattern and print latency/throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Order/Radix Problem toolkit (ICPP'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("bounds", help="lower bounds and m_opt for (n, r)")
+    p.add_argument("n", type=int)
+    p.add_argument("r", type=int)
+
+    p = sub.add_parser("solve", help="solve an ORP instance")
+    p.add_argument("n", type=int)
+    p.add_argument("r", type=int)
+    p.add_argument("--m", type=int, default=None, help="override switch count")
+    p.add_argument("--steps", type=int, default=10_000, help="SA proposals")
+    p.add_argument("--restarts", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", type=str, default=None, help="save graph (HSG v1)")
+
+    p = sub.add_parser("odp", help="solve an Order/Degree Problem instance")
+    p.add_argument("n", type=int, help="number of vertices")
+    p.add_argument("d", type=int, help="degree")
+    p.add_argument("--steps", type=int, default=10_000)
+    p.add_argument("--restarts", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("topology", help="build and measure a conventional topology")
+    p.add_argument(
+        "name",
+        choices=[
+            "torus", "dragonfly", "fat-tree", "hypercube", "mesh",
+            "slim-fly", "jellyfish", "random-shortcut-ring",
+        ],
+    )
+    p.add_argument("--dimension", type=int, default=3)
+    p.add_argument("--base", type=int, default=3)
+    p.add_argument("--radix", type=int, default=10)
+    p.add_argument("--a", type=int, default=8, help="dragonfly group size")
+    p.add_argument("--k", type=int, default=8, help="fat-tree arity")
+    p.add_argument("--q", type=int, default=5, help="slim-fly field size (prime, 1 mod 4)")
+    p.add_argument("--switches", type=int, default=32, help="jellyfish/ring switch count")
+    p.add_argument("--hosts-per-switch", type=int, default=4, help="jellyfish concentration")
+    p.add_argument("--matchings", type=int, default=2, help="shortcut-ring matchings")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--hosts", type=int, default=None)
+
+    p = sub.add_parser("simulate", help="run a NAS skeleton on a topology")
+    p.add_argument("benchmark", help="bt|cg|ep|ft|is|lu|mg|sp")
+    p.add_argument("--graph", type=str, default=None, help="HSG v1 file to load")
+    p.add_argument("--ranks", type=int, default=16)
+    p.add_argument("--nas-class", choices=["A", "B"], default="A")
+    p.add_argument("--iterations", type=int, default=1)
+    p.add_argument("--model", choices=["fluid", "latency"], default="fluid")
+    p.add_argument("--routing", choices=["shortest", "ecmp", "valiant"],
+                   default="shortest")
+    p.add_argument("--mapping", choices=["linear", "dfs", "random"], default="dfs")
+
+    p = sub.add_parser("traffic", help="synthetic traffic latency/throughput")
+    p.add_argument("pattern")
+    p.add_argument("--graph", type=str, default=None, help="HSG v1 file to load")
+    p.add_argument("--messages", type=int, default=20)
+    p.add_argument("--bytes", type=float, default=65536.0)
+    p.add_argument("--load", type=float, default=0.5)
+    p.add_argument("--routing", choices=["shortest", "ecmp", "valiant"],
+                   default="shortest")
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _default_graph():
+    """Fallback network for simulate/traffic when no --graph is given."""
+    from repro.topologies import torus
+
+    return torus(2, 4, 8, num_hosts=64, fill="round-robin")[0]
+
+
+def _cmd_bounds(args) -> int:
+    from repro.core.bounds import diameter_lower_bound, h_aspl_lower_bound
+    from repro.core.moore import continuous_moore_bound, optimal_switch_count
+
+    m_opt, bound = optimal_switch_count(args.n, args.r)
+    rows = [
+        ["diameter lower bound (Thm 1)", diameter_lower_bound(args.n, args.r)],
+        ["h-ASPL lower bound (Thm 2)", h_aspl_lower_bound(args.n, args.r)],
+        ["predicted m_opt", m_opt],
+        ["continuous Moore bound @ m_opt", bound],
+        ["continuous Moore bound @ 2*m_opt",
+         continuous_moore_bound(args.n, 2 * m_opt, args.r)],
+    ]
+    print(format_table(["quantity", "value"], rows,
+                       title=f"ORP bounds for n={args.n}, r={args.r}"))
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from repro.core.annealing import AnnealingSchedule
+    from repro.core.serialization import save_graph
+    from repro.core.solver import solve_orp
+
+    sol = solve_orp(
+        args.n, args.r, m=args.m,
+        schedule=AnnealingSchedule(num_steps=args.steps),
+        restarts=args.restarts, seed=args.seed,
+    )
+    print(sol.summary())
+    if args.out:
+        save_graph(sol.graph, args.out)
+        print(f"saved graph to {args.out}")
+    return 0
+
+
+def _cmd_odp(args) -> int:
+    from repro.core.annealing import AnnealingSchedule
+    from repro.core.odp import solve_odp
+
+    sol = solve_odp(
+        args.n, args.d,
+        schedule=AnnealingSchedule(num_steps=args.steps),
+        restarts=args.restarts, seed=args.seed,
+    )
+    print(sol.summary())
+    return 0
+
+
+def _cmd_topology(args) -> int:
+    from repro.core.metrics import h_aspl_and_diameter
+    from repro.topologies import build_topology
+
+    kwargs: dict = {}
+    if args.name in ("torus", "mesh"):
+        kwargs = dict(dimension=args.dimension, base=args.base, radix=args.radix)
+    elif args.name == "dragonfly":
+        kwargs = dict(a=args.a)
+    elif args.name == "fat-tree":
+        kwargs = dict(k=args.k)
+    elif args.name == "hypercube":
+        kwargs = dict(dim=args.dimension, radix=args.radix)
+    elif args.name == "slim-fly":
+        kwargs = dict(q=args.q)
+    elif args.name == "jellyfish":
+        kwargs = dict(
+            num_switches=args.switches, radix=args.radix,
+            hosts_per_switch=args.hosts_per_switch, seed=args.seed,
+        )
+    elif args.name == "random-shortcut-ring":
+        kwargs = dict(
+            num_switches=args.switches, radix=args.radix,
+            num_matchings=args.matchings, seed=args.seed,
+        )
+    if args.hosts is not None and args.name != "jellyfish":
+        kwargs["num_hosts"] = args.hosts
+    graph, spec = build_topology(args.name, **kwargs)
+    aspl, diam = h_aspl_and_diameter(graph)
+    print(spec)
+    print(f"attached hosts: {graph.num_hosts}")
+    print(f"h-ASPL = {aspl:.4f}, diameter = {diam:.0f}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.core.serialization import load_graph
+    from repro.simulation.apps import run_nas
+    from repro.simulation.mapping import rank_to_host_mapping
+
+    graph = load_graph(args.graph) if args.graph else _default_graph()
+    mapping = rank_to_host_mapping(graph, args.ranks, args.mapping)
+    res = run_nas(
+        args.benchmark, graph, args.ranks, nas_class=args.nas_class,
+        iterations=args.iterations, rank_to_host=mapping, model=args.model,
+    )
+    print(
+        f"{res.benchmark} class {res.nas_class}, {res.num_ranks} ranks, "
+        f"{res.iterations} iteration(s):"
+    )
+    print(f"  simulated time   : {res.time_s:.6f} s")
+    print(f"  performance      : {res.mops_total:.0f} Mop/s (whole job)")
+    print(f"  messages / bytes : {res.stats.messages} / {res.stats.bytes:.3e}")
+    return 0
+
+
+def _cmd_traffic(args) -> int:
+    from repro.core.serialization import load_graph
+    from repro.simulation.traffic import run_traffic
+
+    graph = load_graph(args.graph) if args.graph else _default_graph()
+    res = run_traffic(
+        graph, args.pattern, messages_per_host=args.messages,
+        message_bytes=args.bytes, offered_load=args.load,
+        routing=args.routing, seed=args.seed,
+    )
+    print(f"pattern {res.pattern} on {res.num_hosts} hosts @ load {res.offered_load}:")
+    print(f"  mean latency : {res.mean_latency_s * 1e6:.2f} us")
+    print(f"  p99 latency  : {res.p99_latency_s * 1e6:.2f} us")
+    print(f"  throughput   : {res.throughput_bytes_per_s / 1e9:.3f} GB/s aggregate")
+    return 0
+
+
+_HANDLERS = {
+    "bounds": _cmd_bounds,
+    "solve": _cmd_solve,
+    "odp": _cmd_odp,
+    "topology": _cmd_topology,
+    "simulate": _cmd_simulate,
+    "traffic": _cmd_traffic,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,360 @@
+"""Simulated-annealing search for the Order/Radix Problem (paper Section 5).
+
+Three neighbourhood operations are available:
+
+- ``"swap"`` — the degree-preserving 2-opt of Section 5.1.  Host edges are
+  never touched, so a regular host-switch graph stays regular.
+- ``"swing"`` — the host-moving rewiring of Section 5.2 used alone.
+- ``"two-neighbor-swing"`` — the composite protocol of Fig. 4 (the paper's
+  recommended operation): try a swing; if rejected, try the second swing
+  that together with the first amounts to a swap.  Subsumes both primitives.
+
+The annealer maintains a switch-edge list for O(1) proposal sampling and
+evaluates candidates with the C-speed APSP in :mod:`repro.core.metrics`.
+Moves that disconnect any pair of hosts evaluate to ``inf`` and are always
+rejected; when hostless switches exist, accepted moves additionally pass a
+whole-switch-graph connectivity check so the paper's "no redundant switch
+is stranded" assumption is preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.core.metrics import h_aspl, h_aspl_and_diameter, h_aspl_sampled
+from repro.core.operations import SwapMove, SwingMove, propose_swap, propose_swing
+from repro.utils.rng import as_generator
+
+__all__ = ["AnnealingSchedule", "AnnealingResult", "anneal"]
+
+_OPERATIONS = ("swap", "swing", "two-neighbor-swing")
+
+
+@dataclass(frozen=True)
+class AnnealingSchedule:
+    """Geometric cooling schedule.
+
+    Temperature at step ``t`` interpolates geometrically from
+    ``initial_temperature`` down to ``final_temperature`` over
+    ``num_steps`` proposals.
+    """
+
+    num_steps: int = 20_000
+    initial_temperature: float = 0.05
+    final_temperature: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.num_steps < 1:
+            raise ValueError(f"num_steps must be >= 1, got {self.num_steps}")
+        if not 0 < self.final_temperature <= self.initial_temperature:
+            raise ValueError(
+                "need 0 < final_temperature <= initial_temperature, got "
+                f"{self.final_temperature}, {self.initial_temperature}"
+            )
+
+    def temperature(self, step: int) -> float:
+        """Temperature for proposal ``step`` (0-based)."""
+        if self.num_steps == 1:
+            return self.initial_temperature
+        frac = step / (self.num_steps - 1)
+        log_t = (1 - frac) * math.log(self.initial_temperature) + frac * math.log(
+            self.final_temperature
+        )
+        return math.exp(log_t)
+
+
+@dataclass
+class AnnealingResult:
+    """Outcome of an annealing run."""
+
+    graph: HostSwitchGraph
+    h_aspl: float
+    diameter: float
+    operation: str
+    steps: int
+    accepted: int
+    improved: int
+    initial_h_aspl: float
+    history: list[tuple[int, float, float]] = field(default_factory=list)
+    """Optional trace of ``(step, current_value, best_value)`` samples."""
+
+
+class _EdgeList:
+    """Indexed switch-edge list supporting O(1) add/remove/sample."""
+
+    def __init__(self, graph: HostSwitchGraph) -> None:
+        self.edges: list[tuple[int, int]] = [tuple(sorted(e)) for e in graph.switch_edges()]
+        self._pos = {e: i for i, e in enumerate(self.edges)}
+
+    @staticmethod
+    def _key(a: int, b: int) -> tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def add(self, a: int, b: int) -> None:
+        key = self._key(a, b)
+        self._pos[key] = len(self.edges)
+        self.edges.append(key)
+
+    def remove(self, a: int, b: int) -> None:
+        key = self._key(a, b)
+        idx = self._pos.pop(key)
+        last = self.edges.pop()
+        if last != key:
+            self.edges[idx] = last
+            self._pos[last] = idx
+
+    def apply_swap(self, move: SwapMove) -> None:
+        self.remove(move.a, move.b)
+        self.remove(move.c, move.d)
+        self.add(move.a, move.d)
+        self.add(move.b, move.c)
+
+    def apply_swing(self, move: SwingMove) -> None:
+        self.remove(move.sa, move.sb)
+        self.add(move.sa, move.sc)
+
+
+def _accept(delta: float, temperature: float, rng: np.random.Generator) -> bool:
+    """Metropolis criterion; ``inf`` deltas always reject."""
+    if delta <= 0.0:
+        return True
+    if not math.isfinite(delta):
+        return False
+    return rng.random() < math.exp(-delta / temperature)
+
+
+def anneal(
+    graph: HostSwitchGraph,
+    *,
+    operation: str = "two-neighbor-swing",
+    schedule: AnnealingSchedule | None = None,
+    seed: int | np.random.Generator | None = None,
+    history_every: int = 0,
+    target: float | None = None,
+    eval_sources: int | None = None,
+    eval_refresh: int = 200,
+) -> AnnealingResult:
+    """Minimise h-ASPL by simulated annealing.
+
+    Parameters
+    ----------
+    graph:
+        Starting host-switch graph; not mutated (a working copy is made).
+    operation:
+        ``"swap"``, ``"swing"``, or ``"two-neighbor-swing"`` (default; the
+        paper's proposed operation).
+    schedule:
+        Cooling schedule; defaults to :class:`AnnealingSchedule`'s defaults.
+    seed:
+        RNG seed / generator for replayable runs.
+    history_every:
+        When > 0, record ``(step, current, best)`` every that many steps.
+    target:
+        Optional early-stop threshold: stop once the best h-ASPL is within
+        ``1e-12`` of it (e.g. the Theorem-2 lower bound).
+    eval_sources:
+        Scalability knob: when set, proposals are scored with the sampled
+        estimator :func:`repro.core.metrics.h_aspl_sampled` using this many
+        BFS sources (resampled every ``eval_refresh`` accepted steps,
+        proportional to host counts) instead of the exact h-ASPL.  The
+        returned result is always evaluated exactly.  Recommended for
+        ``n`` in the many-thousands range.
+    eval_refresh:
+        Steps between source resamples in sampled mode.
+
+    Returns
+    -------
+    AnnealingResult
+        Best graph found (validated), its h-ASPL and diameter, and search
+        statistics.
+    """
+    if operation not in _OPERATIONS:
+        raise ValueError(f"operation must be one of {_OPERATIONS}, got {operation!r}")
+    if eval_sources is not None and eval_sources < 1:
+        raise ValueError(f"eval_sources must be >= 1, got {eval_sources}")
+    if schedule is None:
+        schedule = AnnealingSchedule()
+    rng = as_generator(seed)
+
+    work = graph.copy()
+    edges = _EdgeList(work)
+
+    sample: np.ndarray | None = None
+
+    def resample() -> None:
+        nonlocal sample
+        counts = work.host_counts().astype(np.float64)
+        bearing = np.flatnonzero(counts > 0)
+        k = min(eval_sources, len(bearing))  # type: ignore[arg-type]
+        probs = counts[bearing] / counts[bearing].sum()
+        sample = rng.choice(bearing, size=k, replace=False, p=probs)
+
+    def evaluate() -> float:
+        if eval_sources is None:
+            return h_aspl(work)
+        assert sample is not None
+        counts = work.host_counts()
+        live = sample[counts[sample] > 0]
+        if len(live) == 0:
+            resample()
+            live = sample
+        return h_aspl_sampled(work, live)
+
+    if eval_sources is not None:
+        resample()
+    current = evaluate()
+    if not math.isfinite(current):
+        raise ValueError("initial graph has disconnected hosts (h-ASPL is inf)")
+    initial = current
+    best = current
+    best_graph = work.copy()
+    hostless = int(np.count_nonzero(work.host_counts() == 0))
+
+    accepted = 0
+    improved = 0
+    history: list[tuple[int, float, float]] = []
+
+    def connectivity_ok() -> bool:
+        # Finite h-ASPL already certifies host-bearing connectivity; a full
+        # check is only needed when hostless intermediate switches exist.
+        return hostless == 0 or work.is_switch_graph_connected()
+
+    steps_done = 0
+    for step in range(schedule.num_steps):
+        steps_done = step + 1
+        if eval_sources is not None and step > 0 and step % eval_refresh == 0:
+            # Fresh estimator sample; re-anchor the current value so deltas
+            # stay comparable within the window.
+            resample()
+            current = evaluate()
+        temperature = schedule.temperature(step)
+        committed = False
+        value_after = current
+
+        if operation == "swap":
+            move = propose_swap(edges.edges, rng, work)
+            if move is not None:
+                move.apply(work)
+                value = evaluate()
+                if _accept(value - current, temperature, rng) and connectivity_ok():
+                    edges.apply_swap(move)
+                    committed, value_after = True, value
+                else:
+                    move.undo(work)
+
+        elif operation == "swing":
+            move = propose_swing(edges.edges, rng, work)
+            if move is not None:
+                move.apply(work)
+                value = evaluate()
+                if _accept(value - current, temperature, rng) and connectivity_ok():
+                    edges.apply_swing(move)
+                    committed, value_after = True, value
+                else:
+                    move.undo(work)
+
+        else:  # two-neighbor-swing (Fig. 4)
+            committed, value_after = _two_neighbor_step(
+                work, edges, rng, current, temperature, connectivity_ok, evaluate
+            )
+
+        if committed:
+            accepted += 1
+            current = value_after
+            if current < best - 1e-12:
+                best = current
+                best_graph = work.copy()
+                improved += 1
+        if history_every and step % history_every == 0:
+            history.append((step, current, best))
+        if target is not None and best <= target + 1e-12:
+            break
+
+    best_graph.validate()
+    final_aspl, final_diam = h_aspl_and_diameter(best_graph)
+    return AnnealingResult(
+        graph=best_graph,
+        h_aspl=final_aspl,
+        diameter=final_diam,
+        operation=operation,
+        steps=steps_done,
+        accepted=accepted,
+        improved=improved,
+        initial_h_aspl=initial,
+        history=history,
+    )
+
+
+def _two_neighbor_step(
+    work: HostSwitchGraph,
+    edges: _EdgeList,
+    rng: np.random.Generator,
+    current: float,
+    temperature: float,
+    connectivity_ok,
+    evaluate,
+) -> tuple[bool, float]:
+    """One proposal of the 2-neighbor swing operation (Fig. 4).
+
+    Step 1 tries ``swing(s_a, s_b, s_c)``; if its solution is rejected,
+    step 3 tries ``swing(s_d, s_c, s_b)`` on top of it, whose combined
+    effect is the swap ``{a,b},{c,d} -> {a,c},{b,d}``.  When step 1 is
+    illegal only because ``s_c`` has no host, the equivalent direct swap is
+    attempted instead so searches over graphs with hostless switches (the
+    Fig. 8 regime) do not stall.
+
+    Returns ``(committed, new_value)``.
+    """
+    edge_list = edges.edges
+    if len(edge_list) < 2:
+        return False, current
+    i, j = rng.integers(0, len(edge_list), size=2)
+    if i == j:
+        return False, current
+    sa, sb = edge_list[int(i)]
+    sc, sd = edge_list[int(j)]
+    if rng.integers(0, 2):
+        sa, sb = sb, sa
+    if rng.integers(0, 2):
+        sc, sd = sd, sc
+    if len({sa, sb, sc, sd}) != 4:
+        return False, current
+
+    first = SwingMove(sa, sb, sc)
+    if not first.is_legal(work):
+        if work.hosts_on(sc) == 0:
+            # Hosts cannot swing off a hostless switch; fall back to the
+            # composite's net effect, which never needs a host.
+            swap = SwapMove(sa, sb, sd, sc)
+            if swap.is_legal(work):
+                swap.apply(work)
+                value = evaluate()
+                if _accept(value - current, temperature, rng) and connectivity_ok():
+                    edges.apply_swap(swap)
+                    return True, value
+                swap.undo(work)
+        return False, current
+
+    first.apply(work)
+    value1 = evaluate()
+    if _accept(value1 - current, temperature, rng) and connectivity_ok():
+        edges.apply_swing(first)
+        return True, value1
+
+    second = SwingMove(sd, sc, sb)
+    if not second.is_legal(work):
+        first.undo(work)
+        return False, current
+    second.apply(work)
+    value2 = evaluate()
+    if _accept(value2 - current, temperature, rng) and connectivity_ok():
+        edges.apply_swing(first)
+        edges.apply_swing(second)
+        return True, value2
+    second.undo(work)
+    first.undo(work)
+    return False, current

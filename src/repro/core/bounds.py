@@ -1,0 +1,145 @@
+"""Lower bounds on diameter and h-ASPL (paper Section 4).
+
+Implements:
+
+- **Theorem 1**: ``D(G) >= ceil(log_{r-1}(n-1)) + 1`` for any host-switch
+  graph of order ``n`` and radix ``r``.
+- **Theorem 2**: the h-ASPL lower bound built from the balanced-graph
+  argument (Lemmas 1-2).
+- The classical **Moore bound** on the ASPL of a ``K``-regular ``N``-vertex
+  graph, and Formula (2): the induced h-ASPL lower bound of a *regular*
+  host-switch graph.
+
+All functions are pure and exactly integer where the paper's formulas are
+integer, avoiding floating-point logs for the diameter bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "diameter_lower_bound",
+    "h_aspl_lower_bound",
+    "moore_aspl_lower_bound",
+    "moore_reachable",
+    "regular_h_aspl_lower_bound",
+]
+
+
+def diameter_lower_bound(n: int, r: int) -> int:
+    """Theorem 1: lower bound on the host-to-host diameter.
+
+    Smallest ``D`` with ``(r-1)^(D-1) >= n-1``; computed by integer
+    exponentiation so no floating-point log edge cases arise.
+
+    Parameters
+    ----------
+    n: order (number of hosts), ``n >= 2``.
+    r: radix (ports per switch), ``r >= 3``.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(r, "r")
+    if n < 2:
+        raise ValueError(f"diameter bound needs n >= 2, got {n}")
+    if r < 3:
+        raise ValueError(f"radix must be >= 3, got {r}")
+    reach = 1  # (r-1)^(D-1) for D = 1
+    depth = 1
+    while reach < n - 1:
+        reach *= r - 1
+        depth += 1
+    return depth
+
+
+def moore_reachable(k: int, depth: int) -> int:
+    """Vertices reachable within ``depth`` hops in a ``k``-regular graph.
+
+    The Moore-bound counting argument: ``1 + k * sum_{i=0}^{depth-1}
+    (k-1)^i``.  Returns just the ball size including the centre.
+    """
+    if depth < 0:
+        raise ValueError(f"depth must be >= 0, got {depth}")
+    total = 1
+    frontier = k
+    for _ in range(depth):
+        total += frontier
+        frontier *= k - 1
+    return total
+
+
+def moore_aspl_lower_bound(num_vertices: int, degree: int) -> float:
+    """Moore bound ``M(N, K)`` on the ASPL of a ``K``-regular graph.
+
+    Greedy layer-filling: from any vertex at most ``K (K-1)^(i-1)`` vertices
+    can sit at distance ``i``; placing the remaining vertices as close as
+    possible lower-bounds the ASPL.  Returns ``inf`` when a connected
+    ``K``-regular graph on ``N`` vertices cannot exist by this counting
+    (e.g. ``K <= 1`` with ``N > 2``).
+    """
+    n = num_vertices
+    if n < 1:
+        raise ValueError(f"num_vertices must be >= 1, got {n}")
+    if n == 1:
+        return 0.0
+    if degree < 1:
+        return float("inf")
+    remaining = n - 1
+    layer = degree
+    dist = 1
+    total = 0
+    while remaining > 0:
+        if layer <= 0:
+            return float("inf")
+        fill = min(layer, remaining)
+        total += dist * fill
+        remaining -= fill
+        layer *= degree - 1
+        dist += 1
+    return total / (n - 1)
+
+
+def regular_h_aspl_lower_bound(n: int, m: int, r: int) -> float:
+    """Formula (2): h-ASPL lower bound of a regular host-switch graph.
+
+    A *regular* host-switch graph attaches exactly ``n/m`` hosts to every
+    switch, leaving switch degree ``r - n/m``; Formula (1) then transfers the
+    Moore ASPL bound of the switch graph to the h-ASPL:
+
+    ``A(G) >= M(m, r - n/m) * (mn - n) / (mn - m) + 2``.
+
+    Requires ``m | n``.  Returns ``inf`` when the configuration is
+    infeasible (hosts exceed ports, or the switch graph cannot connect).
+    """
+    check_positive_int(n, "n")
+    check_positive_int(m, "m")
+    check_positive_int(r, "r")
+    if n % m != 0:
+        raise ValueError(f"regular graph needs m | n, got n={n}, m={m}")
+    hosts_per_switch = n // m
+    degree = r - hosts_per_switch
+    if m == 1:
+        return 2.0 if n <= r else float("inf")
+    if degree < 1:
+        return float("inf")
+    base = moore_aspl_lower_bound(m, degree)
+    return base * (m * n - n) / (m * n - m) + 2.0
+
+
+def h_aspl_lower_bound(n: int, r: int) -> float:
+    """Theorem 2: lower bound on the h-ASPL over *all* host-switch graphs.
+
+    With ``D- = diameter_lower_bound(n, r)``:
+
+    - if ``n == (r-1)^(D- - 1) + 1`` the bound is exactly ``D-``;
+    - otherwise ``D- - alpha / (n-1)`` with
+      ``alpha = (r-1)^(D- - 2) - ceil((n - 1 - (r-1)^(D- - 2)) / (r-2))``.
+    """
+    d_minus = diameter_lower_bound(n, r)
+    if n == (r - 1) ** (d_minus - 1) + 1:
+        return float(d_minus)
+    inner = (r - 1) ** (d_minus - 2)
+    alpha = inner - math.ceil((n - 1 - inner) / (r - 2))
+    return d_minus - alpha / (n - 1)

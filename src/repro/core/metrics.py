@@ -1,0 +1,204 @@
+"""Distance metrics on host-switch graphs (paper Section 3.2).
+
+The central quantity is the **host-to-host average shortest path length**
+(h-ASPL).  Because every host has exactly one edge, the distance between two
+hosts attached to switches ``a`` and ``b`` is ``d(a, b) + 2`` where ``d`` is
+the switch-graph distance (and ``d(a, a) = 0`` gives the same-switch host
+distance of 2).  Hence the h-ASPL depends only on the switch-graph distance
+matrix and the per-switch host counts ``k``:
+
+.. math::
+
+    A(G) = \\frac{\\sum_{a<b} k_a k_b (d(a,b)+2) + 2\\sum_a \\binom{k_a}{2}}
+                {\\binom{n}{2}}
+         = \\frac{\\tfrac12 \\sum_{a,b} k_a k_b (d(a,b)+2) - n}{\\binom{n}{2}}.
+
+We compute ``d`` with :func:`scipy.sparse.csgraph.shortest_path` (C-speed
+BFS) restricted to host-bearing switches, and evaluate the double sum with
+vectorised NumPy.  This is the hot path of the annealing search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csgraph
+
+from repro.core.hostswitch import HostSwitchGraph
+
+__all__ = [
+    "switch_distance_matrix",
+    "switch_aspl",
+    "h_aspl",
+    "diameter",
+    "h_aspl_and_diameter",
+    "host_distance_matrix",
+    "single_source_host_distances",
+    "h_aspl_from_distances",
+    "h_aspl_sampled",
+]
+
+
+def switch_distance_matrix(
+    graph: HostSwitchGraph, sources: np.ndarray | None = None
+) -> np.ndarray:
+    """All-pairs (or selected-source) switch-graph distances.
+
+    Parameters
+    ----------
+    graph:
+        The host-switch graph.
+    sources:
+        Optional array of switch indices to use as BFS sources.  When given,
+        the returned matrix has shape ``(len(sources), m)``; otherwise
+        ``(m, m)``.  Unreachable pairs are ``numpy.inf``.
+    """
+    csr = graph.switch_csr()
+    if sources is not None and len(sources) == 0:
+        return np.zeros((0, graph.num_switches))
+    dist = csgraph.shortest_path(
+        csr, method="D", unweighted=True, directed=False, indices=sources
+    )
+    return np.atleast_2d(dist)
+
+
+def switch_aspl(graph: HostSwitchGraph) -> float:
+    """Plain average shortest path length of the switch-switch graph ``G'``.
+
+    Used by Formula (1) of the paper, which relates the h-ASPL of a regular
+    host-switch graph to the ASPL of its underlying switch graph.
+    """
+    m = graph.num_switches
+    if m < 2:
+        return 0.0
+    dist = switch_distance_matrix(graph)
+    if np.isinf(dist).any():
+        return float("inf")
+    return float(dist.sum() / (m * (m - 1)))
+
+
+def _host_weighted_sums(
+    graph: HostSwitchGraph,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Distances restricted to host-bearing switches plus their host counts.
+
+    Returns ``(dist, k, bearing)`` where ``dist`` is the pairwise distance
+    matrix among host-bearing switches, ``k`` their host counts, and
+    ``bearing`` their switch indices.
+    """
+    counts = graph.host_counts()
+    bearing = np.flatnonzero(counts > 0)
+    dist = switch_distance_matrix(graph, sources=bearing)[:, bearing]
+    return dist, counts[bearing].astype(np.float64), bearing
+
+
+def h_aspl(graph: HostSwitchGraph) -> float:
+    """Host-to-host average shortest path length ``A(G)``.
+
+    Returns ``inf`` when some pair of hosts is disconnected.  Raises
+    ``ValueError`` for graphs with fewer than two hosts (the average over
+    zero pairs is undefined).
+    """
+    return h_aspl_and_diameter(graph)[0]
+
+
+def diameter(graph: HostSwitchGraph) -> float:
+    """Host-to-host diameter ``D(G)`` (max over host pairs)."""
+    return h_aspl_and_diameter(graph)[1]
+
+
+def h_aspl_and_diameter(graph: HostSwitchGraph) -> tuple[float, float]:
+    """Compute ``(A(G), D(G))`` with a single APSP pass.
+
+    Cheaper than calling :func:`h_aspl` and :func:`diameter` separately when
+    both are needed (as the annealers and reports do).
+    """
+    n = graph.num_hosts
+    if n < 2:
+        raise ValueError(f"h-ASPL needs at least 2 hosts, graph has {n}")
+    dist, k, _ = _host_weighted_sums(graph)
+    if np.isinf(dist).any():
+        return float("inf"), float("inf")
+    # 0.5 * sum_{a,b} k_a k_b (d+2) counts same-switch "pairs" as k_a^2 at
+    # distance 2; subtracting n corrects them down to 2*C(k_a, 2).
+    weighted = k @ (dist + 2.0) @ k
+    total = 0.5 * weighted - n
+    pairs = n * (n - 1) / 2.0
+    aspl = float(total / pairs)
+
+    # Diameter: off-diagonal host pairs sit at d+2; same-switch pairs at 2.
+    if len(k) == 1:
+        diam = 2.0
+    else:
+        off = dist + 2.0
+        np.fill_diagonal(off, 0.0)
+        diam = float(off.max())
+        if diam < 2.0 and (k >= 2).any():
+            diam = 2.0
+    return aspl, diam
+
+
+def h_aspl_from_distances(dist: np.ndarray, k: np.ndarray, n: int) -> float:
+    """h-ASPL from a precomputed host-bearing distance matrix.
+
+    Exposed so callers that already hold ``dist`` (e.g. incremental search
+    experiments) can recompute the average without another APSP.
+    """
+    if np.isinf(dist).any():
+        return float("inf")
+    k = np.asarray(k, dtype=np.float64)
+    weighted = k @ (dist + 2.0) @ k
+    return float((0.5 * weighted - n) / (n * (n - 1) / 2.0))
+
+
+def h_aspl_sampled(
+    graph: HostSwitchGraph,
+    sources: np.ndarray,
+) -> float:
+    """Estimate the h-ASPL from a subset of source switches.
+
+    ``sources`` must index host-bearing switches.  The estimator averages
+    host distances from the sampled sources' hosts to *all* hosts — an
+    unbiased estimate when sources are drawn with probability proportional
+    to their host counts, and a deterministic, cheap surrogate objective
+    for annealing at large ``n`` (see ``anneal(..., eval_sources=...)``).
+
+    Cost: ``len(sources)`` BFS passes instead of one per host-bearing
+    switch.  Returns ``inf`` if any sampled pair is disconnected.
+    """
+    counts = graph.host_counts().astype(np.float64)
+    sources = np.asarray(sources, dtype=np.int64)
+    if (counts[sources] == 0).any():
+        raise ValueError("sampled sources must carry at least one host")
+    dist = switch_distance_matrix(graph, sources=sources)
+    if np.isinf(dist).any():
+        return float("inf")
+    k_src = counts[sources]
+    # Mean distance from a sampled source host to every *other* host:
+    # sum_b k_b (d(s,b)+2) minus the self term (own distance 0 + 2 counted
+    # once for the host itself).
+    n = graph.num_hosts
+    weighted = (dist + 2.0) @ counts  # per-source sums over all hosts
+    per_source = (weighted - 2.0) / (n - 1)  # exclude the source host itself
+    return float(np.average(per_source, weights=k_src))
+
+
+def host_distance_matrix(graph: HostSwitchGraph) -> np.ndarray:
+    """Full ``n x n`` matrix of host-to-host distances.
+
+    Mostly for analysis and tests; the h-ASPL itself never materialises this
+    matrix.  Diagonal entries are 0.
+    """
+    attachment = graph.host_attachments()
+    sw_dist = switch_distance_matrix(graph)
+    d = sw_dist[np.ix_(attachment, attachment)] + 2.0
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+def single_source_host_distances(graph: HostSwitchGraph, host: int) -> np.ndarray:
+    """Distances from one host to every host (length ``n``, self = 0)."""
+    src_switch = graph.host_attachment(host)
+    sw_dist = switch_distance_matrix(graph, sources=np.asarray([src_switch]))[0]
+    d = sw_dist[graph.host_attachments()] + 2.0
+    d[host] = 0.0
+    return d

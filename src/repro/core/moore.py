@@ -1,0 +1,128 @@
+"""The continuous Moore bound and the optimal switch count (Section 5.3).
+
+Formula (2) only applies when ``n/m`` is an integer, so it is defined at
+scattered values of ``m``.  The paper extends the Moore bound so the switch
+degree may be *rational* — the **continuous Moore bound** — which yields a
+smooth function of ``m`` whose minimiser predicts ``m_opt``, the number of
+switches at which the annealed h-ASPL bottoms out (the dotted line of
+Fig. 5 and the x-axis location checked in Fig. 7).
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "continuous_moore_aspl",
+    "continuous_moore_bound",
+    "optimal_switch_count",
+    "moore_bound_series",
+]
+
+# When the per-layer growth factor (K-1) is below 1, the reachable set
+# converges geometrically; beyond this many layers the tail is negligible
+# and the configuration is treated as unreachable (bound = inf).
+_MAX_LAYERS = 10_000
+
+
+def continuous_moore_aspl(num_vertices: int, degree: float) -> float:
+    """Moore ASPL bound ``M(N, K)`` allowing a real-valued degree ``K``.
+
+    The layer sizes ``K (K-1)^(i-1)`` are evaluated with real arithmetic;
+    layer filling is otherwise identical to the integer Moore bound.  For
+    ``K < 2`` the total reachable mass is the geometric sum ``K / (2 - K)``;
+    if that cannot cover ``N - 1`` vertices the bound is ``inf``.
+    """
+    n = num_vertices
+    if n < 1:
+        raise ValueError(f"num_vertices must be >= 1, got {n}")
+    if n == 1:
+        return 0.0
+    if degree <= 0.0:
+        return float("inf")
+    if degree < 2.0:
+        # Geometric tail: total coverage K / (2 - K).
+        if degree / (2.0 - degree) < n - 1:
+            return float("inf")
+    remaining = float(n - 1)
+    layer = float(degree)
+    dist = 1
+    total = 0.0
+    while remaining > 1e-12:
+        if dist > _MAX_LAYERS:
+            return float("inf")
+        fill = min(layer, remaining)
+        total += dist * fill
+        remaining -= fill
+        layer *= degree - 1.0
+        dist += 1
+    return total / (n - 1)
+
+
+def continuous_moore_bound(n: int, m: int, r: int) -> float:
+    """Continuous Moore bound on the h-ASPL for given ``(n, m, r)``.
+
+    Identical in shape to Formula (2) but with switch degree ``r - n/m``
+    taken as a real number, so it is defined for every integer ``m``:
+
+    ``A(G) >= M_cont(m, r - n/m) * (mn - n) / (mn - m) + 2``.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(m, "m")
+    check_positive_int(r, "r")
+    if m == 1:
+        return 2.0 if n <= r else float("inf")
+    degree = r - n / m
+    base = continuous_moore_aspl(m, degree)
+    if base == float("inf"):
+        return float("inf")
+    return base * (m * n - n) / (m * n - m) + 2.0
+
+
+def optimal_switch_count(
+    n: int, r: int, m_max: int | None = None
+) -> tuple[int, float]:
+    """Predict ``m_opt``: the ``m`` minimising the continuous Moore bound.
+
+    This is the paper's design rule (Section 5.3): run the randomized search
+    only at this switch count.  Ties resolve to the smallest ``m`` (fewer
+    switches at equal predicted latency).
+
+    Returns
+    -------
+    (m_opt, bound_at_m_opt)
+    """
+    check_positive_int(n, "n")
+    check_positive_int(r, "r")
+    if m_max is None:
+        # Beyond m = n the regular bound only grows (each extra switch adds
+        # distance without adding ports where hosts live).
+        m_max = max(n, 2)
+    best_m, best_val = 0, float("inf")
+    for m in range(1, m_max + 1):
+        val = continuous_moore_bound(n, m, r)
+        if val < best_val:
+            best_m, best_val = m, val
+    if best_m == 0:
+        raise ValueError(
+            f"no feasible switch count for n={n}, r={r} up to m_max={m_max}"
+        )
+    return best_m, best_val
+
+
+def moore_bound_series(
+    n: int, r: int, m_values: list[int] | range
+) -> list[tuple[int, float, float | None]]:
+    """Series data for Fig. 7: continuous vs discrete Moore bound over ``m``.
+
+    Returns tuples ``(m, continuous_bound, discrete_bound_or_None)`` where
+    the discrete Formula-(2) value is present only when ``m | n``.
+    """
+    from repro.core.bounds import regular_h_aspl_lower_bound
+
+    out: list[tuple[int, float, float | None]] = []
+    for m in m_values:
+        cont = continuous_moore_bound(n, m, r)
+        disc = regular_h_aspl_lower_bound(n, m, r) if n % m == 0 else None
+        out.append((m, cont, disc))
+    return out

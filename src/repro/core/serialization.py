@@ -1,0 +1,90 @@
+"""Plain-text save/load of host-switch graphs.
+
+Format (line-oriented, ``#`` comments allowed):
+
+.. code-block:: text
+
+    HSG v1
+    n 16 m 4 r 6
+    switch-edges 5
+    0 1
+    0 2
+    ...
+    hosts 0 0 0 1 1 2 ...
+
+The ``hosts`` line lists the attachment switch of hosts ``0..n-1`` in order,
+so a round trip preserves host identities (and hence any rank mapping built
+on them).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.hostswitch import HostSwitchGraph
+
+__all__ = ["graph_to_text", "graph_from_text", "save_graph", "load_graph"]
+
+_MAGIC = "HSG v1"
+
+
+def graph_to_text(graph: HostSwitchGraph) -> str:
+    """Serialise ``graph`` to the HSG v1 text format."""
+    lines = [
+        _MAGIC,
+        f"n {graph.num_hosts} m {graph.num_switches} r {graph.radix}",
+        f"switch-edges {graph.num_switch_edges}",
+    ]
+    for a, b in sorted(graph.switch_edges()):
+        lines.append(f"{a} {b}")
+    attachments = " ".join(str(s) for s in graph.host_attachments())
+    lines.append(f"hosts {attachments}".rstrip())
+    return "\n".join(lines) + "\n"
+
+
+def graph_from_text(text: str) -> HostSwitchGraph:
+    """Parse the HSG v1 text format back into a graph (validated)."""
+    lines = [
+        ln.strip()
+        for ln in text.splitlines()
+        if ln.strip() and not ln.lstrip().startswith("#")
+    ]
+    if not lines or lines[0] != _MAGIC:
+        raise ValueError(f"not an HSG v1 document (first line {lines[:1]!r})")
+    header = lines[1].split()
+    if header[0::2] != ["n", "m", "r"]:
+        raise ValueError(f"malformed header line: {lines[1]!r}")
+    n, m, r = (int(v) for v in header[1::2])
+    count_line = lines[2].split()
+    if count_line[0] != "switch-edges":
+        raise ValueError(f"expected 'switch-edges', got {lines[2]!r}")
+    num_edges = int(count_line[1])
+    edge_lines = lines[3 : 3 + num_edges]
+    if len(edge_lines) != num_edges:
+        raise ValueError(f"expected {num_edges} edge lines, found {len(edge_lines)}")
+    graph = HostSwitchGraph(num_switches=m, radix=r)
+    for ln in edge_lines:
+        fields = ln.split()
+        if len(fields) != 2 or not all(f.lstrip("-").isdigit() for f in fields):
+            raise ValueError(f"malformed edge line: {ln!r}")
+        graph.add_switch_edge(int(fields[0]), int(fields[1]))
+    hosts_line = lines[3 + num_edges].split()
+    if hosts_line[0] != "hosts":
+        raise ValueError(f"expected 'hosts' line, got {lines[3 + num_edges]!r}")
+    attachments = [int(v) for v in hosts_line[1:]]
+    if len(attachments) != n:
+        raise ValueError(f"header says n={n} but hosts line has {len(attachments)}")
+    for s in attachments:
+        graph.attach_host(s)
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: HostSwitchGraph, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` in HSG v1 format."""
+    Path(path).write_text(graph_to_text(graph))
+
+
+def load_graph(path: str | Path) -> HostSwitchGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    return graph_from_text(Path(path).read_text())

@@ -1,0 +1,30 @@
+"""Physical layout, cabling, power and cost models (paper Section 6.2.3).
+
+The paper places all cabinets (60 cm x 210 cm including aisle space) on a
+2-D grid, computes cable lengths, uses optical cables above 100 cm and
+electrical below, and applies Mellanox InfiniBand FDR10 power/cost models.
+This package reproduces that pipeline with parameterised models (the exact
+2017 price sheets are unavailable offline; defaults follow the same
+functional shapes — see DESIGN.md, substitution 4).
+"""
+
+from repro.layout.floorplan import Floorplan
+from repro.layout.cables import Cable, CableKind, enumerate_cables
+from repro.layout.power import PowerBreakdown, PowerModel, network_power
+from repro.layout.cost import CostBreakdown, CostModel, network_cost
+from repro.layout.optimize import optimize_placement, placement_cable_cost
+
+__all__ = [
+    "Floorplan",
+    "Cable",
+    "CableKind",
+    "enumerate_cables",
+    "PowerModel",
+    "PowerBreakdown",
+    "network_power",
+    "CostModel",
+    "CostBreakdown",
+    "network_cost",
+    "optimize_placement",
+    "placement_cable_cost",
+]

@@ -1,0 +1,57 @@
+"""Cable enumeration and electrical/optical classification.
+
+The paper's rule (Section 6.2.3): a cable longer than 100 cm is optical,
+otherwise electrical.  Optical cables cost more (active optics) and draw
+transceiver power; electrical cables are passive copper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.layout.floorplan import Floorplan
+
+__all__ = ["CableKind", "Cable", "classify_cable", "enumerate_cables"]
+
+OPTICAL_THRESHOLD_M = 1.0  # 100 cm (paper Section 6.2.3)
+
+
+class CableKind(enum.Enum):
+    """Physical cable technology."""
+
+    ELECTRICAL = "electrical"
+    OPTICAL = "optical"
+
+
+@dataclass(frozen=True)
+class Cable:
+    """One physical cable in the floorplan.
+
+    ``endpoint`` records what it connects: ``("ss", a, b)`` for a
+    switch-switch link or ``("hs", host, switch)`` for a host uplink.
+    """
+
+    endpoint: tuple
+    length_m: float
+    kind: CableKind
+
+
+def classify_cable(length_m: float) -> CableKind:
+    """Electrical up to 100 cm, optical beyond (paper rule)."""
+    return CableKind.ELECTRICAL if length_m <= OPTICAL_THRESHOLD_M else CableKind.OPTICAL
+
+
+def enumerate_cables(graph: HostSwitchGraph, plan: Floorplan) -> list[Cable]:
+    """Every cable of the network with its routed length and kind."""
+    cables: list[Cable] = []
+    for a, b in graph.switch_edges():
+        length = plan.switch_cable_length_m(a, b)
+        cables.append(Cable(("ss", a, b), length, classify_cable(length)))
+    for h in range(graph.num_hosts):
+        length = plan.host_cable_length_m(h)
+        cables.append(
+            Cable(("hs", h, graph.host_attachment(h)), length, classify_cable(length))
+        )
+    return cables

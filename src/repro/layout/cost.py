@@ -1,0 +1,89 @@
+"""Network cost model (paper Section 6.2.3 / Fig. 9d, 10d, 11d).
+
+The paper reports a *cost breakdown* into switch cost and cable cost.
+Defaults follow the functional shapes of the Besta & Hoefler (SC'14)
+Mellanox FDR10 fits the paper cites as reference [2]:
+
+- switch cost affine in radix (you pay per port on top of a chassis);
+- electrical (copper) cable cost affine in length with a small intercept;
+- optical (active) cable cost affine in length with a large intercept
+  (the transceivers) and a shallower slope.
+
+The crossover structure — copper cheap when short, optics unavoidable when
+long — is what drives the paper's cable-cost observations; absolute dollars
+are parameterised (DESIGN.md substitution 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.layout.cables import Cable, CableKind, enumerate_cables
+from repro.layout.floorplan import Floorplan
+
+__all__ = ["CostModel", "CostBreakdown", "network_cost"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-component cost constants (US dollars)."""
+
+    switch_chassis_usd: float = 2200.0
+    switch_port_usd: float = 260.0
+    electrical_base_usd: float = 23.0
+    electrical_per_m_usd: float = 16.3
+    optical_base_usd: float = 291.0
+    optical_per_m_usd: float = 3.7
+
+    def switch_cost(self, radix: int) -> float:
+        """Cost of one switch with ``radix`` ports (you buy the full radix)."""
+        return self.switch_chassis_usd + self.switch_port_usd * radix
+
+    def cable_cost(self, cable: Cable) -> float:
+        """Cost of one cable given its kind and routed length."""
+        if cable.kind is CableKind.OPTICAL:
+            return self.optical_base_usd + self.optical_per_m_usd * cable.length_m
+        return self.electrical_base_usd + self.electrical_per_m_usd * cable.length_m
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Cost totals in dollars, split as the paper's stacked bars."""
+
+    switches_usd: float
+    electrical_cables_usd: float
+    optical_cables_usd: float
+
+    @property
+    def cables_usd(self) -> float:
+        return self.electrical_cables_usd + self.optical_cables_usd
+
+    @property
+    def total_usd(self) -> float:
+        return self.switches_usd + self.cables_usd
+
+
+def network_cost(
+    graph: HostSwitchGraph,
+    plan: Floorplan | None = None,
+    model: CostModel | None = None,
+) -> CostBreakdown:
+    """Total network cost for a host-switch graph on a floorplan."""
+    if plan is None:
+        plan = Floorplan(graph)
+    if model is None:
+        model = CostModel()
+    switches = graph.num_switches * model.switch_cost(graph.radix)
+    elec = 0.0
+    opt = 0.0
+    for cable in enumerate_cables(graph, plan):
+        if cable.kind is CableKind.OPTICAL:
+            opt += model.cable_cost(cable)
+        else:
+            elec += model.cable_cost(cable)
+    return CostBreakdown(
+        switches_usd=switches,
+        electrical_cables_usd=elec,
+        optical_cables_usd=opt,
+    )

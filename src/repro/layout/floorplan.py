@@ -1,0 +1,135 @@
+"""Cabinet floorplan: switches on a 2-D grid of cabinets.
+
+Each cabinet holds ``switches_per_cabinet`` switches together with their
+attached hosts.  Cabinets are 0.6 m wide and 2.1 m deep (including aisle
+space), laid out on a near-square grid — the paper's assumption.  Cable
+lengths between cabinets are Manhattan distances between cabinet centres
+plus a fixed intra-cabinet routing overhead at each end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.hostswitch import HostSwitchGraph
+
+__all__ = ["Floorplan"]
+
+CABINET_WIDTH_M = 0.6
+CABINET_DEPTH_M = 2.1
+
+
+@dataclass
+class Floorplan:
+    """Physical placement of a host-switch graph's switches.
+
+    Parameters
+    ----------
+    graph:
+        The network being laid out.
+    switches_per_cabinet:
+        Switches co-located in one cabinet (their hosts live there too).
+    ordering:
+        ``"index"`` places switch ``i`` into cabinet ``i // per_cab``;
+        ``"dfs"`` first orders switches depth-first over the switch graph so
+        topologically adjacent switches land in nearby cabinets, shortening
+        cables (useful for irregular topologies).
+    intra_cabinet_m:
+        Cable length charged inside a cabinet (per end for inter-cabinet
+        cables; total for same-cabinet cables).
+    """
+
+    graph: HostSwitchGraph
+    switches_per_cabinet: int = 1
+    ordering: str = "index"
+    intra_cabinet_m: float = 0.5
+    assignment: list[int] | None = None
+    cabinet_of: list[int] = field(init=False)
+    positions: list[tuple[float, float]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.switches_per_cabinet < 1:
+            raise ValueError("switches_per_cabinet must be >= 1")
+        if self.ordering not in ("index", "dfs"):
+            raise ValueError(f"unknown ordering {self.ordering!r}")
+        per = self.switches_per_cabinet
+        m = self.graph.num_switches
+        if self.assignment is not None:
+            # Explicit switch -> cabinet map (e.g. from the optimizer);
+            # must respect cabinet capacity.
+            if len(self.assignment) != m:
+                raise ValueError("assignment must give a cabinet per switch")
+            occupancy: dict[int, int] = {}
+            for cab in self.assignment:
+                occupancy[cab] = occupancy.get(cab, 0) + 1
+                if occupancy[cab] > per:
+                    raise ValueError(
+                        f"cabinet {cab} over capacity ({occupancy[cab]} > {per})"
+                    )
+            self.cabinet_of = list(self.assignment)
+            num_cabinets = max(self.cabinet_of) + 1
+        else:
+            order = self._switch_order()
+            self.cabinet_of = [0] * m
+            for rank, s in enumerate(order):
+                self.cabinet_of[s] = rank // per
+            num_cabinets = (m + per - 1) // per
+        cols = max(1, math.ceil(math.sqrt(num_cabinets * CABINET_DEPTH_M / CABINET_WIDTH_M)))
+        self.positions = []
+        for c in range(num_cabinets):
+            row, col = divmod(c, cols)
+            x = col * CABINET_WIDTH_M + CABINET_WIDTH_M / 2
+            y = row * CABINET_DEPTH_M + CABINET_DEPTH_M / 2
+            self.positions.append((x, y))
+
+    def _switch_order(self) -> list[int]:
+        if self.ordering == "index":
+            return list(range(self.graph.num_switches))
+        # DFS over the switch graph (restarting per component).
+        m = self.graph.num_switches
+        seen = [False] * m
+        order: list[int] = []
+        for root in range(m):
+            if seen[root]:
+                continue
+            stack = [root]
+            while stack:
+                s = stack.pop()
+                if seen[s]:
+                    continue
+                seen[s] = True
+                order.append(s)
+                for b in sorted(self.graph.neighbors(s), reverse=True):
+                    if not seen[b]:
+                        stack.append(b)
+        return order
+
+    @property
+    def num_cabinets(self) -> int:
+        """Total cabinets on the floor."""
+        return len(self.positions)
+
+    def cabinet_distance_m(self, ca: int, cb: int) -> float:
+        """Manhattan distance between two cabinet centres."""
+        (xa, ya), (xb, yb) = self.positions[ca], self.positions[cb]
+        return abs(xa - xb) + abs(ya - yb)
+
+    def switch_cable_length_m(self, a: int, b: int) -> float:
+        """Physical length of a cable between switches ``a`` and ``b``."""
+        ca, cb = self.cabinet_of[a], self.cabinet_of[b]
+        if ca == cb:
+            return self.intra_cabinet_m
+        return self.cabinet_distance_m(ca, cb) + 2 * self.intra_cabinet_m
+
+    def host_cable_length_m(self, host: int) -> float:
+        """Length of a host's cable to its switch (same cabinet)."""
+        return self.intra_cabinet_m
+
+    def total_cable_length_m(self) -> float:
+        """Sum of all switch-switch and host-switch cable lengths."""
+        total = sum(
+            self.switch_cable_length_m(a, b) for a, b in self.graph.switch_edges()
+        )
+        total += self.graph.num_hosts * self.intra_cabinet_m
+        return total

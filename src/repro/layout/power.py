@@ -1,0 +1,75 @@
+"""Network power model (paper Section 6.2.3 / Fig. 9c, 10c, 11c).
+
+Shape follows the Mellanox InfiniBand FDR10 generation the paper used: a
+switch draws chassis power plus per-active-port power; optical cables add
+transceiver power at both ends; passive copper draws none.  The constants
+are parameterised defaults (see DESIGN.md substitution 4) chosen to match
+published FDR-era figures (a fully-populated 36-port switch ~ 130 W,
+active optical cable ~ 1 W per end).
+
+Host (server) power is excluded, as in the paper — the comparison is
+between networks, and host counts are equal across them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.layout.cables import CableKind, enumerate_cables
+from repro.layout.floorplan import Floorplan
+
+__all__ = ["PowerModel", "PowerBreakdown", "network_power"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-component power constants (watts)."""
+
+    switch_chassis_w: float = 58.0
+    switch_port_w: float = 2.0
+    optical_cable_w: float = 2.0  # both transceivers of one active cable
+    electrical_cable_w: float = 0.0
+
+    def switch_power(self, used_ports: int) -> float:
+        """Power of one switch with ``used_ports`` active ports."""
+        return self.switch_chassis_w + self.switch_port_w * used_ports
+
+    def cable_power(self, kind: CableKind) -> float:
+        """Power of one cable of the given kind."""
+        if kind is CableKind.OPTICAL:
+            return self.optical_cable_w
+        return self.electrical_cable_w
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Power totals in watts."""
+
+    switches_w: float
+    cables_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.switches_w + self.cables_w
+
+
+def network_power(
+    graph: HostSwitchGraph,
+    plan: Floorplan | None = None,
+    model: PowerModel | None = None,
+) -> PowerBreakdown:
+    """Total network power for a host-switch graph on a floorplan.
+
+    ``plan`` defaults to a fresh one-switch-per-cabinet floorplan; ``model``
+    to :class:`PowerModel` defaults.
+    """
+    if plan is None:
+        plan = Floorplan(graph)
+    if model is None:
+        model = PowerModel()
+    switches = sum(
+        model.switch_power(graph.ports_used(s)) for s in range(graph.num_switches)
+    )
+    cables = sum(model.cable_power(c.kind) for c in enumerate_cables(graph, plan))
+    return PowerBreakdown(switches_w=switches, cables_w=cables)

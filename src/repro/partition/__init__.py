@@ -1,0 +1,30 @@
+"""Multilevel graph partitioner — the library's METIS substitute.
+
+The paper evaluates "bandwidth" by partitioning the vertex set
+``V = H ∪ S`` of each host-switch graph into ``P = 2..16`` equal subsets
+and reporting the number of cut edges ``c`` (Section 6.2.2); ``P = 2``
+gives the bisection bandwidth.  METIS does this with a multilevel scheme —
+the same family implemented here:
+
+1. **Coarsening** — heavy-edge matching (HEM) contracts the graph level by
+   level (:mod:`repro.partition.coarsen`).
+2. **Initial partitioning** — greedy graph growing on the coarsest graph,
+   best of several random seeds (:mod:`repro.partition.bisect`).
+3. **Uncoarsening + refinement** — Fiduccia–Mattheyses passes at every
+   level (:mod:`repro.partition.refine`).
+4. **k-way** — recursive bisection with proportional target weights
+   (:mod:`repro.partition.kway`).
+"""
+
+from repro.partition.graph import WeightedGraph
+from repro.partition.kway import bisect_graph, partition_graph, partition_host_switch
+from repro.partition.metrics import cut_size, partition_balance
+
+__all__ = [
+    "WeightedGraph",
+    "bisect_graph",
+    "partition_graph",
+    "partition_host_switch",
+    "cut_size",
+    "partition_balance",
+]

@@ -1,0 +1,82 @@
+"""Weighted undirected graph used by the partitioner.
+
+A deliberately small adjacency-list structure: the partitioner's graphs
+(host-switch graphs with ~2k vertices, and their coarsened versions) never
+need sparse-matrix machinery, and plain lists keep the FM inner loop simple.
+"""
+
+from __future__ import annotations
+
+from repro.core.hostswitch import HostSwitchGraph
+
+__all__ = ["WeightedGraph"]
+
+
+class WeightedGraph:
+    """Undirected graph with integer vertex and edge weights.
+
+    ``adj[v]`` is a list of ``(neighbor, edge_weight)`` pairs; each edge is
+    stored in both endpoint lists.  Parallel edges are merged at build time.
+    """
+
+    __slots__ = ("adj", "vwgt")
+
+    def __init__(self, num_vertices: int) -> None:
+        self.adj: list[list[tuple[int, int]]] = [[] for _ in range(num_vertices)]
+        self.vwgt: list[int] = [1] * num_vertices
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.adj)
+
+    @property
+    def total_weight(self) -> int:
+        return sum(self.vwgt)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(a) for a in self.adj) // 2
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: list[tuple[int, int]] | list[tuple[int, int, int]],
+        vertex_weights: list[int] | None = None,
+    ) -> "WeightedGraph":
+        """Build from an edge list; 2-tuples get weight 1, parallel edges merge."""
+        g = cls(num_vertices)
+        merged: dict[tuple[int, int], int] = {}
+        for e in edges:
+            a, b = e[0], e[1]
+            w = e[2] if len(e) == 3 else 1
+            if a == b:
+                raise ValueError(f"self loop at {a} not supported")
+            key = (a, b) if a < b else (b, a)
+            merged[key] = merged.get(key, 0) + w
+        for (a, b), w in merged.items():
+            g.adj[a].append((b, w))
+            g.adj[b].append((a, w))
+        if vertex_weights is not None:
+            if len(vertex_weights) != num_vertices:
+                raise ValueError("vertex_weights length mismatch")
+            g.vwgt = list(vertex_weights)
+        return g
+
+    @classmethod
+    def from_host_switch(cls, hsg: HostSwitchGraph) -> "WeightedGraph":
+        """The paper's partitioning instance: vertices are ``H ∪ S``.
+
+        Switch ``s`` maps to vertex ``s``; host ``h`` to vertex ``m + h``.
+        All vertices and edges have unit weight, matching Section 6.2.2
+        ("partition the vertices in V = H ∪ S ... equally").
+        """
+        m = hsg.num_switches
+        edges: list[tuple[int, int]] = list(hsg.switch_edges())
+        for h in range(hsg.num_hosts):
+            edges.append((hsg.host_attachment(h), m + h))
+        return cls.from_edges(m + hsg.num_hosts, edges)
+
+    def degree_weight(self, v: int) -> int:
+        """Total incident edge weight at ``v``."""
+        return sum(w for _, w in self.adj[v])

@@ -1,0 +1,143 @@
+"""Multilevel bisection and k-way partitioning by recursive bisection.
+
+``bisect_graph`` runs the full multilevel V-cycle (coarsen → initial
+bisection → uncoarsen with FM at every level).  ``partition_graph``
+recursively bisects with proportional target weights so any ``nparts``
+(not just powers of two) is balanced.  ``partition_host_switch`` is the
+paper-facing entry point used by the bandwidth benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.partition.bisect import initial_bisection
+from repro.partition.coarsen import coarsen_to
+from repro.partition.graph import WeightedGraph
+from repro.partition.metrics import cut_size
+from repro.partition.refine import fm_refine
+from repro.utils.rng import as_generator
+
+__all__ = ["bisect_graph", "partition_graph", "partition_host_switch"]
+
+_COARSEST_SIZE = 64
+
+
+def bisect_graph(
+    graph: WeightedGraph,
+    target0: float | None = None,
+    seed: int | np.random.Generator | None = None,
+    eps: float = 0.05,
+) -> list[int]:
+    """Multilevel 2-way partition; returns 0/1 labels.
+
+    ``target0`` is the desired vertex weight of side 0 (default: half).
+    """
+    rng = as_generator(seed)
+    if target0 is None:
+        target0 = graph.total_weight / 2.0
+    if graph.num_vertices <= 1:
+        return [0] * graph.num_vertices
+
+    levels, mappings = coarsen_to(graph, _COARSEST_SIZE, seed=rng)
+    parts = initial_bisection(levels[-1], target0, seed=rng, eps=eps)
+    fm_refine(levels[-1], parts, target0, eps=eps)
+    # Project back level by level, refining at each resolution.
+    for level in range(len(mappings) - 1, -1, -1):
+        mapping = mappings[level]
+        fine = levels[level]
+        fine_parts = [parts[mapping[v]] for v in range(fine.num_vertices)]
+        fm_refine(fine, fine_parts, target0, eps=eps)
+        parts = fine_parts
+    return parts
+
+
+def partition_graph(
+    graph: WeightedGraph,
+    nparts: int,
+    seed: int | np.random.Generator | None = None,
+    eps: float = 0.05,
+) -> list[int]:
+    """Partition into ``nparts`` parts by recursive multilevel bisection."""
+    if nparts < 1:
+        raise ValueError(f"nparts must be >= 1, got {nparts}")
+    rng = as_generator(seed)
+    parts = [0] * graph.num_vertices
+    _recurse(graph, list(range(graph.num_vertices)), nparts, 0, parts, rng, eps)
+    return parts
+
+
+def _recurse(
+    graph: WeightedGraph,
+    vertices: list[int],
+    nparts: int,
+    label_base: int,
+    out: list[int],
+    rng: np.random.Generator,
+    eps: float,
+) -> None:
+    """Assign labels ``label_base .. label_base+nparts-1`` to ``vertices``."""
+    if nparts == 1:
+        for v in vertices:
+            out[v] = label_base
+        return
+    left = (nparts + 1) // 2
+    right = nparts - left
+
+    sub, to_parent = _subgraph(graph, vertices)
+    target0 = sub.total_weight * (left / nparts)
+    labels = bisect_graph(sub, target0, seed=rng, eps=eps)
+
+    side0 = [to_parent[i] for i, p in enumerate(labels) if p == 0]
+    side1 = [to_parent[i] for i, p in enumerate(labels) if p == 1]
+    _recurse(graph, side0, left, label_base, out, rng, eps)
+    _recurse(graph, side1, right, label_base + left, out, rng, eps)
+
+
+def _subgraph(
+    graph: WeightedGraph, vertices: list[int]
+) -> tuple[WeightedGraph, list[int]]:
+    """Induced subgraph plus the local-index → parent-index map."""
+    index = {v: i for i, v in enumerate(vertices)}
+    sub = WeightedGraph(len(vertices))
+    sub.vwgt = [graph.vwgt[v] for v in vertices]
+    for v in vertices:
+        i = index[v]
+        for u, w in graph.adj[v]:
+            j = index.get(u)
+            if j is not None and j > i:
+                sub.adj[i].append((j, w))
+                sub.adj[j].append((i, w))
+    return sub, vertices
+
+
+def partition_host_switch(
+    hsg: HostSwitchGraph,
+    nparts: int,
+    seed: int | np.random.Generator | None = None,
+    trials: int = 3,
+) -> tuple[list[int], int]:
+    """Partition ``V = H ∪ S`` of a host-switch graph into ``nparts`` parts.
+
+    The paper's bandwidth experiment (Section 6.2.2).  Runs ``trials``
+    independent partitionings and keeps the smallest cut, mirroring common
+    METIS practice of taking the best of several seeds.
+
+    Returns
+    -------
+    (parts, cut)
+        ``parts`` labels vertices in the :meth:`WeightedGraph.from_host_switch`
+        ordering (switches first, then hosts); ``cut`` is the edge cut ``c``.
+    """
+    rng = as_generator(seed)
+    graph = WeightedGraph.from_host_switch(hsg)
+    best_parts: list[int] | None = None
+    best_cut: int | None = None
+    for _ in range(max(1, trials)):
+        parts = partition_graph(graph, nparts, seed=rng)
+        cut = cut_size(graph, parts)
+        if best_cut is None or cut < best_cut:
+            best_parts, best_cut = parts, cut
+    assert best_parts is not None and best_cut is not None
+    return best_parts, best_cut

@@ -1,0 +1,165 @@
+"""Max-flow / min-cut on host-switch graphs (Dinic's algorithm).
+
+The paper justifies the partition-cut "bandwidth" metric through the
+max-flow min-cut theorem ([33]): the minimum cut bounds the maximum flow a
+network can carry between two sides.  This module makes that connection
+executable: exact min cuts between host sets certify the partitioner's
+cuts from below, and pairwise host max-flow measures path redundancy.
+
+Dinic's algorithm (BFS level graph + blocking DFS flows) runs in
+O(V^2 E) — far better in practice on unit-capacity graphs — and handles
+the library's graph sizes (a few thousand vertices) instantly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.core.hostswitch import HostSwitchGraph
+
+__all__ = ["Dinic", "host_max_flow", "min_cut_between_host_sets"]
+
+
+class Dinic:
+    """Max-flow solver over an explicit directed residual graph.
+
+    Vertices are integers ``0..num_vertices-1``; use :meth:`add_edge` with
+    ``bidirectional=True`` for undirected unit-capacity network links.
+    """
+
+    def __init__(self, num_vertices: int) -> None:
+        if num_vertices < 1:
+            raise ValueError("num_vertices must be >= 1")
+        self.n = num_vertices
+        # Edge arrays: to[i], cap[i]; edge i^1 is i's residual twin.
+        self._to: list[int] = []
+        self._cap: list[float] = []
+        self._head: list[list[int]] = [[] for _ in range(num_vertices)]
+
+    def add_edge(self, u: int, v: int, capacity: float, bidirectional: bool = False) -> None:
+        """Add edge ``u -> v``; with ``bidirectional`` the reverse also has
+        ``capacity`` (an undirected link) instead of zero."""
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self._head[u].append(len(self._to))
+        self._to.append(v)
+        self._cap.append(capacity)
+        self._head[v].append(len(self._to))
+        self._to.append(u)
+        self._cap.append(capacity if bidirectional else 0.0)
+
+    def max_flow(self, source: int, sink: int) -> float:
+        """Compute the max flow from ``source`` to ``sink`` (destructive:
+        capacities become residuals; call once per instance)."""
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        flow = 0.0
+        while True:
+            level = self._bfs_levels(source, sink)
+            if level[sink] < 0:
+                return flow
+            it = [0] * self.n
+            while True:
+                pushed = self._dfs(source, sink, float("inf"), level, it)
+                if pushed <= 0:
+                    break
+                flow += pushed
+
+    def min_cut_side(self, source: int) -> set[int]:
+        """After :meth:`max_flow`: vertices still reachable from source in
+        the residual graph (the source side of a minimum cut)."""
+        seen = {source}
+        stack = [source]
+        while stack:
+            u = stack.pop()
+            for eid in self._head[u]:
+                if self._cap[eid] > 1e-12 and self._to[eid] not in seen:
+                    seen.add(self._to[eid])
+                    stack.append(self._to[eid])
+        return seen
+
+    def _bfs_levels(self, source: int, sink: int) -> list[int]:
+        level = [-1] * self.n
+        level[source] = 0
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for eid in self._head[u]:
+                v = self._to[eid]
+                if self._cap[eid] > 1e-12 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level
+
+    def _dfs(self, u: int, sink: int, limit: float, level: list[int], it: list[int]) -> float:
+        if u == sink:
+            return limit
+        while it[u] < len(self._head[u]):
+            eid = self._head[u][it[u]]
+            v = self._to[eid]
+            if self._cap[eid] > 1e-12 and level[v] == level[u] + 1:
+                pushed = self._dfs(v, sink, min(limit, self._cap[eid]), level, it)
+                if pushed > 0:
+                    self._cap[eid] -= pushed
+                    self._cap[eid ^ 1] += pushed
+                    return pushed
+            it[u] += 1
+        level[u] = -1  # dead end; prune
+        return 0.0
+
+
+def _build_unit_network(graph: HostSwitchGraph, extra_vertices: int = 0) -> Dinic:
+    """Unit-capacity Dinic over V = H ∪ S (hosts numbered after switches)."""
+    m = graph.num_switches
+    dinic = Dinic(m + graph.num_hosts + extra_vertices)
+    for a, b in graph.switch_edges():
+        dinic.add_edge(a, b, 1.0, bidirectional=True)
+    for h in range(graph.num_hosts):
+        dinic.add_edge(m + h, graph.host_attachment(h), 1.0, bidirectional=True)
+    return dinic
+
+
+def host_max_flow(graph: HostSwitchGraph, host_a: int, host_b: int) -> float:
+    """Max flow between two hosts with unit link capacities.
+
+    Since each host has exactly one port this is at most 1 — it certifies
+    connectivity; the interesting redundancy lives between the *switches*,
+    so callers usually want :func:`min_cut_between_host_sets` instead.
+    """
+    if host_a == host_b:
+        raise ValueError("hosts must differ")
+    m = graph.num_switches
+    dinic = _build_unit_network(graph)
+    return dinic.max_flow(m + host_a, m + host_b)
+
+
+def min_cut_between_host_sets(
+    graph: HostSwitchGraph, side_a: Iterable[int], side_b: Iterable[int]
+) -> int:
+    """Exact minimum edge cut separating two disjoint host sets.
+
+    Builds a super-source wired to every host in ``side_a`` and a
+    super-sink wired from every host in ``side_b`` (infinite capacities),
+    then runs Dinic on the unit-capacity network.  By max-flow min-cut
+    this equals the smallest number of links whose removal disconnects the
+    two host groups — a certified lower bound on any partition cut that
+    separates them.
+    """
+    a = list(side_a)
+    b = list(side_b)
+    if not a or not b:
+        raise ValueError("both host sets must be non-empty")
+    if set(a) & set(b):
+        raise ValueError("host sets must be disjoint")
+    m = graph.num_switches
+    dinic = _build_unit_network(graph, extra_vertices=2)
+    source = m + graph.num_hosts
+    sink = source + 1
+    big = float(graph.num_edges + 1)
+    for h in a:
+        dinic.add_edge(source, m + h, big)
+    for h in b:
+        dinic.add_edge(m + h, sink, big)
+    flow = dinic.max_flow(source, sink)
+    return int(round(flow))

@@ -1,0 +1,39 @@
+"""Partition quality metrics: edge cut and balance."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.partition.graph import WeightedGraph
+
+__all__ = ["cut_size", "partition_balance", "part_weights"]
+
+
+def cut_size(graph: WeightedGraph, parts: Sequence[int]) -> int:
+    """Total weight of edges whose endpoints lie in different parts.
+
+    This is the paper's "bandwidth" metric ``c`` (bisection bandwidth when
+    there are two parts).
+    """
+    cut = 0
+    for v in range(graph.num_vertices):
+        pv = parts[v]
+        for u, w in graph.adj[v]:
+            if u > v and parts[u] != pv:
+                cut += w
+    return cut
+
+
+def part_weights(graph: WeightedGraph, parts: Sequence[int], nparts: int) -> list[int]:
+    """Vertex-weight totals per part."""
+    weights = [0] * nparts
+    for v in range(graph.num_vertices):
+        weights[parts[v]] += graph.vwgt[v]
+    return weights
+
+
+def partition_balance(graph: WeightedGraph, parts: Sequence[int], nparts: int) -> float:
+    """Max part weight over the ideal equal share (1.0 = perfectly balanced)."""
+    weights = part_weights(graph, parts, nparts)
+    ideal = graph.total_weight / nparts
+    return max(weights) / ideal if ideal > 0 else 1.0

@@ -1,0 +1,175 @@
+"""Fiduccia–Mattheyses refinement for 2-way partitions.
+
+Classic FM with lazy-invalidated heaps, extended with an explicit
+*rebalance phase*: when the incoming assignment violates the balance bound
+(which happens whenever a coarse-level partition is projected onto a finer
+graph), the heavy side first sheds its highest-gain vertices
+unconditionally.  The subsequent hill-climbing pass then only records
+rollback points at balance-feasible states, so the final assignment is
+always within the bound when one is reachable.
+
+Gains use the standard convention ``gain(v) = external(v) - internal(v)``:
+the cut decreases by exactly ``gain(v)`` when ``v`` switches sides.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import MutableSequence
+
+from repro.partition.graph import WeightedGraph
+from repro.partition.metrics import cut_size
+
+__all__ = ["fm_refine", "compute_gains"]
+
+
+def compute_gains(graph: WeightedGraph, parts: MutableSequence[int]) -> list[int]:
+    """Per-vertex FM gains for the current 2-way assignment."""
+    gains = [0] * graph.num_vertices
+    for v in range(graph.num_vertices):
+        pv = parts[v]
+        g = 0
+        for u, w in graph.adj[v]:
+            g += w if parts[u] != pv else -w
+        gains[v] = g
+    return gains
+
+
+def fm_refine(
+    graph: WeightedGraph,
+    parts: MutableSequence[int],
+    target0: float,
+    *,
+    eps: float = 0.05,
+    max_passes: int = 10,
+) -> int:
+    """Refine ``parts`` (0/1 labels) in place; returns the final cut.
+
+    Parameters
+    ----------
+    graph:
+        Graph being partitioned.
+    parts:
+        Current assignment, modified in place.
+    target0:
+        Desired total vertex weight of side 0 (side 1 gets the rest).
+    eps:
+        Allowed relative overweight per side (plus one max vertex weight,
+        so single heavy vertices can always cross).
+    max_passes:
+        Upper bound on full FM passes.
+    """
+    total = graph.total_weight
+    target1 = total - target0
+    max_vw = max(graph.vwgt) if graph.vwgt else 1
+    hi = [target0 * (1 + eps) + max_vw, target1 * (1 + eps) + max_vw]
+
+    _rebalance(graph, parts, hi)
+    for _ in range(max_passes):
+        improved = _fm_pass(graph, parts, hi)
+        if not improved:
+            break
+    return cut_size(graph, parts)
+
+
+def _side_weights(graph: WeightedGraph, parts: MutableSequence[int]) -> list[float]:
+    side_w = [0.0, 0.0]
+    for v in range(graph.num_vertices):
+        side_w[parts[v]] += graph.vwgt[v]
+    return side_w
+
+
+def _rebalance(
+    graph: WeightedGraph, parts: MutableSequence[int], hi: list[float]
+) -> None:
+    """Move best-gain vertices off the overweight side until feasible.
+
+    Unconditional (no rollback): restoring feasibility dominates cut
+    quality here; the following FM passes recover the cut.
+    """
+    side_w = _side_weights(graph, parts)
+    heavy = 0 if side_w[0] > hi[0] else 1 if side_w[1] > hi[1] else -1
+    if heavy < 0:
+        return
+    gains = compute_gains(graph, parts)
+    stamp = [0] * graph.num_vertices
+    heap: list[tuple[int, int, int]] = []
+    for v in range(graph.num_vertices):
+        if parts[v] == heavy:
+            heapq.heappush(heap, (-gains[v], stamp[v], v))
+    while side_w[heavy] > hi[heavy] and heap:
+        neg_gain, ver, v = heapq.heappop(heap)
+        if parts[v] != heavy or ver != stamp[v] or -neg_gain != gains[v]:
+            continue
+        dst = 1 - heavy
+        parts[v] = dst
+        side_w[heavy] -= graph.vwgt[v]
+        side_w[dst] += graph.vwgt[v]
+        for u, w in graph.adj[v]:
+            gains[u] += 2 * w if parts[u] == heavy else -2 * w
+            if parts[u] == heavy:
+                stamp[u] += 1
+                heapq.heappush(heap, (-gains[u], stamp[u], u))
+
+
+def _fm_pass(
+    graph: WeightedGraph, parts: MutableSequence[int], hi: list[float]
+) -> bool:
+    """One FM pass with rollback; returns whether the cut strictly improved.
+
+    Rollback points are only recorded at balance-feasible states, so a pass
+    never trades feasibility for cut.
+    """
+    n = graph.num_vertices
+    gains = compute_gains(graph, parts)
+    side_w = _side_weights(graph, parts)
+
+    heap: list[tuple[int, int, int]] = []
+    stamp = [0] * n  # lazy-invalidation version per vertex
+    for v in range(n):
+        heapq.heappush(heap, (-gains[v], stamp[v], v))
+    moved = [False] * n
+    sequence: list[int] = []
+    deferred: list[tuple[int, int, int]] = []
+    cum = 0
+    best_cum = 0
+    best_idx = -1  # prefix length - 1 of the best rollback point
+
+    while heap:
+        neg_gain, ver, v = heapq.heappop(heap)
+        if moved[v] or ver != stamp[v] or -neg_gain != gains[v]:
+            continue  # stale entry
+        src = parts[v]
+        dst = 1 - src
+        if side_w[dst] + graph.vwgt[v] > hi[dst]:
+            # Not movable right now; retry after the next applied move.
+            deferred.append((neg_gain, ver, v))
+            continue
+        # Apply the move.
+        moved[v] = True
+        parts[v] = dst
+        side_w[src] -= graph.vwgt[v]
+        side_w[dst] += graph.vwgt[v]
+        cum += gains[v]
+        sequence.append(v)
+        feasible = side_w[0] <= hi[0] and side_w[1] <= hi[1]
+        if feasible and cum > best_cum:
+            best_cum = cum
+            best_idx = len(sequence) - 1
+        # Neighbour gain updates: edge to the vacated side turns external,
+        # edge to the new side turns internal.
+        for u, w in graph.adj[v]:
+            if moved[u]:
+                continue
+            gains[u] += 2 * w if parts[u] == src else -2 * w
+            stamp[u] += 1
+            heapq.heappush(heap, (-gains[u], stamp[u], u))
+        if deferred:
+            for entry in deferred:
+                heapq.heappush(heap, entry)
+            deferred.clear()
+
+    # Roll back every move after the best prefix.
+    for v in sequence[best_idx + 1 :]:
+        parts[v] = 1 - parts[v]
+    return best_cum > 0

@@ -1,0 +1,12 @@
+"""Topology-agnostic shortest-path routing over host-switch graphs.
+
+Provides precomputed next-hop tables (deterministic lowest-id tie-breaking
+or randomized ECMP) and full host-to-host path extraction.  Used by the
+flow-level simulator to turn messages into link sequences.
+"""
+
+from repro.routing.tables import RoutingTables
+from repro.routing.paths import host_path, switch_path
+from repro.routing.valiant import valiant_switch_route
+
+__all__ = ["RoutingTables", "host_path", "switch_path", "valiant_switch_route"]

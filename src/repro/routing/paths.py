@@ -1,0 +1,35 @@
+"""Host-to-host path extraction on top of routing tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.tables import RoutingTables
+
+__all__ = ["switch_path", "host_path"]
+
+
+def switch_path(
+    tables: RoutingTables, u: int, v: int, rng: np.random.Generator | int | None = None
+) -> list[int]:
+    """Switch sequence from switch ``u`` to switch ``v`` (inclusive)."""
+    return tables.switch_route(u, v, rng)
+
+
+def host_path(
+    tables: RoutingTables,
+    src_host: int,
+    dst_host: int,
+    rng: np.random.Generator | int | None = None,
+) -> list[tuple[str, int]]:
+    """Full vertex path between two hosts.
+
+    Returns ``[("h", src), ("s", ...), ..., ("h", dst)]``; its length minus
+    one equals the host-to-host distance ``l(h_src, h_dst)`` of the paper
+    (for deterministic shortest-path routing).
+    """
+    graph = tables.graph
+    su = graph.host_attachment(src_host)
+    sv = graph.host_attachment(dst_host)
+    mid = [("s", s) for s in tables.switch_route(su, sv, rng)]
+    return [("h", src_host)] + mid + [("h", dst_host)]

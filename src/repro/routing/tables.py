@@ -1,0 +1,107 @@
+"""Precomputed shortest-path next-hop tables.
+
+For every (current switch, destination switch) pair we store the set of
+neighbours that lie on *some* shortest path.  Deterministic routing picks
+the lowest-id candidate; ECMP routing picks uniformly at random per flow.
+This is the standard topology-agnostic deterministic routing setup the
+paper's evaluation implies (its topologies are irregular, so dimension-order
+style routing does not exist).
+
+Tables are built from one BFS per switch using the CSR adjacency, O(m * E).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.core.metrics import switch_distance_matrix
+from repro.utils.rng import as_generator
+
+__all__ = ["RoutingTables"]
+
+
+class RoutingTables:
+    """Next-hop tables over the switch graph of a host-switch graph.
+
+    Parameters
+    ----------
+    graph:
+        The host-switch graph to route on.  Must have a connected switch
+        graph (raises otherwise — a disconnected fabric cannot route).
+
+    Notes
+    -----
+    ``next_hops(u, v)`` returns every neighbour of ``u`` one step closer to
+    ``v``; ``next_hop(u, v)`` the deterministic (lowest-id) choice.
+    """
+
+    def __init__(self, graph: HostSwitchGraph) -> None:
+        self._graph = graph
+        self._dist = switch_distance_matrix(graph)
+        if np.isinf(self._dist).any():
+            raise ValueError("switch graph is disconnected; cannot build routes")
+        self._dist = self._dist.astype(np.int32)
+        m = graph.num_switches
+        # neighbors sorted ascending so deterministic choice is lowest-id.
+        self._nbrs = [sorted(graph.neighbors(s)) for s in range(m)]
+
+    @property
+    def graph(self) -> HostSwitchGraph:
+        """The graph these tables were built for."""
+        return self._graph
+
+    def distance(self, u: int, v: int) -> int:
+        """Switch-graph hop distance between switches ``u`` and ``v``."""
+        return int(self._dist[u, v])
+
+    def next_hops(self, u: int, v: int) -> list[int]:
+        """All neighbours of ``u`` on a shortest path towards ``v``."""
+        if u == v:
+            return []
+        target = self._dist[u, v] - 1
+        row = self._dist[:, v]
+        return [w for w in self._nbrs[u] if row[w] == target]
+
+    def next_hop(self, u: int, v: int, rng: np.random.Generator | None = None) -> int:
+        """One next hop: deterministic lowest-id, or uniform ECMP when ``rng`` given."""
+        hops = self.next_hops(u, v)
+        if not hops:
+            raise ValueError(f"no next hop from {u} to {v} (same switch?)")
+        if rng is None:
+            return hops[0]
+        return hops[int(rng.integers(0, len(hops)))]
+
+    def switch_route(
+        self, u: int, v: int, rng: np.random.Generator | int | None = None
+    ) -> list[int]:
+        """Full switch sequence ``[u, ..., v]`` along shortest paths.
+
+        With ``rng`` given, each hop choice is ECMP-random (per call);
+        otherwise deterministic.
+        """
+        gen = as_generator(rng) if rng is not None else None
+        path = [u]
+        cur = u
+        while cur != v:
+            cur = self.next_hop(cur, v, gen)
+            path.append(cur)
+        return path
+
+    def path_diversity(self, u: int, v: int) -> int:
+        """Number of distinct shortest switch paths from ``u`` to ``v``.
+
+        Computed by dynamic programming over the shortest-path DAG; useful
+        for analysing load spreading (ECMP fan-out).
+        """
+        if u == v:
+            return 1
+        memo: dict[int, int] = {v: 1}
+
+        def count(x: int) -> int:
+            if x in memo:
+                return memo[x]
+            memo[x] = sum(count(w) for w in self.next_hops(x, v))
+            return memo[x]
+
+        return count(u)

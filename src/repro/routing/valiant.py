@@ -1,0 +1,42 @@
+"""Valiant (randomized two-phase) routing.
+
+The dragonfly paper the comparison topology comes from (Kim et al.,
+ISCA'08) pairs the topology with Valiant load balancing for adversarial
+traffic: route first to a uniformly random intermediate switch, then to
+the destination, both along shortest paths.  This doubles (on average) the
+path length but spreads any traffic matrix into two uniform-random phases.
+
+Provided as an extension: the paper's own evaluation uses deterministic
+shortest-path routing, but comparing strategies on host-switch graphs is a
+one-liner with this module (see ``benchmarks/bench_ablation_routing.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.tables import RoutingTables
+from repro.utils.rng import as_generator
+
+__all__ = ["valiant_switch_route"]
+
+
+def valiant_switch_route(
+    tables: RoutingTables,
+    src: int,
+    dst: int,
+    rng: np.random.Generator | int | None = None,
+) -> list[int]:
+    """Switch path src -> (random intermediate) -> dst.
+
+    Both phases follow shortest paths (deterministic within the phase when
+    ``rng`` is an int seed; the intermediate is always random).  When the
+    sampled intermediate lies on an endpoint the route degenerates to plain
+    shortest-path routing, as in standard VLB implementations.
+    """
+    gen = as_generator(rng)
+    m = tables.graph.num_switches
+    mid = int(gen.integers(0, m))
+    first = tables.switch_route(src, mid)
+    second = tables.switch_route(mid, dst)
+    return first + second[1:]

@@ -1,0 +1,40 @@
+"""Flow-level discrete-event network simulator with an MPI layer.
+
+This package is the library's SimGrid substitute (DESIGN.md substitution
+1): the paper simulates NAS Parallel Benchmarks over each topology with
+SimGrid's SMPI, whose network core is a *fluid* model — messages become
+flows, concurrent flows share link capacity max-min fairly, and every link
+adds latency.  The same model class is implemented here:
+
+- :mod:`repro.simulation.engine` — generator-process DES kernel.
+- :mod:`repro.simulation.fluid` — max-min fair bandwidth sharing.
+- :mod:`repro.simulation.network` — host-switch graphs as link networks
+  (fluid or contention-free latency-only).
+- :mod:`repro.simulation.mpi` — ranks, eager point-to-point, requests.
+- :mod:`repro.simulation.collectives` — binomial / recursive-doubling /
+  ring / pairwise collective algorithms (the MVAPICH2 family the paper
+  configures SimGrid to use).
+- :mod:`repro.simulation.apps` — NAS Parallel Benchmark skeletons.
+"""
+
+from repro.simulation.engine import Event, Kernel, Process
+from repro.simulation.network import (
+    FluidNetworkModel,
+    LatencyOnlyNetworkModel,
+    NetworkParams,
+    build_network,
+)
+from repro.simulation.mpi import MPIWorld
+from repro.simulation.trace import SimulationStats
+
+__all__ = [
+    "Event",
+    "Kernel",
+    "Process",
+    "NetworkParams",
+    "FluidNetworkModel",
+    "LatencyOnlyNetworkModel",
+    "build_network",
+    "MPIWorld",
+    "SimulationStats",
+]

@@ -1,0 +1,32 @@
+"""NAS Parallel Benchmark communication skeletons (NPB 3.3.1, MPI).
+
+The paper runs the NPB MPI binaries under SimGrid (Class A for IS and FT,
+Class B for the others; Section 6.2.1).  Fortran binaries cannot run here,
+so each benchmark is reproduced as a *skeleton*: the documented
+communication pattern (partners, message sizes, ordering) plus the
+documented floating-point work, executed on 100 GFlops simulated hosts
+(DESIGN.md substitution 2).  Topology sensitivity — the quantity Figs.
+9a/10a/11a measure — lives in the traffic pattern, which is preserved:
+
+========= ===============================================================
+Benchmark Dominant communication
+========= ===============================================================
+EP        embarrassingly parallel; final small allreduces
+IS        bucket-histogram allreduce + key alltoallv (random access)
+FT        global transpose: one large alltoall per 3-D FFT step
+MG        3-D halo exchanges whose partners stride further apart at
+          coarse levels (long-distance traffic)
+CG        row-reduce exchanges + transpose exchange (irregular)
+LU        fine-grain 2-D wavefront (latency bound)
+BT/SP     multipartition face exchanges along x/y/z sweeps
+========= ===============================================================
+"""
+
+from repro.simulation.apps.base import (
+    NASResult,
+    available_benchmarks,
+    get_benchmark,
+    run_nas,
+)
+
+__all__ = ["NASResult", "available_benchmarks", "get_benchmark", "run_nas"]

@@ -1,0 +1,201 @@
+"""Benchmark base machinery: rank grids, registry, and the runner."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.simulation.mpi import MPIWorld
+from repro.simulation.network import NetworkParams
+from repro.simulation.trace import SimulationStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.mpi import RankContext
+
+__all__ = [
+    "NASBenchmark",
+    "NASResult",
+    "factor_2d",
+    "factor_3d",
+    "require_square",
+    "available_benchmarks",
+    "get_benchmark",
+    "run_nas",
+]
+
+
+def factor_2d(p: int) -> tuple[int, int]:
+    """Near-square 2-D factorisation of ``p`` (rows <= cols).
+
+    For power-of-four ``p`` this is the exact square the NPB codes use.
+    """
+    rows = int(math.isqrt(p))
+    while rows > 1 and p % rows != 0:
+        rows -= 1
+    return rows, p // rows
+
+
+def factor_3d(p: int) -> tuple[int, int, int]:
+    """Near-cubic 3-D factorisation of ``p`` (used by MG)."""
+    best = (1, 1, p)
+    best_score = p  # max-min spread
+    a = 1
+    while a * a * a <= p:
+        if p % a == 0:
+            rest = p // a
+            b = a
+            while b * b <= rest:
+                if rest % b == 0:
+                    c = rest // b
+                    score = c - a
+                    if score < best_score:
+                        best, best_score = (a, b, c), score
+                b += 1
+        a += 1
+    return best
+
+
+def require_square(p: int, name: str) -> int:
+    """Validate ``p`` is a perfect square (multipartition codes need it)."""
+    c = int(math.isqrt(p))
+    if c * c != p:
+        raise ValueError(f"{name} needs a square rank count, got {p}")
+    return c
+
+
+class NASBenchmark:
+    """One NPB skeleton: problem parameters plus a rank program factory.
+
+    Subclasses set :attr:`name`, implement :meth:`total_flops` (whole-job
+    floating-point work for the configured class and iterations — the Mop/s
+    normaliser) and :meth:`program` (the per-rank generator).
+    """
+
+    name: str = "?"
+    #: iteration counts per NPB class (class -> iterations)
+    default_iterations: dict[str, int] = {}
+
+    def __init__(self, nas_class: str = "A", iterations: int | None = None) -> None:
+        if nas_class not in ("A", "B", "C"):
+            raise ValueError(
+                f"supported classes are A, B, and C, got {nas_class!r}"
+            )
+        self.nas_class = nas_class
+        if iterations is None:
+            iterations = self.default_iterations[nas_class]
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.iterations = iterations
+
+    def validate_ranks(self, num_ranks: int) -> None:
+        """Raise if this benchmark cannot run on ``num_ranks`` ranks."""
+        if num_ranks < 1:
+            raise ValueError("need at least one rank")
+
+    def total_flops(self, num_ranks: int) -> float:
+        """Total floating-point work of the whole job."""
+        raise NotImplementedError
+
+    def program(self, ctx: "RankContext") -> Generator:
+        """The rank program (a generator as used by :class:`MPIWorld`)."""
+        raise NotImplementedError
+
+    def factory(self) -> Callable[["RankContext"], Generator]:
+        """Program factory for :meth:`MPIWorld.run`."""
+        return self.program
+
+
+@dataclass(frozen=True)
+class NASResult:
+    """Outcome of one simulated NPB run."""
+
+    benchmark: str
+    nas_class: str
+    num_ranks: int
+    iterations: int
+    time_s: float
+    total_flops: float
+    stats: SimulationStats
+
+    @property
+    def mops_total(self) -> float:
+        """Whole-job Mop/s — the metric NPB itself reports."""
+        return self.total_flops / self.time_s / 1e6
+
+
+_REGISTRY: dict[str, type[NASBenchmark]] = {}
+
+
+def register(cls: type[NASBenchmark]) -> type[NASBenchmark]:
+    """Class decorator adding a benchmark to the registry."""
+    _REGISTRY[cls.name.lower()] = cls
+    return cls
+
+
+def _ensure_registered() -> None:
+    """Import every app module so the registry is populated."""
+    from repro.simulation.apps import bt, cg, ep, ft, is_, lu, mg, sp  # noqa: F401
+
+
+def available_benchmarks() -> list[str]:
+    """Registered benchmark names (lower case)."""
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+def get_benchmark(
+    name: str, nas_class: str = "A", iterations: int | None = None
+) -> NASBenchmark:
+    """Instantiate a registered benchmark by name."""
+    _ensure_registered()
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; available: {available_benchmarks()}"
+        ) from None
+    return cls(nas_class=nas_class, iterations=iterations)
+
+
+def run_nas(
+    benchmark: str | NASBenchmark,
+    graph: HostSwitchGraph,
+    num_ranks: int,
+    *,
+    nas_class: str = "A",
+    iterations: int | None = None,
+    rank_to_host: list[int] | None = None,
+    model: str = "fluid",
+    params: NetworkParams | None = None,
+    routing: str = "shortest",
+    routing_seed: int | None = None,
+) -> NASResult:
+    """Simulate one NPB skeleton on a host-switch graph.
+
+    Parameters mirror the paper's setup: ``num_ranks`` processes (NPB wants
+    a power of four for the full suite), hosts at 100 GFlops, and the
+    fluid (contention-aware) network model by default.  ``routing`` picks
+    the path policy (``shortest`` / ``ecmp`` / ``valiant``).
+    """
+    bench = (
+        benchmark
+        if isinstance(benchmark, NASBenchmark)
+        else get_benchmark(benchmark, nas_class=nas_class, iterations=iterations)
+    )
+    bench.validate_ranks(num_ranks)
+    world = MPIWorld(
+        graph, num_ranks, rank_to_host=rank_to_host, model=model, params=params,
+        routing=routing, routing_seed=routing_seed,
+    )
+    stats = world.run(bench.factory())
+    return NASResult(
+        benchmark=bench.name,
+        nas_class=bench.nas_class,
+        num_ranks=num_ranks,
+        iterations=bench.iterations,
+        time_s=stats.time_s,
+        total_flops=bench.total_flops(num_ranks),
+        stats=stats,
+    )

@@ -1,0 +1,73 @@
+"""BT — Block Tridiagonal solver (NPB 3.3.1 skeleton).
+
+Multipartition decomposition on a square rank grid: each time step sweeps
+the x, y and z directions; a sweep runs ``sqrt(P)`` substeps, each passing
+a cell face (5 variables plus block-Jacobian data) to the successor rank
+in that direction.  Face messages are mid-sized and partners are fixed
+grid neighbours/diagonals, so BT sits between LU (latency) and FT
+(bandwidth) in topology sensitivity.
+
+Class A: 64^3 grid, 200 steps; class B: 102^3, 200 steps.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.simulation.apps.base import NASBenchmark, register
+
+_DOUBLE = 8.0
+_FACE_VARS = 10.0  # 5 solution variables + LHS block data
+_FLOPS_PER_POINT = 250.0
+
+
+@register
+class BT(NASBenchmark):
+    """Block-tridiagonal multipartition kernel."""
+
+    name = "BT"
+    default_iterations = {"A": 200, "B": 200, "C": 200}
+
+    _GRID = {"A": 64, "B": 102, "C": 162}
+
+    def validate_ranks(self, num_ranks: int) -> None:
+        super().validate_ranks(num_ranks)
+        c = int(math.isqrt(num_ranks))
+        if c * c != num_ranks:
+            raise ValueError(
+                f"BT needs a square rank count (multipartition), got {num_ranks}"
+            )
+
+    def total_flops(self, num_ranks: int) -> float:
+        n = self._GRID[self.nas_class]
+        return float(n**3) * _FLOPS_PER_POINT * self.iterations
+
+    def program(self, ctx):
+        c = int(math.isqrt(ctx.size))
+        row, col = divmod(ctx.rank, c)
+        n = self._GRID[self.nas_class]
+        cell = n / c
+        face_bytes = _FACE_VARS * _DOUBLE * cell * cell
+        substep_flops = float(n**3) * _FLOPS_PER_POINT / ctx.size / (3 * c)
+
+        successors = {
+            "x": row * c + (col + 1) % c,
+            "y": ((row + 1) % c) * c + col,
+            "z": ((row + 1) % c) * c + (col + 1) % c,
+        }
+        predecessors = {
+            "x": row * c + (col - 1) % c,
+            "y": ((row - 1) % c) * c + col,
+            "z": ((row - 1) % c) * c + (col - 1) % c,
+        }
+
+        for _ in range(self.iterations):
+            for d_idx, d in enumerate(("x", "y", "z")):
+                succ, pred = successors[d], predecessors[d]
+                for sub in range(c):
+                    yield from ctx.compute(substep_flops)
+                    if succ != ctx.rank:
+                        tag = 4000 + d_idx * 100 + sub
+                        ctx.send(succ, face_bytes, tag=tag)
+                        yield from ctx.recv(src=pred, tag=tag)
+            yield from ctx.allreduce(5 * _DOUBLE)

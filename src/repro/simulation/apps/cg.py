@@ -1,0 +1,77 @@
+"""CG — Conjugate Gradient (NPB 3.3.1 skeleton).
+
+Power-method outer iterations, each running 25 CG steps on a random sparse
+matrix distributed over a 2-D rank grid.  Every CG step does the NPB
+communication sequence: a log2(row-length) series of partial-sum exchanges
+across the processor row, one exchange with the *transpose* partner, and
+two scalar allreduces for the dot products.  The transpose partner is far
+away in rank space, which makes CG the "irregular communication" case
+where the paper sees its largest single win (vs the fat-tree).
+
+Class A: n = 14000, nnz ≈ 1.85e6, 15 outer iterations;
+class B: n = 75000, nnz ≈ 13.7e6, 75 outer iterations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.simulation.apps.base import NASBenchmark, register
+
+_DOUBLE = 8.0
+_CG_STEPS_PER_OUTER = 25
+
+
+@register
+class CG(NASBenchmark):
+    """Conjugate-gradient kernel (irregular row/transpose exchanges)."""
+
+    name = "CG"
+    default_iterations = {"A": 15, "B": 75, "C": 75}
+
+    _N = {"A": 14_000, "B": 75_000, "C": 150_000}
+    _NNZ = {"A": 1_853_104, "B": 13_708_072, "C": 36_121_058}
+
+    def validate_ranks(self, num_ranks: int) -> None:
+        super().validate_ranks(num_ranks)
+        c = int(math.isqrt(num_ranks))
+        if c * c != num_ranks:
+            raise ValueError(
+                f"CG skeleton needs a power-of-four (square) rank count, got {num_ranks}"
+            )
+
+    def _flops_per_step(self) -> float:
+        # Sparse matvec (2 flops/nonzero) plus vector ops (~10n).
+        return 2.0 * self._NNZ[self.nas_class] + 10.0 * self._N[self.nas_class]
+
+    def total_flops(self, num_ranks: int) -> float:
+        return self._flops_per_step() * _CG_STEPS_PER_OUTER * self.iterations
+
+    def program(self, ctx):
+        c = int(math.isqrt(ctx.size))
+        row, col = divmod(ctx.rank, c)
+        n = self._N[self.nas_class]
+        seg_bytes = _DOUBLE * n / c
+        transpose_partner = col * c + row
+        stages = max(1, int(math.log2(c))) if c > 1 else 0
+        step_flops = self._flops_per_step() / ctx.size
+
+        for _ in range(self.iterations):
+            for _step in range(_CG_STEPS_PER_OUTER):
+                yield from ctx.compute(step_flops)
+                # Partial-sum reduction across the processor row.
+                for stage in range(stages):
+                    partner_col = col ^ (1 << stage)
+                    partner = row * c + partner_col
+                    tag = 2000 + stage
+                    ctx.send(partner, seg_bytes, tag=tag)
+                    yield from ctx.recv(src=partner, tag=tag)
+                # Exchange with the transpose partner (skip on the diagonal).
+                if transpose_partner != ctx.rank:
+                    ctx.send(transpose_partner, seg_bytes, tag=2100)
+                    yield from ctx.recv(src=transpose_partner, tag=2100)
+                # rho and alpha dot products.
+                yield from ctx.allreduce(_DOUBLE)
+                yield from ctx.allreduce(_DOUBLE)
+            # ||r|| for the outer power-method residual.
+            yield from ctx.allreduce(_DOUBLE)

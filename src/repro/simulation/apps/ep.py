@@ -1,0 +1,37 @@
+"""EP — Embarrassingly Parallel (NPB 3.3.1 skeleton).
+
+Gaussian-pair generation with essentially no communication: each rank
+computes its share of ``2^M`` random pairs, then three small allreduces
+combine the sums and the ten annulus counts.  Class A: ``M = 28``; class
+B: ``M = 30``.  EP is the topology-insensitive control in the paper's bar
+charts — all networks should score (nearly) the same.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.apps.base import NASBenchmark, register
+
+# Floating-point operations charged per generated pair (RNG + transforms).
+_FLOPS_PER_PAIR = 60.0
+
+
+@register
+class EP(NASBenchmark):
+    """Embarrassingly parallel kernel."""
+
+    name = "EP"
+    default_iterations = {"A": 1, "B": 1, "C": 1}
+
+    _SAMPLES = {"A": 2**28, "B": 2**30, "C": 2**32}
+
+    def total_flops(self, num_ranks: int) -> float:
+        return self._SAMPLES[self.nas_class] * _FLOPS_PER_PAIR * self.iterations
+
+    def program(self, ctx):
+        samples = self._SAMPLES[self.nas_class]
+        for _ in range(self.iterations):
+            yield from ctx.compute(samples * _FLOPS_PER_PAIR / ctx.size)
+            # sx, sy sums and the q[0..9] annulus histogram.
+            yield from ctx.allreduce(8.0)
+            yield from ctx.allreduce(8.0)
+            yield from ctx.allreduce(80.0)

@@ -1,0 +1,49 @@
+"""FT — 3-D FFT (NPB 3.3.1 skeleton).
+
+Each time step solves a 3-D PDE spectrally: local 1-D FFT passes plus one
+*global transpose* — an alltoall moving the entire complex grid
+(16 bytes/point), i.e. ``16·points / P^2`` bytes per rank pair.  This is
+the heaviest all-to-all in the suite and the paper's canonical
+"all-to-all communication" case.  Class A: 256x256x128 grid, 6 iterations;
+class B: 512x256x256, 20 iterations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.simulation.apps.base import NASBenchmark, register
+
+_COMPLEX_BYTES = 16.0
+
+
+@register
+class FT(NASBenchmark):
+    """3-D FFT kernel (large alltoall per iteration)."""
+
+    name = "FT"
+    default_iterations = {"A": 6, "B": 20, "C": 20}
+
+    _POINTS = {"A": 256 * 256 * 128, "B": 512 * 256 * 256, "C": 512 * 512 * 512}
+
+    def _flops_per_iteration(self) -> float:
+        points = self._POINTS[self.nas_class]
+        # 5 N log2 N for the FFT passes plus the evolve multiply.
+        return 5.0 * points * math.log2(points) + 2.0 * points
+
+    def total_flops(self, num_ranks: int) -> float:
+        # +1 for the initial forward transform the program also performs.
+        return self._flops_per_iteration() * (self.iterations + 1)
+
+    def program(self, ctx):
+        points = self._POINTS[self.nas_class]
+        pair_bytes = points * _COMPLEX_BYTES / (ctx.size * ctx.size)
+        flops_iter = self._flops_per_iteration() / ctx.size
+        # Initial forward transform includes one transpose as well.
+        yield from ctx.compute(flops_iter)
+        yield from ctx.alltoall(pair_bytes)
+        for _ in range(self.iterations):
+            yield from ctx.compute(flops_iter)
+            yield from ctx.alltoall(pair_bytes)
+            # Checksum reduction each iteration.
+            yield from ctx.allreduce(16.0)

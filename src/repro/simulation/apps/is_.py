@@ -1,0 +1,41 @@
+"""IS — Integer Sort (NPB 3.3.1 skeleton).
+
+Bucket sort of ``N`` integer keys: every iteration histograms local keys,
+allreduces the bucket counts, then redistributes all keys with an
+alltoallv whose per-pair volume is ~``4N / P^2`` bytes (keys are random,
+so traffic is uniform all-to-all — the "random memory access" pattern the
+paper credits for the proposed topology's big IS win).  Class A:
+``N = 2^23``; class B: ``N = 2^25``; 10 iterations.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.apps.base import NASBenchmark, register
+
+_NUM_BUCKETS = 1024
+_KEY_BYTES = 4.0
+# Per-key work per iteration: histogram + rank computation + permutation.
+_FLOPS_PER_KEY = 25.0
+
+
+@register
+class IS(NASBenchmark):
+    """Integer sort kernel (all-to-all dominated)."""
+
+    name = "IS"
+    default_iterations = {"A": 10, "B": 10, "C": 10}
+
+    _KEYS = {"A": 2**23, "B": 2**25, "C": 2**27}
+
+    def total_flops(self, num_ranks: int) -> float:
+        return self._KEYS[self.nas_class] * _FLOPS_PER_KEY * self.iterations
+
+    def program(self, ctx):
+        n_keys = self._KEYS[self.nas_class]
+        pair_bytes = n_keys * _KEY_BYTES / (ctx.size * ctx.size)
+        for _ in range(self.iterations):
+            yield from ctx.compute(n_keys * _FLOPS_PER_KEY / ctx.size)
+            yield from ctx.allreduce(_NUM_BUCKETS * _KEY_BYTES)
+            yield from ctx.alltoallv(lambda _peer: pair_bytes)
+        # Full verification: one final small allreduce.
+        yield from ctx.allreduce(8.0)

@@ -1,0 +1,88 @@
+"""LU — SSOR solver with 2-D wavefront pipelining (NPB 3.3.1 skeleton).
+
+Each time step performs a lower- and an upper-triangular sweep across the
+``nz`` grid planes.  A rank waits for pencil faces from its north and west
+neighbours, relaxes its block of planes, and forwards faces south and
+east, forming the diagonal wavefront.  Messages are small (a few KB), so
+LU is the suite's latency-bound benchmark — per-hop latency and hence
+h-ASPL matter directly.
+
+Class A: 64^3 grid; class B: 102^3; 250 time steps each (the bench
+harness runs fewer — Mop/s normalises by the work actually simulated).
+Planes are relaxed in blocks of ``_BLOCK`` to keep the simulated message
+count tractable (NPB itself exchanges per plane).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.simulation.apps.base import NASBenchmark, register
+
+_DOUBLE = 8.0
+_BLOCK = 4  # planes relaxed (and faces exchanged) per pipeline step
+_FLOPS_PER_POINT = 300.0  # lower+upper SSOR relaxation per time step
+
+
+@register
+class LU(NASBenchmark):
+    """SSOR wavefront kernel (latency bound)."""
+
+    name = "LU"
+    default_iterations = {"A": 250, "B": 250, "C": 250}
+
+    _GRID = {"A": 64, "B": 102, "C": 162}
+
+    def validate_ranks(self, num_ranks: int) -> None:
+        super().validate_ranks(num_ranks)
+        c = int(math.isqrt(num_ranks))
+        if c * c != num_ranks:
+            raise ValueError(
+                f"LU skeleton needs a power-of-four (square) rank count, got {num_ranks}"
+            )
+
+    def total_flops(self, num_ranks: int) -> float:
+        n = self._GRID[self.nas_class]
+        return float(n**3) * _FLOPS_PER_POINT * self.iterations
+
+    def program(self, ctx):
+        c = int(math.isqrt(ctx.size))
+        row, col = divmod(ctx.rank, c)
+        n = self._GRID[self.nas_class]
+        steps = (n + _BLOCK - 1) // _BLOCK
+        # Face: 5 variables over (local pencil width x block planes).
+        face_bytes = 5 * _DOUBLE * (n / c) * _BLOCK
+        step_flops = float(n**3) * _FLOPS_PER_POINT / ctx.size / steps / 2.0
+
+        north = (row - 1) * c + col if row > 0 else None
+        south = (row + 1) * c + col if row < c - 1 else None
+        west = row * c + (col - 1) if col > 0 else None
+        east = row * c + (col + 1) if col < c - 1 else None
+
+        for _ in range(self.iterations):
+            # Lower-triangular sweep: wavefront from (0, 0).
+            for step in range(steps):
+                tag = 3000 + step
+                if north is not None:
+                    yield from ctx.recv(src=north, tag=tag)
+                if west is not None:
+                    yield from ctx.recv(src=west, tag=tag)
+                yield from ctx.compute(step_flops)
+                if south is not None:
+                    ctx.send(south, face_bytes, tag=tag)
+                if east is not None:
+                    ctx.send(east, face_bytes, tag=tag)
+            # Upper-triangular sweep: wavefront from (c-1, c-1).
+            for step in range(steps):
+                tag = 3500 + step
+                if south is not None:
+                    yield from ctx.recv(src=south, tag=tag)
+                if east is not None:
+                    yield from ctx.recv(src=east, tag=tag)
+                yield from ctx.compute(step_flops)
+                if north is not None:
+                    ctx.send(north, face_bytes, tag=tag)
+                if west is not None:
+                    ctx.send(west, face_bytes, tag=tag)
+            # Residual norms every time step.
+            yield from ctx.allreduce(5 * _DOUBLE)

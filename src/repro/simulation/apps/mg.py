@@ -1,0 +1,91 @@
+"""MG — Multi-Grid (NPB 3.3.1 skeleton).
+
+V-cycles on a 256^3 grid over a 3-D rank grid.  At fine levels every rank
+exchanges six halo faces with its immediate grid neighbours; at coarse
+levels fewer grid planes than ranks remain, so only a stride-aligned
+subset of ranks stays active and exchanges with partners ``stride`` apart
+in the rank grid — the *long-distance* traffic the paper credits for the
+proposed topology's MG win.  Boundaries are periodic, as in NPB.
+
+Class A: 4 iterations on a 256^3 grid; class B: 20 iterations (same
+grid); class C: 20 iterations on 512^3.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.apps.base import NASBenchmark, factor_3d, register
+
+_GRIDS = {"A": 256, "B": 256, "C": 512}
+_FLOPS_PER_POINT = 30.0  # smooth + residual + transfer per V-cycle visit
+_DOUBLE = 8.0
+
+
+@register
+class MG(NASBenchmark):
+    """Multigrid V-cycle kernel (halo + strided long-distance traffic)."""
+
+    name = "MG"
+    default_iterations = {"A": 4, "B": 20, "C": 20}
+
+    def validate_ranks(self, num_ranks: int) -> None:
+        super().validate_ranks(num_ranks)
+        if num_ranks & (num_ranks - 1):
+            raise ValueError(f"MG needs a power-of-two rank count, got {num_ranks}")
+
+    def _grid(self) -> int:
+        return _GRIDS[self.nas_class]
+
+    def _levels(self) -> int:
+        # Coarsen down to a 4^3 grid, as in NPB.
+        grid = self._grid()
+        return max(1, grid.bit_length() - 2)
+
+    def total_flops(self, num_ranks: int) -> float:
+        grid, levels = self._grid(), self._levels()
+        points_all_levels = sum((grid >> l) ** 3 for l in range(levels))
+        return points_all_levels * _FLOPS_PER_POINT * self.iterations
+
+    def program(self, ctx):
+        px, py, pz = factor_3d(ctx.size)
+        dims = (px, py, pz)
+        rank = ctx.rank
+        coords = (rank % px, (rank // px) % py, rank // (px * py))
+
+        def rank_of(c) -> int:
+            return c[0] + px * (c[1] + py * c[2])
+
+        grid, levels = self._grid(), self._levels()
+        for _ in range(self.iterations):
+            for level in range(levels):
+                n_l = grid >> level
+                strides = [max(1, dims[d] // max(n_l, 1)) for d in range(3)]
+                active = all(coords[d] % strides[d] == 0 for d in range(3))
+                # Local extents per dimension (at least one plane if active).
+                ext = [max(1.0, n_l / dims[d]) for d in range(3)]
+                if active:
+                    for d in range(3):
+                        if dims[d] // strides[d] < 2:
+                            continue  # single active rank along this axis
+                        face = _DOUBLE * ext[(d + 1) % 3] * ext[(d + 2) % 3]
+                        up = list(coords)
+                        up[d] = (coords[d] + strides[d]) % dims[d]
+                        down = list(coords)
+                        down[d] = (coords[d] - strides[d]) % dims[d]
+                        tag = 1000 + level * 10 + d
+                        ctx.send(rank_of(up), face, tag=tag)
+                        ctx.send(rank_of(down), face, tag=tag + 5)
+                        yield from ctx.recv(src=rank_of(down), tag=tag)
+                        yield from ctx.recv(src=rank_of(up), tag=tag + 5)
+                    yield from ctx.compute(
+                        n_l**3 * _FLOPS_PER_POINT / max(1, ctx.size // _inactive_factor(strides))
+                    )
+            # Residual norm.
+            yield from ctx.allreduce(_DOUBLE)
+
+
+def _inactive_factor(strides: list[int]) -> int:
+    """How many ranks share the level's work (stride thins the active set)."""
+    f = 1
+    for s in strides:
+        f *= s
+    return f

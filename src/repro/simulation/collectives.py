@@ -1,0 +1,283 @@
+"""MPI collective algorithms (the MVAPICH2 family the paper configures).
+
+Every collective is a generator over a :class:`RankContext` and paces
+itself through its receives (sends are eager).  Message *sizes* model the
+data movement; reduction arithmetic is not separately charged (negligible
+at the paper's scales next to transfer time).
+
+Algorithms:
+
+- ``barrier`` — dissemination (⌈log₂P⌉ rounds, works for any P).
+- ``bcast`` / ``reduce`` — binomial tree.
+- ``allreduce`` — recursive doubling for power-of-two P, otherwise
+  reduce + bcast (MVAPICH2's fallback structure).
+- ``allgather`` — ring (P−1 steps).
+- ``alltoall`` / ``alltoallv`` — pairwise exchange (XOR partners for
+  power-of-two P, shifted ring otherwise).
+
+Collective tags come from the context's negative tag sequence so distinct
+collective invocations never cross-match (ranks invoke collectives in the
+same order, per the MPI standard).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.simulation.mpi import RankContext
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "allgather",
+    "alltoall",
+    "alltoallv",
+    "scatter",
+    "gather",
+    "reduce_scatter",
+    "scan",
+]
+
+# Opcode salts keep tags of different collective types distinct even if a
+# program mixes them in unusual ways.
+_OP_BARRIER = 1
+_OP_BCAST = 2
+_OP_REDUCE = 3
+_OP_ALLREDUCE = 4
+_OP_ALLGATHER = 5
+_OP_ALLTOALL = 6
+_OP_SCATTER = 7
+_OP_GATHER = 8
+_OP_REDUCE_SCATTER = 9
+_OP_SCAN = 10
+
+_BARRIER_BYTES = 1.0
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def barrier(ctx: "RankContext"):
+    """Dissemination barrier: round k exchanges with ranks ±2^k away."""
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return
+    tag = ctx._next_coll_tag(_OP_BARRIER)
+    step = 1
+    while step < size:
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        ctx.send(dst, _BARRIER_BYTES, tag=tag - step)
+        yield from ctx.recv(src=src, tag=tag - step)
+        step <<= 1
+
+
+def bcast(ctx: "RankContext", nbytes: float, root: int = 0):
+    """Binomial-tree broadcast of ``nbytes`` from ``root``."""
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return
+    tag = ctx._next_coll_tag(_OP_BCAST)
+    vrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            src = (vrank - mask + root) % size
+            yield from ctx.recv(src=src, tag=tag)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size and not (vrank & (mask - 1)):
+            dst = (vrank + mask + root) % size
+            ctx.send(dst, nbytes, tag=tag)
+        mask >>= 1
+
+
+def reduce(ctx: "RankContext", nbytes: float, root: int = 0):
+    """Binomial-tree reduction of ``nbytes`` to ``root``."""
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return
+    tag = ctx._next_coll_tag(_OP_REDUCE)
+    vrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            dst = (vrank - mask + root) % size
+            ctx.send(dst, nbytes, tag=tag)
+            break
+        partner = vrank + mask
+        if partner < size:
+            src = (partner + root) % size
+            yield from ctx.recv(src=src, tag=tag)
+        mask <<= 1
+
+
+def allreduce(ctx: "RankContext", nbytes: float):
+    """Recursive doubling (power-of-two P) or reduce+bcast fallback."""
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return
+    if _is_pow2(size):
+        tag = ctx._next_coll_tag(_OP_ALLREDUCE)
+        mask = 1
+        while mask < size:
+            partner = rank ^ mask
+            ctx.send(partner, nbytes, tag=tag - mask)
+            yield from ctx.recv(src=partner, tag=tag - mask)
+            mask <<= 1
+    else:
+        yield from reduce(ctx, nbytes, root=0)
+        yield from bcast(ctx, nbytes, root=0)
+
+
+def allgather(ctx: "RankContext", nbytes_per_rank: float):
+    """Ring allgather: P−1 steps passing blocks around the ring."""
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return
+    tag = ctx._next_coll_tag(_OP_ALLGATHER)
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for step in range(size - 1):
+        ctx.send(right, nbytes_per_rank, tag=tag - step)
+        yield from ctx.recv(src=left, tag=tag - step)
+
+
+def alltoall(ctx: "RankContext", nbytes_per_pair: float):
+    """Pairwise-exchange all-to-all with uniform per-pair payload."""
+    yield from alltoallv(ctx, lambda _peer: nbytes_per_pair)
+
+
+def scatter(ctx: "RankContext", nbytes_per_rank: float, root: int = 0):
+    """Binomial-tree scatter: the root's data fans out in halving blocks.
+
+    A subtree of ``2^k`` ranks receives ``2^k * nbytes_per_rank`` in one
+    message from its parent, so total traffic matches MPICH's binomial
+    scatter exactly.
+    """
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return
+    tag = ctx._next_coll_tag(_OP_SCATTER)
+    vrank = (rank - root) % size
+    mask = 1
+    recv_block = size  # blocks this vrank is responsible for (root: all)
+    while mask < size:
+        if vrank & mask:
+            src = (vrank - mask + root) % size
+            recv_block = min(mask, size - vrank)
+            yield from ctx.recv(src=src, tag=tag)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            blocks = min(mask, size - (vrank + mask))
+            dst = (vrank + mask + root) % size
+            ctx.send(dst, blocks * nbytes_per_rank, tag=tag)
+        mask >>= 1
+    del recv_block  # bookkeeping only; payload sizes carry the cost
+
+
+def gather(ctx: "RankContext", nbytes_per_rank: float, root: int = 0):
+    """Binomial-tree gather (the scatter pattern reversed)."""
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return
+    tag = ctx._next_coll_tag(_OP_GATHER)
+    vrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            blocks = min(mask, size - vrank)
+            dst = (vrank - mask + root) % size
+            ctx.send(dst, blocks * nbytes_per_rank, tag=tag)
+            break
+        partner = vrank + mask
+        if partner < size:
+            src = (partner + root) % size
+            yield from ctx.recv(src=src, tag=tag)
+        mask <<= 1
+
+
+def reduce_scatter(ctx: "RankContext", nbytes_total: float):
+    """Recursive halving (power-of-two P) or pairwise fallback.
+
+    ``nbytes_total`` is the full vector length; each halving step
+    exchanges half of the remaining data, as in MPICH's recursive-halving
+    reduce_scatter.
+    """
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return
+    tag = ctx._next_coll_tag(_OP_REDUCE_SCATTER)
+    if _is_pow2(size):
+        remaining = nbytes_total / 2.0
+        mask = size >> 1
+        step = 0
+        while mask > 0:
+            partner = rank ^ mask
+            ctx.send(partner, remaining, tag=tag - step)
+            yield from ctx.recv(src=partner, tag=tag - step)
+            remaining /= 2.0
+            mask >>= 1
+            step += 1
+    else:
+        # Pairwise-exchange fallback: every rank sends each peer its block.
+        block = nbytes_total / size
+        for step in range(1, size):
+            dst = (rank + step) % size
+            src = (rank - step) % size
+            ctx.send(dst, block, tag=tag - step)
+            yield from ctx.recv(src=src, tag=tag - step)
+
+
+def scan(ctx: "RankContext", nbytes: float):
+    """Inclusive prefix scan: log-round partner exchanges (Hillis-Steele).
+
+    Round ``k`` sends to ``rank + 2^k`` (if it exists) and receives from
+    ``rank - 2^k`` (if it exists).
+    """
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return
+    tag = ctx._next_coll_tag(_OP_SCAN)
+    step = 1
+    round_no = 0
+    while step < size:
+        if rank + step < size:
+            ctx.send(rank + step, nbytes, tag=tag - round_no)
+        if rank - step >= 0:
+            yield from ctx.recv(src=rank - step, tag=tag - round_no)
+        step <<= 1
+        round_no += 1
+
+
+def alltoallv(ctx: "RankContext", size_of: Callable[[int], float]):
+    """Pairwise-exchange all-to-all with per-destination payloads.
+
+    ``size_of(peer)`` gives the bytes this rank sends to ``peer``.  XOR
+    partnering for power-of-two P (each step is a perfect matching),
+    shifted-ring partnering otherwise.
+    """
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return
+    tag = ctx._next_coll_tag(_OP_ALLTOALL)
+    if _is_pow2(size):
+        for step in range(1, size):
+            partner = rank ^ step
+            ctx.send(partner, size_of(partner), tag=tag - step)
+            yield from ctx.recv(src=partner, tag=tag - step)
+    else:
+        for step in range(1, size):
+            dst = (rank + step) % size
+            src = (rank - step) % size
+            ctx.send(dst, size_of(dst), tag=tag - step)
+            yield from ctx.recv(src=src, tag=tag - step)

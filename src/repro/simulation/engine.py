@@ -1,0 +1,158 @@
+"""Discrete-event simulation kernel with generator-based processes.
+
+A tiny SimPy-like core: a time-ordered event heap plus *processes* that are
+Python generators.  A process yields
+
+- a number — sleep that many (simulated) seconds;
+- an :class:`Event` — suspend until the event fires (resumes with the
+  event's value);
+- ``None`` — yield the floor briefly (resume at the same timestamp).
+
+Composite behaviours (MPI collectives, benchmark phases) are ordinary
+sub-generators driven with ``yield from``, so the whole MPI layer stays
+plain Python with no callback pyramids.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator
+from typing import Any
+
+__all__ = ["Event", "Process", "Kernel"]
+
+
+class Event:
+    """One-shot signalling primitive.
+
+    Processes wait on an event by yielding it; :meth:`fire` wakes all
+    waiters with the given value.  Waiting on an already-fired event
+    resumes immediately.  Plain callbacks (:meth:`on_fire`) run first —
+    the MPI layer uses them to deposit delivered messages into mailboxes
+    before any waiting process resumes.
+    """
+
+    __slots__ = ("fired", "value", "_waiters", "_callbacks")
+
+    def __init__(self) -> None:
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list[Process] = []
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the event, waking every waiter.  Firing twice is an error."""
+        if self.fired:
+            raise RuntimeError("event fired twice")
+        self.fired = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(value)
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._kernel._resume_soon(proc, value)
+
+    def on_fire(self, fn: Callable[[Any], None]) -> None:
+        """Run ``fn(value)`` when the event fires (immediately if fired)."""
+        if self.fired:
+            fn(self.value)
+        else:
+            self._callbacks.append(fn)
+
+    def add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+
+class Process:
+    """A running generator inside a :class:`Kernel`."""
+
+    __slots__ = ("_kernel", "_gen", "done", "result", "done_event", "name")
+
+    def __init__(self, kernel: "Kernel", gen: Generator, name: str = "") -> None:
+        self._kernel = kernel
+        self._gen = gen
+        self.done = False
+        self.result: Any = None
+        self.done_event = Event()
+        self.name = name
+
+    def _step(self, value: Any) -> None:
+        """Advance the generator once and interpret what it yields."""
+        kernel = self._kernel
+        while True:
+            try:
+                yielded = self._gen.send(value)
+            except StopIteration as stop:
+                self.done = True
+                self.result = stop.value
+                self.done_event.fire(stop.value)
+                return
+            if yielded is None:
+                value = None
+                continue  # resume immediately without rescheduling
+            if isinstance(yielded, (int, float)):
+                kernel.call_later(float(yielded), self._step, None)
+                return
+            if isinstance(yielded, Event):
+                if yielded.fired:
+                    value = yielded.value
+                    continue
+                yielded.add_waiter(self)
+                return
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported {type(yielded).__name__}"
+            )
+
+
+class Kernel:
+    """Event heap + clock + process spawner."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
+
+    def call_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, fn, args))
+
+    def _resume_soon(self, proc: Process, value: Any) -> None:
+        self.call_later(0.0, proc._step, value)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a process; it starts at the current time."""
+        proc = Process(self, gen, name)
+        self._processes.append(proc)
+        self.call_later(0.0, proc._step, None)
+        return proc
+
+    def run(self, until: float | None = None) -> float:
+        """Process events until the heap drains (or ``until`` is reached).
+
+        Returns the final simulated time.
+        """
+        while self._heap:
+            when, _, fn, args = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = when
+            fn(*args)
+        return self.now
+
+    def all_done(self) -> bool:
+        """Whether every spawned process has finished."""
+        return all(p.done for p in self._processes)

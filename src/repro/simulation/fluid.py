@@ -1,0 +1,205 @@
+"""Max-min fair flow-level bandwidth sharing (SimGrid-style fluid model).
+
+Active transfers are *flows* over sequences of directed links.  Whenever
+the flow set changes, rates are recomputed by progressive filling
+(water-filling): all unfrozen flows grow equally until some link saturates;
+its flows freeze at that fair share; repeat.  Between changes every flow
+drains linearly, so the next event is the earliest completion — classic
+event-driven fluid simulation.
+
+Performance: flows live in NumPy slot arrays (``remaining``, ``rate``) and
+the water-filling loop is fully vectorised over the concatenation of all
+active flows' link memberships, so per-event cost is a handful of NumPy
+kernels regardless of flow count.  This keeps 10^5-flow NAS alltoalls
+tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.engine import Event, Kernel
+
+__all__ = ["FluidScheduler"]
+
+_EPS_BYTES = 1e-6
+_INITIAL_SLOTS = 64
+
+
+class FluidScheduler:
+    """Shares ``link_capacities`` max-min fairly among active flows.
+
+    Parameters
+    ----------
+    kernel:
+        The DES kernel providing time and timers.
+    link_capacities:
+        Array of per-directed-link capacities in bytes/second.
+    """
+
+    def __init__(self, kernel: Kernel, link_capacities: np.ndarray) -> None:
+        self.kernel = kernel
+        self.capacity = np.asarray(link_capacities, dtype=np.float64)
+        if (self.capacity <= 0).any():
+            raise ValueError("link capacities must be positive")
+        self._last_update = 0.0
+        self._version = 0
+        # Slot-based flow storage (numpy for the hot loops).
+        cap = _INITIAL_SLOTS
+        self._remaining = np.zeros(cap)
+        self._rate = np.zeros(cap)
+        self._alive = np.zeros(cap, dtype=bool)
+        self._size = np.zeros(cap)
+        self._links: list[np.ndarray | None] = [None] * cap
+        self._events: list[Event | None] = [None] * cap
+        self._free: list[int] = list(range(cap - 1, -1, -1))
+        self._dirty = True  # membership arrays need rebuilding
+        self._cat = np.zeros(0, dtype=np.int64)
+        self._cat_flow = np.zeros(0, dtype=np.int64)
+        self._active_slots = np.zeros(0, dtype=np.int64)
+        # Cumulative per-link bytes, for utilisation analysis.
+        self.link_bytes = np.zeros(len(self.capacity))
+        self.completed_flows = 0
+        self.total_bytes = 0.0
+
+    @property
+    def num_active(self) -> int:
+        """Number of in-flight flows."""
+        return int(self._alive.sum())
+
+    # ------------------------------------------------------------------ #
+
+    def start_flow(
+        self, link_ids: list[int] | np.ndarray, size: float, done_event: Event
+    ) -> None:
+        """Begin transferring ``size`` bytes across ``link_ids``.
+
+        ``done_event`` fires when the last byte drains.  Zero-size flows
+        complete immediately.
+        """
+        if size <= 0:
+            done_event.fire(self.kernel.now)
+            return
+        links = np.asarray(link_ids, dtype=np.int64)
+        if len(links) == 0:
+            raise ValueError("fluid flow needs at least one link")
+        self._advance()
+        slot = self._alloc_slot()
+        self._remaining[slot] = float(size)
+        self._size[slot] = float(size)
+        self._rate[slot] = 0.0
+        self._alive[slot] = True
+        self._links[slot] = links
+        self._events[slot] = done_event
+        self._dirty = True
+        self._recompute()
+
+    # ------------------------------------------------------------------ #
+
+    def _alloc_slot(self) -> int:
+        if not self._free:
+            old = len(self._remaining)
+            new = old * 2
+            self._remaining = np.resize(self._remaining, new)
+            self._rate = np.resize(self._rate, new)
+            self._alive = np.resize(self._alive, new)
+            self._size = np.resize(self._size, new)
+            self._remaining[old:] = 0.0
+            self._rate[old:] = 0.0
+            self._alive[old:] = False
+            self._links.extend([None] * old)
+            self._events.extend([None] * old)
+            self._free = list(range(new - 1, old - 1, -1))
+        return self._free.pop()
+
+    def _rebuild_membership(self) -> None:
+        """Refresh the concatenated (link, flow-slot) arrays."""
+        slots = np.flatnonzero(self._alive)
+        self._active_slots = slots
+        if len(slots) == 0:
+            self._cat = np.zeros(0, dtype=np.int64)
+            self._cat_flow = np.zeros(0, dtype=np.int64)
+        else:
+            parts = [self._links[s] for s in slots]
+            self._cat = np.concatenate(parts)
+            lengths = np.asarray([len(p) for p in parts])
+            self._cat_flow = np.repeat(slots, lengths)
+        self._dirty = False
+
+    def _advance(self) -> None:
+        """Drain every active flow up to the current time."""
+        dt = self.kernel.now - self._last_update
+        if dt > 0 and self._alive.any():
+            if self._dirty:
+                self._rebuild_membership()
+            drained = self._rate * dt
+            self._remaining -= np.where(self._alive, drained, 0.0)
+            np.add.at(self.link_bytes, self._cat, drained[self._cat_flow])
+        self._last_update = self.kernel.now
+
+    def _complete_finished(self) -> None:
+        """Fire done events for flows that have fully drained."""
+        finished = np.flatnonzero(self._alive & (self._remaining <= _EPS_BYTES))
+        if len(finished) == 0:
+            return
+        for slot in finished:
+            slot = int(slot)
+            self._alive[slot] = False
+            self._rate[slot] = 0.0
+            self.completed_flows += 1
+            self.total_bytes += self._size[slot]
+            event = self._events[slot]
+            self._events[slot] = None
+            self._links[slot] = None
+            self._free.append(slot)
+            event.fire(self.kernel.now)
+        self._dirty = True
+
+    def _recompute(self) -> None:
+        """Water-fill rates and schedule the next completion timer."""
+        self._version += 1
+        if self._dirty:
+            self._rebuild_membership()
+        slots = self._active_slots
+        if len(slots) == 0:
+            return
+        self._water_fill()
+        rem = self._remaining[slots]
+        rate = self._rate[slots]
+        horizon = float((rem / rate).min())
+        self.kernel.call_later(max(horizon, 0.0), self._on_timer, self._version)
+
+    def _water_fill(self) -> None:
+        """Assign max-min fair rates to all active flows (vectorised)."""
+        cat, cat_flow = self._cat, self._cat_flow
+        num_links = len(self.capacity)
+        cap_left = self.capacity.copy()
+        # unfrozen is indexed by slot id (sparse but simple).
+        unfrozen = self._alive.copy()
+        entry_active = np.ones(len(cat), dtype=bool)
+        while entry_active.any():
+            cnt = np.bincount(cat[entry_active], minlength=num_links)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                fair = np.where(cnt > 0, cap_left / np.maximum(cnt, 1), np.inf)
+            share = float(fair.min())
+            bottleneck = fair <= share * (1.0 + 1e-12) + 1e-12
+            # Entries on bottleneck links mark their whole flow frozen.
+            hit_entries = entry_active & bottleneck[cat]
+            frozen_slots = np.unique(cat_flow[hit_entries])
+            self._rate[frozen_slots] = share
+            unfrozen[frozen_slots] = False
+            # Remove all entries of frozen flows; charge their share.
+            frozen_entries = entry_active & ~unfrozen[cat_flow]
+            np.subtract.at(cap_left, cat[frozen_entries], share)
+            entry_active &= unfrozen[cat_flow]
+            np.maximum(cap_left, 0.0, out=cap_left)
+            if len(frozen_slots) == 0:
+                raise AssertionError("water-filling failed to make progress")
+
+    def _on_timer(self, version: int) -> None:
+        """Completion timer; stale versions (rates changed since) are no-ops."""
+        if version != self._version:
+            return
+        self._advance()
+        self._complete_finished()
+        self._recompute()

@@ -1,0 +1,68 @@
+"""Rank-to-host mappings (paper Section 6.2.1).
+
+The paper attaches the proposed topology's hosts "in depth-first order by
+using backtracking" — consecutive MPI ranks land on topologically nearby
+switches, which matters because the mapping between ranks and physical
+nodes "strongly affects the network performance" (Section 1).  Three
+strategies are provided:
+
+- ``"linear"`` — rank ``i`` uses host ``i`` (whatever order hosts carry).
+- ``"dfs"`` — hosts are re-ordered by a depth-first traversal of the
+  switch graph, grouping each switch's hosts consecutively.
+- ``"random"`` — a seeded random permutation (the adversarial baseline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.utils.rng import as_generator
+
+__all__ = ["rank_to_host_mapping"]
+
+
+def rank_to_host_mapping(
+    graph: HostSwitchGraph,
+    num_ranks: int,
+    strategy: str = "dfs",
+    seed: int | np.random.Generator | None = None,
+) -> list[int]:
+    """Host id for each rank ``0 .. num_ranks-1`` under the given strategy."""
+    if num_ranks > graph.num_hosts:
+        raise ValueError(
+            f"{num_ranks} ranks exceed the graph's {graph.num_hosts} hosts"
+        )
+    if strategy == "linear":
+        return list(range(num_ranks))
+    if strategy == "random":
+        rng = as_generator(seed)
+        return [int(h) for h in rng.permutation(graph.num_hosts)[:num_ranks]]
+    if strategy != "dfs":
+        raise ValueError(f"unknown mapping strategy {strategy!r}")
+
+    # Depth-first switch order (restart per component for robustness).
+    m = graph.num_switches
+    seen = [False] * m
+    switch_order: list[int] = []
+    for root in range(m):
+        if seen[root]:
+            continue
+        stack = [root]
+        while stack:
+            s = stack.pop()
+            if seen[s]:
+                continue
+            seen[s] = True
+            switch_order.append(s)
+            for b in sorted(graph.neighbors(s), reverse=True):
+                if not seen[b]:
+                    stack.append(b)
+
+    hosts_by_switch: dict[int, list[int]] = {}
+    for h in range(graph.num_hosts):
+        hosts_by_switch.setdefault(graph.host_attachment(h), []).append(h)
+    ordered: list[int] = []
+    for s in switch_order:
+        ordered.extend(hosts_by_switch.get(s, []))
+    return ordered[:num_ranks]

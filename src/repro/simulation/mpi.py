@@ -1,0 +1,336 @@
+"""MPI-like rank layer over the simulated network.
+
+Semantics (chosen to match SMPI-style simulation of well-formed programs):
+
+- ``send`` is *eager/buffered*: it injects the message and returns without
+  simulated delay (the payload's serialisation cost is paid by the network
+  flow; the receiver observes it).  This cannot deadlock on exchanges.
+- ``recv`` blocks until a matching message (source/tag wildcards allowed)
+  has been **delivered** — delivery time includes path latency plus the
+  flow's contended draining time.
+- ``isend``/``irecv`` return :class:`Request` handles; ``wait``/``waitall``
+  suspend on them.  ``wait(isend_req)`` gives synchronous-send semantics.
+- Collectives (delegated to :mod:`repro.simulation.collectives`) follow the
+  MVAPICH2 algorithm family and pace themselves through their receives.
+
+Programs are generator functions taking a :class:`RankContext`; compound
+operations are used via ``yield from``:
+
+.. code-block:: python
+
+    def program(mpi):
+        yield from mpi.compute(1e9)
+        mpi.send((mpi.rank + 1) % mpi.size, 4096)
+        msg = yield from mpi.recv()
+        yield from mpi.alltoall(65536)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.simulation import collectives as coll
+from repro.simulation.engine import Event, Kernel
+from repro.simulation.network import NetworkParams, build_network
+from repro.simulation.trace import (
+    DeadlockError,
+    RankTimeline,
+    SimulationStats,
+    TraceInterval,
+)
+
+__all__ = ["Message", "Request", "RankContext", "MPIWorld", "run_mpi_program"]
+
+ANY = None  # wildcard for recv source/tag
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered point-to-point message (metadata only — no payload)."""
+
+    src: int
+    tag: int
+    nbytes: float
+
+
+class Request:
+    """Handle for a pending non-blocking operation."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+
+    @property
+    def complete(self) -> bool:
+        return self.event.fired
+
+
+class RankContext:
+    """Per-rank MPI interface handed to rank programs."""
+
+    def __init__(self, world: "MPIWorld", rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.size = world.num_ranks
+        self._arrived: list[Message] = []
+        self._pending: list[tuple[int | None, int | None, Event]] = []
+        self._coll_seq = 0
+        self.compute_time = 0.0
+        self.timeline: RankTimeline | None = (
+            RankTimeline(rank) if world.trace else None
+        )
+
+    def _record(self, kind: str, start: float, detail: str = "") -> None:
+        if self.timeline is not None:
+            self.timeline.intervals.append(
+                TraceInterval(kind, start, self.world.kernel.now, detail)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Point-to-point
+    # ------------------------------------------------------------------ #
+
+    def isend(self, dst: int, nbytes: float, tag: int = 0) -> Request:
+        """Start a send; the request completes at delivery."""
+        return Request(self.world._post_send(self.rank, dst, nbytes, tag))
+
+    def send(self, dst: int, nbytes: float, tag: int = 0) -> None:
+        """Eager send: inject and return (no simulated wait)."""
+        self.world._post_send(self.rank, dst, nbytes, tag)
+
+    def irecv(self, src: int | None = ANY, tag: int | None = ANY) -> Request:
+        """Post a receive; the request completes when a message matches."""
+        msg = self._match_arrived(src, tag)
+        event = Event()
+        if msg is not None:
+            event.fire(msg)
+        else:
+            self._pending.append((src, tag, event))
+        return Request(event)
+
+    def recv(
+        self, src: int | None = ANY, tag: int | None = ANY
+    ) -> Generator[Event, Message, Message]:
+        """Block until a matching message is delivered; returns it."""
+        msg = self._match_arrived(src, tag)
+        if msg is None:
+            start = self.world.kernel.now
+            event = Event()
+            self._pending.append((src, tag, event))
+            msg = yield event
+            self._record("recv-wait", start, detail=f"src={msg.src}")
+        return msg
+
+    def ssend(self, dst: int, nbytes: float, tag: int = 0):
+        """Synchronous send: completes when the payload is delivered."""
+        req = self.isend(dst, nbytes, tag)
+        yield req.event
+
+    def sendrecv(
+        self,
+        dst: int,
+        nbytes: float,
+        src: int | None = ANY,
+        recv_tag: int | None = ANY,
+        send_tag: int = 0,
+    ) -> Generator[Event, Message, Message]:
+        """Eager send to ``dst`` then blocking receive (classic exchange)."""
+        self.send(dst, nbytes, send_tag)
+        msg = yield from self.recv(src=src, tag=recv_tag)
+        return msg
+
+    def wait(self, request: Request):
+        """Suspend until ``request`` completes; returns its value."""
+        value = yield request.event
+        return value
+
+    def waitall(self, requests: list[Request]):
+        """Suspend until every request completes."""
+        for req in requests:
+            yield req.event
+
+    # ------------------------------------------------------------------ #
+    # Time
+    # ------------------------------------------------------------------ #
+
+    def compute(self, flops: float):
+        """Busy the host for ``flops`` floating-point operations."""
+        dt = flops / self.world.params.host_flops_per_s
+        self.compute_time += dt
+        start = self.world.kernel.now
+        yield dt
+        self._record("compute", start)
+
+    def sleep(self, seconds: float):
+        """Idle for a fixed simulated duration."""
+        start = self.world.kernel.now
+        yield seconds
+        self._record("sleep", start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.world.kernel.now
+
+    # ------------------------------------------------------------------ #
+    # Collectives (MVAPICH2-style algorithms; see collectives module)
+    # ------------------------------------------------------------------ #
+
+    def _next_coll_tag(self, op: int) -> int:
+        # Collective tags are negative so they never collide with user tags;
+        # ranks call collectives in identical order (an MPI requirement),
+        # so the per-rank sequence number lines matching calls up.  Rounds
+        # within one collective use ``tag - step`` (step < size), so the
+        # op stride must exceed any realistic rank count.
+        self._coll_seq += 1
+        return -(self._coll_seq * 1_000_000 + op * 10_000)
+
+    def barrier(self):
+        yield from coll.barrier(self)
+
+    def bcast(self, nbytes: float, root: int = 0):
+        yield from coll.bcast(self, nbytes, root)
+
+    def reduce(self, nbytes: float, root: int = 0):
+        yield from coll.reduce(self, nbytes, root)
+
+    def allreduce(self, nbytes: float):
+        yield from coll.allreduce(self, nbytes)
+
+    def allgather(self, nbytes_per_rank: float):
+        yield from coll.allgather(self, nbytes_per_rank)
+
+    def alltoall(self, nbytes_per_pair: float):
+        yield from coll.alltoall(self, nbytes_per_pair)
+
+    def alltoallv(self, size_of: Callable[[int], float]):
+        yield from coll.alltoallv(self, size_of)
+
+    def scatter(self, nbytes_per_rank: float, root: int = 0):
+        yield from coll.scatter(self, nbytes_per_rank, root)
+
+    def gather(self, nbytes_per_rank: float, root: int = 0):
+        yield from coll.gather(self, nbytes_per_rank, root)
+
+    def reduce_scatter(self, nbytes_total: float):
+        yield from coll.reduce_scatter(self, nbytes_total)
+
+    def scan(self, nbytes: float):
+        yield from coll.scan(self, nbytes)
+
+    # ------------------------------------------------------------------ #
+    # Matching internals
+    # ------------------------------------------------------------------ #
+
+    def _match_arrived(self, src: int | None, tag: int | None) -> Message | None:
+        for i, msg in enumerate(self._arrived):
+            if (src is ANY or msg.src == src) and (tag is ANY or msg.tag == tag):
+                return self._arrived.pop(i)
+        return None
+
+    def _deliver(self, msg: Message) -> None:
+        for i, (src, tag, event) in enumerate(self._pending):
+            if (src is ANY or msg.src == src) and (tag is ANY or msg.tag == tag):
+                self._pending.pop(i)
+                event.fire(msg)
+                return
+        self._arrived.append(msg)
+
+
+class MPIWorld:
+    """A set of MPI ranks mapped onto hosts of a host-switch graph."""
+
+    def __init__(
+        self,
+        graph: HostSwitchGraph,
+        num_ranks: int,
+        *,
+        rank_to_host: list[int] | None = None,
+        model: str = "fluid",
+        params: NetworkParams | None = None,
+        routing: str = "shortest",
+        routing_seed: int | None = None,
+        trace: bool = False,
+    ) -> None:
+        if num_ranks > graph.num_hosts:
+            raise ValueError(
+                f"{num_ranks} ranks need {num_ranks} hosts, graph has {graph.num_hosts}"
+            )
+        self.num_ranks = num_ranks
+        self.trace = trace
+        self.kernel = Kernel()
+        self.network = build_network(
+            graph, self.kernel, model=model, params=params,
+            routing=routing, seed=routing_seed,
+        )
+        self.params = self.network.params
+        if rank_to_host is None:
+            rank_to_host = list(range(num_ranks))
+        if len(rank_to_host) != num_ranks:
+            raise ValueError("rank_to_host length must equal num_ranks")
+        if len(set(rank_to_host)) != num_ranks:
+            raise ValueError("rank_to_host must be injective")
+        self.rank_to_host = rank_to_host
+        self.contexts = [RankContext(self, r) for r in range(num_ranks)]
+
+    def _post_send(self, src_rank: int, dst_rank: int, nbytes: float, tag: int) -> Event:
+        """Inject a message; returns the delivery event."""
+        if not 0 <= dst_rank < self.num_ranks:
+            raise ValueError(f"invalid destination rank {dst_rank}")
+        event = Event()
+        msg = Message(src=src_rank, tag=tag, nbytes=nbytes)
+        event.on_fire(lambda _val: self.contexts[dst_rank]._deliver(msg))
+        self.network.send(
+            self.rank_to_host[src_rank], self.rank_to_host[dst_rank], nbytes, event
+        )
+        return event
+
+    def run(
+        self, program_factory: Callable[[RankContext], Generator]
+    ) -> SimulationStats:
+        """Spawn ``program_factory(ctx)`` on every rank and run to completion.
+
+        Raises
+        ------
+        DeadlockError
+            If the event heap drains while some rank is still blocked
+            (e.g. a receive with no matching send).
+        """
+        procs = [
+            self.kernel.spawn(program_factory(ctx), name=f"rank{ctx.rank}")
+            for ctx in self.contexts
+        ]
+        end = self.kernel.run()
+        stuck = [p.name for p in procs if not p.done]
+        if stuck:
+            raise DeadlockError(f"ranks blocked at end of simulation: {stuck}")
+        return SimulationStats(
+            time_s=end,
+            num_ranks=self.num_ranks,
+            messages=self.network.messages_sent,
+            bytes=self.network.bytes_sent,
+            compute_s_per_rank=[c.compute_time for c in self.contexts],
+            timelines=[c.timeline for c in self.contexts] if self.trace else None,
+        )
+
+
+def run_mpi_program(
+    graph: HostSwitchGraph,
+    num_ranks: int,
+    program_factory: Callable[[RankContext], Generator],
+    *,
+    rank_to_host: list[int] | None = None,
+    model: str = "fluid",
+    params: NetworkParams | None = None,
+    routing: str = "shortest",
+    routing_seed: int | None = None,
+) -> SimulationStats:
+    """One-shot convenience: build an :class:`MPIWorld` and run a program."""
+    world = MPIWorld(
+        graph, num_ranks, rank_to_host=rank_to_host, model=model, params=params,
+        routing=routing, routing_seed=routing_seed,
+    )
+    return world.run(program_factory)

@@ -1,0 +1,225 @@
+"""Host-switch graphs as simulated networks.
+
+Turns a :class:`repro.core.HostSwitchGraph` into a set of directed links
+(two per cable: full duplex) and routes host-to-host messages along
+deterministic shortest paths from :class:`repro.routing.RoutingTables`.
+
+Two interchangeable models:
+
+- :class:`FluidNetworkModel` — latency per link, then the payload drains as
+  a flow under max-min fair sharing (contention modelled; the SimGrid-class
+  model used for the paper-figure reproductions).
+- :class:`LatencyOnlyNetworkModel` — ``latency + size/bandwidth`` with no
+  contention (a LogGP-style model; fast, used for quick tests and sanity
+  baselines).
+
+Default constants approximate the paper's Mellanox FDR10 fabric: 40 Gb/s
+links, 100 ns per hop, 1 µs software/injection overhead per message, and
+100 GFlops hosts (Section 6.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.routing.tables import RoutingTables
+from repro.simulation.engine import Event, Kernel
+from repro.simulation.fluid import FluidScheduler
+
+__all__ = [
+    "NetworkParams",
+    "FluidNetworkModel",
+    "LatencyOnlyNetworkModel",
+    "build_network",
+]
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Physical constants of the simulated fabric."""
+
+    bandwidth_bytes_per_s: float = 5.0e9  # 40 Gb/s FDR10
+    link_latency_s: float = 100e-9  # per traversed link
+    software_overhead_s: float = 1e-6  # per-message MPI/NIC overhead
+    host_flops_per_s: float = 100e9  # paper: "each host has 100 GFlops"
+    local_copy_latency_s: float = 500e-9  # same-host (self) message
+
+
+class _LinkIndex:
+    """Directed-link numbering for a host-switch graph.
+
+    Layout: for switch edge ``e`` (in sorted order) links ``2e`` (low->high)
+    and ``2e+1`` (high->low); then per host ``h`` an uplink and a downlink.
+    """
+
+    def __init__(self, graph: HostSwitchGraph) -> None:
+        self.graph = graph
+        self._edge_ids: dict[tuple[int, int], int] = {}
+        for idx, (a, b) in enumerate(sorted(graph.switch_edges())):
+            self._edge_ids[(a, b)] = 2 * idx
+        self._host_base = 2 * graph.num_switch_edges
+        self.num_links = self._host_base + 2 * graph.num_hosts
+
+    def switch_link(self, u: int, v: int) -> int:
+        """Directed link id for hop ``u -> v`` (switch to switch)."""
+        if u < v:
+            return self._edge_ids[(u, v)]
+        return self._edge_ids[(v, u)] + 1
+
+    def host_uplink(self, h: int) -> int:
+        return self._host_base + 2 * h
+
+    def host_downlink(self, h: int) -> int:
+        return self._host_base + 2 * h + 1
+
+
+class _BaseNetworkModel:
+    """Shared routing/accounting for both network models.
+
+    ``routing`` selects the per-message path policy:
+
+    - ``"shortest"`` (default) — deterministic lowest-id shortest paths,
+      cached per (src, dst) pair; the paper's evaluation setting.
+    - ``"ecmp"`` — a fresh uniformly random shortest path per message.
+    - ``"valiant"`` — two-phase randomized routing through a random
+      intermediate switch (adversarial-traffic load balancing).
+    """
+
+    def __init__(
+        self,
+        graph: HostSwitchGraph,
+        kernel: Kernel,
+        params: NetworkParams,
+        tables: RoutingTables | None = None,
+        routing: str = "shortest",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if routing not in ("shortest", "ecmp", "valiant"):
+            raise ValueError(
+                f"routing must be 'shortest', 'ecmp', or 'valiant', got {routing!r}"
+            )
+        self.graph = graph
+        self.kernel = kernel
+        self.params = params
+        self.tables = tables if tables is not None else RoutingTables(graph)
+        self.routing = routing
+        self.links = _LinkIndex(graph)
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+        self._route_cache: dict[tuple[int, int], np.ndarray] = {}
+        from repro.utils.rng import as_generator
+
+        self._rng = as_generator(seed)
+
+    def _switch_path(self, su: int, sv: int) -> list[int]:
+        if self.routing == "shortest":
+            return self.tables.switch_route(su, sv)
+        if self.routing == "ecmp":
+            return self.tables.switch_route(su, sv, rng=self._rng)
+        from repro.routing.valiant import valiant_switch_route
+
+        return valiant_switch_route(self.tables, su, sv, rng=self._rng)
+
+    def route_links(self, src_host: int, dst_host: int) -> np.ndarray:
+        """Directed link ids traversed from ``src_host`` to ``dst_host``."""
+        cacheable = self.routing == "shortest"
+        key = (src_host, dst_host)
+        if cacheable:
+            cached = self._route_cache.get(key)
+            if cached is not None:
+                return cached
+        su = self.graph.host_attachment(src_host)
+        sv = self.graph.host_attachment(dst_host)
+        ids = [self.links.host_uplink(src_host)]
+        path = self._switch_path(su, sv)
+        for u, v in zip(path, path[1:]):
+            ids.append(self.links.switch_link(u, v))
+        ids.append(self.links.host_downlink(dst_host))
+        arr = np.asarray(ids, dtype=np.int64)
+        if cacheable:
+            self._route_cache[key] = arr
+        return arr
+
+    def path_latency(self, num_links: int) -> float:
+        """Latency before the payload starts draining."""
+        return self.params.software_overhead_s + num_links * self.params.link_latency_s
+
+    def send(self, src_host: int, dst_host: int, nbytes: float, done_event: Event) -> None:
+        """Deliver ``nbytes`` from ``src_host`` to ``dst_host``; fire ``done_event``."""
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if src_host == dst_host:
+            self.kernel.call_later(self.params.local_copy_latency_s, done_event.fire, None)
+            return
+        route = self.route_links(src_host, dst_host)
+        self._transfer(route, nbytes, done_event)
+
+    def _transfer(self, route: np.ndarray, nbytes: float, done_event: Event) -> None:
+        raise NotImplementedError
+
+
+class FluidNetworkModel(_BaseNetworkModel):
+    """Contention-aware model: per-hop latency, then max-min fair draining."""
+
+    def __init__(
+        self,
+        graph: HostSwitchGraph,
+        kernel: Kernel,
+        params: NetworkParams | None = None,
+        tables: RoutingTables | None = None,
+        routing: str = "shortest",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(graph, kernel, params or NetworkParams(), tables, routing, seed)
+        capacities = np.full(self.links.num_links, self.params.bandwidth_bytes_per_s)
+        self.scheduler = FluidScheduler(kernel, capacities)
+
+    def _transfer(self, route: np.ndarray, nbytes: float, done_event: Event) -> None:
+        latency = self.path_latency(len(route))
+        self.kernel.call_later(
+            latency, self.scheduler.start_flow, route, float(nbytes), done_event
+        )
+
+    def link_utilization(self) -> np.ndarray:
+        """Cumulative bytes carried per directed link."""
+        return self.scheduler.link_bytes.copy()
+
+
+class LatencyOnlyNetworkModel(_BaseNetworkModel):
+    """Contention-free model: ``latency + size/bandwidth`` per message."""
+
+    def __init__(
+        self,
+        graph: HostSwitchGraph,
+        kernel: Kernel,
+        params: NetworkParams | None = None,
+        tables: RoutingTables | None = None,
+        routing: str = "shortest",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(graph, kernel, params or NetworkParams(), tables, routing, seed)
+
+    def _transfer(self, route: np.ndarray, nbytes: float, done_event: Event) -> None:
+        delay = self.path_latency(len(route)) + nbytes / self.params.bandwidth_bytes_per_s
+        self.kernel.call_later(delay, done_event.fire, None)
+
+
+def build_network(
+    graph: HostSwitchGraph,
+    kernel: Kernel,
+    *,
+    model: str = "fluid",
+    params: NetworkParams | None = None,
+    tables: RoutingTables | None = None,
+    routing: str = "shortest",
+    seed: int | np.random.Generator | None = None,
+) -> _BaseNetworkModel:
+    """Construct a network model by name (``"fluid"`` or ``"latency"``)."""
+    if model == "fluid":
+        return FluidNetworkModel(graph, kernel, params, tables, routing, seed)
+    if model == "latency":
+        return LatencyOnlyNetworkModel(graph, kernel, params, tables, routing, seed)
+    raise ValueError(f"unknown network model {model!r} (use 'fluid' or 'latency')")

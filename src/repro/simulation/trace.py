@@ -1,0 +1,88 @@
+"""Run statistics and optional per-rank timelines for MPI simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SimulationStats",
+    "DeadlockError",
+    "TraceInterval",
+    "RankTimeline",
+    "timeline_utilisation",
+]
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the event heap drains while ranks are still blocked."""
+
+
+@dataclass(frozen=True)
+class TraceInterval:
+    """One traced activity interval on a rank."""
+
+    kind: str  # "compute" | "recv-wait" | "sleep"
+    start_s: float
+    end_s: float
+    detail: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class RankTimeline:
+    """All traced intervals of one rank, in chronological order."""
+
+    rank: int
+    intervals: list[TraceInterval] = field(default_factory=list)
+
+    def time_in(self, kind: str) -> float:
+        """Total seconds spent in intervals of ``kind``."""
+        return sum(iv.duration_s for iv in self.intervals if iv.kind == kind)
+
+
+def timeline_utilisation(
+    timelines: list[RankTimeline], total_time_s: float
+) -> dict[str, float]:
+    """Mean fraction of wall time per activity kind across ranks.
+
+    The residual (1 - sum of fractions) is un-traced time: eager sends,
+    scheduling gaps, and waiting attributable to collective skew.
+    """
+    if total_time_s <= 0 or not timelines:
+        return {}
+    kinds: dict[str, float] = {}
+    for tl in timelines:
+        for iv in tl.intervals:
+            kinds[iv.kind] = kinds.get(iv.kind, 0.0) + iv.duration_s
+    denom = total_time_s * len(timelines)
+    return {k: v / denom for k, v in sorted(kinds.items())}
+
+
+@dataclass
+class SimulationStats:
+    """Aggregate outcome of one simulated MPI run."""
+
+    time_s: float
+    num_ranks: int
+    messages: int
+    bytes: float
+    compute_s_per_rank: list[float] = field(default_factory=list)
+    timelines: list["RankTimeline"] | None = None
+    """Per-rank activity intervals; populated when tracing is enabled."""
+
+    @property
+    def mean_compute_s(self) -> float:
+        """Mean per-rank busy (compute) time."""
+        if not self.compute_s_per_rank:
+            return 0.0
+        return sum(self.compute_s_per_rank) / len(self.compute_s_per_rank)
+
+    @property
+    def communication_fraction(self) -> float:
+        """Fraction of wall time not covered by mean compute (rough)."""
+        if self.time_s <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.mean_compute_s / self.time_s)

@@ -1,0 +1,44 @@
+"""Conventional interconnection topologies as host-switch graphs (Section 6.1).
+
+Each builder returns a :class:`repro.core.HostSwitchGraph` plus a spec
+object recording the parameters the paper derives (``n_max``, ``m``, ``r``).
+The three paper comparators are :func:`torus`, :func:`dragonfly`, and
+:func:`fat_tree`; :func:`hypercube` and :func:`mesh` are additional classics
+built on the same machinery and used in tests/examples.
+"""
+
+from repro.topologies.base import TopologySpec
+from repro.topologies.torus import torus, torus_spec
+from repro.topologies.dragonfly import dragonfly, dragonfly_spec
+from repro.topologies.fattree import fat_tree, fat_tree_spec
+from repro.topologies.hypercube import hypercube, hypercube_spec
+from repro.topologies.mesh import mesh, mesh_spec
+from repro.topologies.slimfly import slim_fly, slim_fly_spec
+from repro.topologies.jellyfish import jellyfish, jellyfish_spec
+from repro.topologies.random_shortcut import (
+    random_shortcut_ring,
+    random_shortcut_spec,
+)
+from repro.topologies.registry import build_topology, available_topologies
+
+__all__ = [
+    "TopologySpec",
+    "torus",
+    "torus_spec",
+    "dragonfly",
+    "dragonfly_spec",
+    "fat_tree",
+    "fat_tree_spec",
+    "hypercube",
+    "hypercube_spec",
+    "mesh",
+    "mesh_spec",
+    "slim_fly",
+    "slim_fly_spec",
+    "jellyfish",
+    "jellyfish_spec",
+    "random_shortcut_ring",
+    "random_shortcut_spec",
+    "build_topology",
+    "available_topologies",
+]

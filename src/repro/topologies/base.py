@@ -1,0 +1,77 @@
+"""Common metadata and host-attachment helpers for topology builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hostswitch import HostSwitchGraph
+
+__all__ = ["TopologySpec", "attach_hosts"]
+
+
+def attach_hosts(graph: HostSwitchGraph, n: int, strategy: str = "sequential") -> None:
+    """Attach ``n`` hosts to a built switch fabric.
+
+    ``"sequential"`` (the paper's rule, Section 6.2.1: "we sequentially
+    connect hosts to switches until n ...") fills each switch to capacity
+    before moving to the next, so consecutive host ids — and hence
+    consecutive MPI ranks under the linear mapping — share switches.
+    ``"round-robin"`` lays one host per switch per sweep, spreading load.
+    """
+    if strategy == "sequential":
+        remaining = n
+        for s in range(graph.num_switches):
+            while remaining > 0 and graph.free_ports(s) >= 1:
+                graph.attach_host(s)
+                remaining -= 1
+            if remaining == 0:
+                return
+        raise ValueError(f"out of ports with {remaining} hosts left")
+    if strategy == "round-robin":
+        remaining = n
+        while remaining > 0:
+            progressed = False
+            for s in range(graph.num_switches):
+                if remaining == 0:
+                    break
+                if graph.free_ports(s) >= 1:
+                    graph.attach_host(s)
+                    remaining -= 1
+                    progressed = True
+            if not progressed:
+                raise ValueError(f"out of ports with {remaining} hosts left")
+        return
+    raise ValueError(f"unknown host fill strategy {strategy!r}")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Derived parameters of a concrete topology instance.
+
+    Attributes
+    ----------
+    name:
+        Topology family (``"torus"``, ``"dragonfly"``, ...).
+    num_switches:
+        ``m``: switches in the instance.
+    radix:
+        ``r``: ports per switch required by the construction.
+    max_hosts:
+        ``n_max``: hosts the instance can carry (paper's "connectable
+        hosts").
+    params:
+        The family-specific parameters (e.g. ``{"K": 5, "N": 3}``).
+    """
+
+    name: str
+    num_switches: int
+    radix: int
+    max_hosts: int
+    params: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        ps = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return (
+            f"{self.name}({ps}): m={self.num_switches}, r={self.radix}, "
+            f"n_max={self.max_hosts}"
+        )

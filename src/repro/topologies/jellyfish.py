@@ -1,0 +1,60 @@
+"""Jellyfish host-switch graph — the paper's reference [11].
+
+Singla et al.'s Jellyfish networks data centres with a *random regular
+graph* of top-of-rack switches, each carrying a fixed number of hosts —
+exactly the regular host-switch graphs of the paper's Section 5.1 before
+any optimisation.  Provided as a named topology so the random baseline the
+paper improves upon is a first-class citizen in comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.construct import random_regular_host_switch_graph
+from repro.core.hostswitch import HostSwitchGraph
+from repro.topologies.base import TopologySpec
+from repro.utils.validation import check_positive_int
+
+__all__ = ["jellyfish", "jellyfish_spec"]
+
+
+def jellyfish_spec(num_switches: int, radix: int, hosts_per_switch: int) -> TopologySpec:
+    """Derived parameters for a Jellyfish instance."""
+    check_positive_int(num_switches, "num_switches")
+    check_positive_int(radix, "radix")
+    check_positive_int(hosts_per_switch, "hosts_per_switch")
+    degree = radix - hosts_per_switch
+    if degree < 1:
+        raise ValueError(
+            f"radix r={radix} leaves no switch links after {hosts_per_switch} hosts"
+        )
+    if degree >= num_switches:
+        raise ValueError(
+            f"switch degree {degree} must be < num_switches {num_switches}"
+        )
+    return TopologySpec(
+        name="jellyfish",
+        num_switches=num_switches,
+        radix=radix,
+        max_hosts=num_switches * hosts_per_switch,
+        params={"k": degree, "p": hosts_per_switch},
+    )
+
+
+def jellyfish(
+    num_switches: int,
+    radix: int,
+    hosts_per_switch: int,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[HostSwitchGraph, TopologySpec]:
+    """Build a Jellyfish network (random regular switch graph, full hosts).
+
+    Requires ``num_switches * (radix - hosts_per_switch)`` even (regular-
+    graph parity).
+    """
+    spec = jellyfish_spec(num_switches, radix, hosts_per_switch)
+    g = random_regular_host_switch_graph(
+        spec.max_hosts, num_switches, radix, seed=seed
+    )
+    return g, spec

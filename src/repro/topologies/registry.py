@@ -1,0 +1,59 @@
+"""Name-based topology construction for harnesses and examples.
+
+``build_topology("torus", dimension=5, base=3, radix=15, num_hosts=1024)``
+keeps benchmark configuration declarative (strings + kwargs) instead of
+importing each builder.
+"""
+
+from __future__ import annotations
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.topologies.base import TopologySpec
+from repro.topologies.dragonfly import dragonfly
+from repro.topologies.fattree import fat_tree
+from repro.topologies.hypercube import hypercube
+from repro.topologies.jellyfish import jellyfish
+from repro.topologies.mesh import mesh
+from repro.topologies.random_shortcut import random_shortcut_ring
+from repro.topologies.slimfly import slim_fly
+from repro.topologies.torus import torus
+
+__all__ = ["available_topologies", "build_topology"]
+
+_BUILDERS = {
+    "torus": torus,
+    "dragonfly": dragonfly,
+    "fat-tree": fat_tree,
+    "fattree": fat_tree,
+    "hypercube": hypercube,
+    "mesh": mesh,
+    "slim-fly": slim_fly,
+    "slimfly": slim_fly,
+    "jellyfish": jellyfish,
+    "random-shortcut-ring": random_shortcut_ring,
+}
+
+
+def available_topologies() -> list[str]:
+    """Canonical topology names accepted by :func:`build_topology`."""
+    return [
+        "torus",
+        "dragonfly",
+        "fat-tree",
+        "hypercube",
+        "mesh",
+        "slim-fly",
+        "jellyfish",
+        "random-shortcut-ring",
+    ]
+
+
+def build_topology(name: str, **kwargs) -> tuple[HostSwitchGraph, TopologySpec]:
+    """Build a topology by family name; kwargs go to the family builder."""
+    try:
+        builder = _BUILDERS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; available: {available_topologies()}"
+        ) from None
+    return builder(**kwargs)

@@ -1,0 +1,18 @@
+"""Shared utilities: RNG handling, union-find, validation helpers."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.unionfind import UnionFind
+from repro.utils.validation import (
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "UnionFind",
+    "check_nonnegative_int",
+    "check_positive_int",
+    "check_probability",
+]

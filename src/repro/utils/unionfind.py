@@ -1,0 +1,56 @@
+"""Disjoint-set (union-find) with path compression and union by size.
+
+Used by connectivity checks, the configuration-model graph generator, and
+the partitioner's contracted-graph bookkeeping.
+"""
+
+from __future__ import annotations
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Union-find over the integers ``0 .. size-1``."""
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self._parent = list(range(size))
+        self._size = [1] * size
+        self._components = size
+
+    @property
+    def components(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return self._components
+
+    def find(self, x: int) -> int:
+        """Return the canonical representative of ``x``'s set."""
+        root = x
+        parent = self._parent
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression: point every node on the path at the root.
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; return ``True`` if they differed."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def component_size(self, x: int) -> int:
+        """Size of the set containing ``x``."""
+        return self._size[self.find(x)]

@@ -1,0 +1,64 @@
+"""Tests for host-distribution analysis and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    format_series,
+    format_table,
+    host_distribution,
+    host_distribution_summary,
+    unused_switch_fraction,
+)
+from repro.core.hostswitch import HostSwitchGraph
+
+
+@pytest.fixture
+def skewed_graph() -> HostSwitchGraph:
+    g = HostSwitchGraph.from_edges(
+        4, 8, [(0, 1), (1, 2), (2, 3)], [0, 0, 0, 1, 1, 2]
+    )
+    return g
+
+
+class TestDistributions:
+    def test_histogram_includes_zero(self, skewed_graph):
+        assert host_distribution(skewed_graph) == {0: 1, 1: 1, 2: 1, 3: 1}
+
+    def test_unused_fraction(self, skewed_graph):
+        assert unused_switch_fraction(skewed_graph) == pytest.approx(0.25)
+
+    def test_summary_fields(self, skewed_graph):
+        s = host_distribution_summary(skewed_graph)
+        assert s.min_hosts == 0
+        assert s.max_hosts == 3
+        assert s.mean_hosts == pytest.approx(1.5)
+        assert s.distinct_values == 4
+        assert not s.is_regular
+
+    def test_regular_detection(self, clique4_graph):
+        s = host_distribution_summary(clique4_graph)
+        assert s.is_regular
+        assert s.unused_fraction == 0.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["bbbb", 22.5]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # all rows the same rendered width
+        widths = {len(ln) for ln in lines[1:]}
+        assert len(widths) == 1
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159265]])
+        assert "3.142" in out
+
+    def test_format_series(self):
+        out = format_series("s", [1, 2], [10.0, 20.0], x_label="m", y_label="h-ASPL")
+        assert "m" in out and "h-ASPL" in out
+        assert out.splitlines()[0] == "s"

@@ -1,0 +1,70 @@
+"""Tests for distance-profile and link-load analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.paths import (
+    distance_histogram,
+    distance_profile,
+    link_load_summary,
+)
+from repro.core.metrics import h_aspl
+
+
+class TestDistanceHistogram:
+    def test_fig1_ring_histogram(self, fig1_graph):
+        # 4-cycle of switches, 4 hosts each: per source 3 at 2, 8 at 3, 4 at 4.
+        hist = distance_histogram(fig1_graph)
+        n = 16
+        assert hist == {2: n * 3 // 2, 3: n * 8 // 2, 4: n * 4 // 2}
+
+    def test_total_pairs(self, fig1_graph):
+        hist = distance_histogram(fig1_graph)
+        assert sum(hist.values()) == 16 * 15 // 2
+
+    def test_mean_matches_h_aspl(self, fig1_graph):
+        profile = distance_profile(fig1_graph)
+        assert profile.mean == pytest.approx(h_aspl(fig1_graph))
+
+    def test_profile_fields(self, clique4_graph):
+        profile = distance_profile(clique4_graph)
+        assert profile.diameter == 3
+        assert profile.median in (2.0, 3.0)
+        assert profile.fraction_within(3) == 1.0
+        assert 0 < profile.fraction_within(2) < 1.0
+
+    def test_fraction_monotone(self, fig1_graph):
+        profile = distance_profile(fig1_graph)
+        fracs = [profile.fraction_within(h) for h in range(2, 6)]
+        assert fracs == sorted(fracs)
+        assert fracs[-1] == 1.0
+
+
+class TestLinkLoad:
+    def test_even_load(self):
+        summary = link_load_summary(np.full(10, 5.0))
+        assert summary["imbalance"] == pytest.approx(1.0)
+        assert summary["max"] == 5.0
+
+    def test_hot_link(self):
+        loads = np.asarray([1.0] * 9 + [10.0])
+        summary = link_load_summary(loads)
+        assert summary["imbalance"] > 5.0
+        assert summary["p95"] >= 1.0
+
+    def test_empty_and_zero(self):
+        assert link_load_summary(np.zeros(4))["imbalance"] == 0.0
+        assert link_load_summary(np.zeros(0))["max"] == 0.0
+
+    def test_from_simulation(self, fig1_graph):
+        from repro.simulation.engine import Event, Kernel
+        from repro.simulation.network import FluidNetworkModel
+
+        kernel = Kernel()
+        net = FluidNetworkModel(fig1_graph, kernel)
+        net.send(0, 15, 1000.0, Event())
+        kernel.run()
+        summary = link_load_summary(net.link_utilization())
+        assert summary["max"] == pytest.approx(1000.0, rel=1e-3)

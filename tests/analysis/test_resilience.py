@@ -1,0 +1,74 @@
+"""Tests for failure-injection analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.resilience import (
+    edge_failure_impact,
+    switch_failure_impact,
+)
+from repro.core.construct import clique_host_switch_graph, random_host_switch_graph
+from repro.core.hostswitch import HostSwitchGraph
+from repro.core.metrics import h_aspl
+
+
+class TestEdgeFailures:
+    def test_graph_restored_after_trials(self, fig1_graph):
+        before = fig1_graph.copy()
+        edge_failure_impact(fig1_graph, trials=10, seed=0)
+        assert fig1_graph == before
+
+    def test_ring_never_disconnects_on_single_failure(self, fig1_graph):
+        impact = edge_failure_impact(fig1_graph, trials=20, seed=1)
+        assert impact.disconnected == 0
+        assert impact.mean_h_aspl > impact.baseline_h_aspl
+        assert impact.worst_h_aspl >= impact.mean_h_aspl
+        assert impact.mean_degradation > 0
+
+    def test_tree_always_disconnects(self):
+        # Spanning-tree-only graph: every link is a bridge.
+        g = random_host_switch_graph(10, 5, 8, seed=2, fill_edges=False)
+        impact = edge_failure_impact(g, trials=10, seed=2)
+        assert impact.disconnected == 10
+        assert impact.disconnection_probability == 1.0
+
+    def test_clique_degrades_gently(self):
+        g = clique_host_switch_graph(20, 8)
+        impact = edge_failure_impact(g, trials=15, seed=3)
+        assert impact.disconnected == 0
+        # A clique's single-edge failure adds at most one extra hop for
+        # the affected switch pair.
+        assert impact.worst_h_aspl <= impact.baseline_h_aspl + 1.0
+
+    def test_validation(self, fig1_graph):
+        with pytest.raises(ValueError, match="trials"):
+            edge_failure_impact(fig1_graph, trials=0)
+        lonely = HostSwitchGraph.from_edges(1, 4, [], [0, 0])
+        with pytest.raises(ValueError, match="no switch-switch"):
+            edge_failure_impact(lonely)
+
+
+class TestSwitchFailures:
+    def test_ring_survives_any_single_switch(self, fig1_graph):
+        impact = switch_failure_impact(fig1_graph, trials=12, seed=4)
+        # Losing one ring switch keeps the remaining three connected
+        # (the other 12 hosts still talk), so no trial disconnects.
+        assert impact.disconnected == 0
+        assert impact.baseline_h_aspl == pytest.approx(h_aspl(fig1_graph))
+
+    def test_star_hub_failure_detected(self):
+        # Star of switches: hub in the middle; hub failure disconnects.
+        g = HostSwitchGraph(4, 6)
+        for leaf in (1, 2, 3):
+            g.add_switch_edge(0, leaf)
+        for leaf in (1, 2, 3):
+            g.attach_host(leaf)
+        impact = switch_failure_impact(g, trials=30, seed=5)
+        assert impact.disconnected > 0
+
+    def test_random_graph_mostly_survives(self):
+        g = random_host_switch_graph(30, 10, 8, seed=6)
+        impact = switch_failure_impact(g, trials=10, seed=6)
+        assert impact.trials == 10
+        assert 0 <= impact.disconnection_probability <= 1

@@ -1,0 +1,155 @@
+"""Tests for Theorem 1, Theorem 2, and the Moore bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    diameter_lower_bound,
+    h_aspl_lower_bound,
+    moore_aspl_lower_bound,
+    moore_reachable,
+    regular_h_aspl_lower_bound,
+)
+from repro.core.construct import clique_host_switch_graph, star_host_switch_graph
+from repro.core.metrics import h_aspl, h_aspl_and_diameter
+
+
+class TestDiameterLowerBound:
+    def test_paper_instance(self):
+        # n=1024, r=24: (23)^2 = 529 < 1023 <= 23^3, so D- = 4.
+        assert diameter_lower_bound(1024, 24) == 4
+
+    def test_single_switch_regime(self):
+        # n <= r: two edges suffice (h - s - h).
+        assert diameter_lower_bound(8, 8) == 2
+        assert diameter_lower_bound(3, 24) == 2
+
+    def test_boundary_exact_power(self):
+        # n - 1 = (r-1)^(D-1) exactly.
+        r = 5
+        assert diameter_lower_bound((r - 1) ** 2 + 1, r) == 3
+        assert diameter_lower_bound((r - 1) ** 2 + 2, r) == 4
+
+    def test_matches_log_formula(self):
+        for n in [10, 100, 1000, 4097]:
+            for r in [3, 8, 16]:
+                expected = math.ceil(math.log(n - 1, r - 1)) + 1
+                got = diameter_lower_bound(n, r)
+                # The integer loop is authoritative; the float formula can
+                # be off by one at exact powers, so allow that slack only
+                # when floating-point rounding bites.
+                assert abs(got - expected) <= 1
+                assert (r - 1) ** (got - 1) >= n - 1
+                assert got == 2 or (r - 1) ** (got - 2) < n - 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            diameter_lower_bound(1, 4)
+        with pytest.raises(ValueError):
+            diameter_lower_bound(10, 2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 10**6), st.integers(3, 64))
+    def test_defining_inequality(self, n, r):
+        d = diameter_lower_bound(n, r)
+        assert (r - 1) ** (d - 1) >= n - 1
+        if d > 2:
+            assert (r - 1) ** (d - 2) < n - 1
+
+
+class TestMooreBound:
+    def test_reachable_counting(self):
+        # degree 3: 1 + 3 + 6 + 12 ...
+        assert moore_reachable(3, 0) == 1
+        assert moore_reachable(3, 1) == 4
+        assert moore_reachable(3, 2) == 10
+        assert moore_reachable(3, 3) == 22
+
+    def test_complete_graph_aspl_is_one(self):
+        assert moore_aspl_lower_bound(5, 4) == 1.0
+
+    def test_petersen_parameters(self):
+        # Petersen graph: 10 vertices, 3-regular, achieves the Moore bound
+        # ASPL = (3*1 + 6*2) / 9 = 5/3.
+        assert moore_aspl_lower_bound(10, 3) == pytest.approx(5 / 3)
+
+    def test_single_vertex(self):
+        assert moore_aspl_lower_bound(1, 0) == 0.0
+
+    def test_infeasible_degree(self):
+        assert moore_aspl_lower_bound(5, 1) == float("inf")
+        assert moore_aspl_lower_bound(10, 0) == float("inf")
+
+    def test_degree_two_is_path_like(self):
+        # Ring of 7: layers of 2 at distances 1,2,3 -> (2+4+6)/6 = 2.
+        assert moore_aspl_lower_bound(7, 2) == pytest.approx(2.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 500), st.integers(2, 20))
+    def test_monotone_in_degree(self, n, k):
+        # More ports can only lower the bound.
+        assert moore_aspl_lower_bound(n, k + 1) <= moore_aspl_lower_bound(n, k)
+
+
+class TestHAsplLowerBound:
+    def test_star_regime_bound_is_two_and_tight(self):
+        for n in (3, 5, 8):
+            assert h_aspl_lower_bound(n, 8) == pytest.approx(2.0)
+            g = star_host_switch_graph(n, 8)
+            assert h_aspl(g) == pytest.approx(2.0)
+
+    def test_exact_power_case(self):
+        # n = (r-1)^(D-1)+1 -> bound exactly D.
+        r = 4
+        n = (r - 1) ** 2 + 1  # 10
+        assert h_aspl_lower_bound(n, r) == pytest.approx(3.0)
+
+    def test_paper_1024_24(self):
+        bound = h_aspl_lower_bound(1024, 24)
+        assert 3.0 < bound < 4.0  # between diameters 3 and 4
+
+    def test_bound_below_clique_construction(self):
+        # The clique host-switch graph is optimal in its regime (Theorem 3),
+        # so the Theorem-2 bound must sit at or below its h-ASPL.
+        for n, r in [(20, 8), (40, 12), (72, 16)]:
+            g = clique_host_switch_graph(n, r)
+            assert h_aspl_lower_bound(n, r) <= h_aspl(g) + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(3, 100_000), st.integers(3, 48))
+    def test_bound_sandwiched_by_diameter_bound(self, n, r):
+        a = h_aspl_lower_bound(n, r)
+        d = diameter_lower_bound(n, r)
+        assert a <= d + 1e-12
+        assert a >= d - 1.0  # alpha/(n-1) < 1 by construction... see note
+        assert a >= 2.0
+
+
+class TestRegularBound:
+    def test_requires_divisibility(self):
+        with pytest.raises(ValueError, match="m | n"):
+            regular_h_aspl_lower_bound(10, 3, 8)
+
+    def test_single_switch(self):
+        assert regular_h_aspl_lower_bound(4, 1, 8) == 2.0
+        assert regular_h_aspl_lower_bound(9, 1, 8) == float("inf")
+
+    def test_infeasible_when_hosts_exhaust_ports(self):
+        assert regular_h_aspl_lower_bound(32, 4, 8) == float("inf")
+
+    def test_formula2_value(self):
+        # m=4, n=8, r=5: 2 hosts/switch, degree 3 -> complete K4, M=1.
+        # bound = 1 * (32-8)/(32-4) + 2 = 24/28 + 2.
+        expected = 24 / 28 + 2
+        assert regular_h_aspl_lower_bound(8, 4, 5) == pytest.approx(expected)
+
+    def test_achieved_by_clique(self):
+        # A clique host-switch graph with even spread achieves Formula (2)
+        # when the switch graph is complete.
+        g = clique_host_switch_graph(8, 5, m=4)
+        assert h_aspl(g) == pytest.approx(regular_h_aspl_lower_bound(8, 4, 5))

@@ -1,0 +1,162 @@
+"""Tests for graph constructions (star, clique, regular, random, fills)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.construct import (
+    clique_host_switch_graph,
+    fill_hosts_dfs,
+    fill_hosts_sequentially,
+    minimum_clique_switch_count,
+    random_host_switch_graph,
+    random_regular_host_switch_graph,
+    random_regular_switch_topology,
+    spread_hosts_evenly,
+    star_host_switch_graph,
+)
+from repro.core.hostswitch import HostSwitchGraph
+from repro.core.metrics import h_aspl
+
+
+class TestStar:
+    def test_star_h_aspl_is_two(self):
+        g = star_host_switch_graph(6, 8)
+        assert g.num_switches == 1
+        assert h_aspl(g) == 2.0
+
+    def test_star_requires_capacity(self):
+        with pytest.raises(ValueError, match="n <= r"):
+            star_host_switch_graph(9, 8)
+
+
+class TestClique:
+    def test_minimum_switch_count(self):
+        # r=6: capacities m(7-m): 6, 10, 12, 12, 10, 6 -> n=11 needs m=3.
+        assert minimum_clique_switch_count(6, 6) == 1
+        assert minimum_clique_switch_count(7, 6) == 2
+        assert minimum_clique_switch_count(11, 6) == 3
+
+    def test_capacity_exceeded_raises(self):
+        with pytest.raises(ValueError, match="no clique"):
+            minimum_clique_switch_count(13, 6)  # max capacity is 12
+
+    def test_clique_structure(self):
+        g = clique_host_switch_graph(10, 6)
+        m = g.num_switches
+        assert g.num_switch_edges == m * (m - 1) // 2
+        g.validate()
+        assert g.num_hosts == 10
+
+    def test_hosts_spread_evenly(self):
+        g = clique_host_switch_graph(10, 6, m=3)
+        counts = sorted(g.host_counts().tolist())
+        assert counts == [3, 3, 4]
+
+    def test_explicit_m_validated(self):
+        with pytest.raises(ValueError, match="at most"):
+            clique_host_switch_graph(50, 6, m=3)
+
+
+class TestRegularTopology:
+    def test_regular_topology_properties(self):
+        edges = random_regular_switch_topology(10, 3, seed=0)
+        degree = {}
+        for a, b in edges:
+            degree[a] = degree.get(a, 0) + 1
+            degree[b] = degree.get(b, 0) + 1
+        assert all(degree[v] == 3 for v in range(10))
+        assert len(edges) == 15
+
+    def test_odd_total_degree_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            random_regular_switch_topology(5, 3)
+
+    def test_degree_bound(self):
+        with pytest.raises(ValueError, match="must be <"):
+            random_regular_switch_topology(4, 4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_regular_host_switch_graph_is_regular(self, seed):
+        g = random_regular_host_switch_graph(n=24, m=8, r=6, seed=seed)
+        g.validate()
+        assert all(g.hosts_on(s) == 3 for s in range(8))
+        assert all(g.switch_degree(s) == 3 for s in range(8))
+        assert g.is_switch_graph_connected()
+
+    def test_divisibility_required(self):
+        with pytest.raises(ValueError, match="m | n"):
+            random_regular_host_switch_graph(n=25, m=8, r=6)
+
+    def test_no_ports_left_raises(self):
+        with pytest.raises(ValueError, match="no switch ports"):
+            random_regular_host_switch_graph(n=24, m=4, r=6)
+
+
+class TestRandomGraph:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_graph_valid_and_connected(self, seed):
+        g = random_host_switch_graph(n=30, m=9, r=8, seed=seed)
+        g.validate()
+        assert g.num_hosts == 30
+        assert g.is_switch_graph_connected()
+        assert h_aspl(g) < float("inf")
+
+    def test_infeasible_configuration_raises(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            random_host_switch_graph(n=100, m=4, r=5)
+
+    def test_deterministic_under_seed(self):
+        a = random_host_switch_graph(20, 6, 8, seed=42)
+        b = random_host_switch_graph(20, 6, 8, seed=42)
+        assert a == b
+
+    def test_without_fill_edges_is_tree(self):
+        g = random_host_switch_graph(10, 5, 8, seed=1, fill_edges=False)
+        assert g.num_switch_edges == 4  # spanning tree on 5 switches
+
+
+class TestHostFills:
+    def test_spread_evenly_balances(self):
+        g = HostSwitchGraph(4, 6)
+        for a in range(3):
+            g.add_switch_edge(a, a + 1)
+        spread_hosts_evenly(g, 10)
+        counts = g.host_counts()
+        assert counts.sum() == 10
+        assert counts.max() - counts.min() <= 1 or g.free_ports(int(np.argmin(counts))) == 0
+
+    def test_sequential_fill_packs_first_switches(self):
+        g = HostSwitchGraph(3, 4)
+        g.add_switch_edge(0, 1)
+        g.add_switch_edge(1, 2)
+        fill_hosts_sequentially(g, 5)
+        # switch 0 has 3 free ports, switch 1 has 2.
+        assert g.host_counts().tolist() == [3, 2, 0]
+
+    def test_sequential_fill_capacity_error(self):
+        g = HostSwitchGraph(1, 4)
+        with pytest.raises(ValueError, match="not enough"):
+            fill_hosts_sequentially(g, 5)
+
+    def test_dfs_fill_follows_traversal(self):
+        # Path 0-1-2 rooted at 0 fills 0, then 1, then 2.
+        g = HostSwitchGraph(3, 4)
+        g.add_switch_edge(0, 1)
+        g.add_switch_edge(1, 2)
+        fill_hosts_dfs(g, 6, root=0)
+        assert g.host_counts().tolist() == [3, 2, 1]
+
+    def test_dfs_fill_groups_neighbours(self):
+        # Star: root 0 with leaves; DFS visits leaf subtrees consecutively.
+        g = HostSwitchGraph(3, 6)
+        g.add_switch_edge(0, 1)
+        g.add_switch_edge(0, 2)
+        fill_hosts_dfs(g, 12, root=0)
+        assert g.host_counts().sum() == 12
+        g.validate()

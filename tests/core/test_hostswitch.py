@@ -1,0 +1,201 @@
+"""Unit tests for the HostSwitchGraph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hostswitch import HostSwitchGraph
+
+
+class TestConstruction:
+    def test_empty_graph_properties(self):
+        g = HostSwitchGraph(num_switches=3, radix=4)
+        assert g.num_switches == 3
+        assert g.num_hosts == 0
+        assert g.num_switch_edges == 0
+        assert g.radix == 4
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HostSwitchGraph(num_switches=0, radix=4)
+        with pytest.raises(ValueError):
+            HostSwitchGraph(num_switches=3, radix=0)
+
+    def test_from_edges_builds_and_validates(self):
+        g = HostSwitchGraph.from_edges(3, 4, [(0, 1), (1, 2)], [0, 1, 2, 2])
+        assert g.num_hosts == 4
+        assert g.hosts_on(2) == 2
+        g.validate()
+
+    def test_repr_mentions_sizes(self):
+        g = HostSwitchGraph.from_edges(2, 4, [(0, 1)], [0, 1])
+        text = repr(g)
+        assert "n=2" in text and "m=2" in text and "r=4" in text
+
+
+class TestSwitchEdges:
+    def test_add_and_query(self):
+        g = HostSwitchGraph(3, 4)
+        g.add_switch_edge(0, 1)
+        assert g.has_switch_edge(0, 1)
+        assert g.has_switch_edge(1, 0)
+        assert not g.has_switch_edge(0, 2)
+        assert g.switch_degree(0) == 1
+        assert g.num_switch_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = HostSwitchGraph(3, 4)
+        with pytest.raises(ValueError, match="self loop"):
+            g.add_switch_edge(1, 1)
+
+    def test_parallel_edge_rejected(self):
+        g = HostSwitchGraph(3, 4)
+        g.add_switch_edge(0, 1)
+        with pytest.raises(ValueError, match="already exists"):
+            g.add_switch_edge(1, 0)
+
+    def test_radix_enforced_on_edges(self):
+        g = HostSwitchGraph(5, 3)
+        g.add_switch_edge(0, 1)
+        g.add_switch_edge(0, 2)
+        g.add_switch_edge(0, 3)
+        with pytest.raises(ValueError, match="no free port"):
+            g.add_switch_edge(0, 4)
+
+    def test_remove_edge(self):
+        g = HostSwitchGraph(3, 4)
+        g.add_switch_edge(0, 1)
+        g.remove_switch_edge(1, 0)
+        assert not g.has_switch_edge(0, 1)
+        assert g.num_switch_edges == 0
+
+    def test_remove_missing_edge_raises(self):
+        g = HostSwitchGraph(3, 4)
+        with pytest.raises(ValueError, match="does not exist"):
+            g.remove_switch_edge(0, 1)
+
+    def test_switch_edges_iterates_each_once(self):
+        g = HostSwitchGraph(4, 4)
+        g.add_switch_edge(0, 1)
+        g.add_switch_edge(2, 1)
+        g.add_switch_edge(3, 0)
+        edges = sorted(g.switch_edges())
+        assert edges == [(0, 1), (0, 3), (1, 2)]
+
+
+class TestHosts:
+    def test_attach_assigns_sequential_ids(self):
+        g = HostSwitchGraph(2, 4)
+        assert g.attach_host(0) == 0
+        assert g.attach_host(1) == 1
+        assert g.attach_host(0) == 2
+        assert g.hosts_on(0) == 2
+        assert g.host_attachment(2) == 0
+
+    def test_radix_enforced_on_hosts(self):
+        g = HostSwitchGraph(2, 3)
+        g.add_switch_edge(0, 1)
+        g.attach_host(0)
+        g.attach_host(0)
+        with pytest.raises(ValueError, match="no free port"):
+            g.attach_host(0)
+
+    def test_move_host_updates_counts(self):
+        g = HostSwitchGraph(2, 4)
+        h = g.attach_host(0)
+        old = g.move_host(h, 1)
+        assert old == 0
+        assert g.hosts_on(0) == 0
+        assert g.hosts_on(1) == 1
+        g.validate()
+
+    def test_move_host_to_same_switch_is_noop(self):
+        g = HostSwitchGraph(2, 4)
+        h = g.attach_host(0)
+        assert g.move_host(h, 0) == 0
+        assert g.hosts_on(0) == 1
+
+    def test_move_any_host_picks_highest_id(self):
+        g = HostSwitchGraph(2, 5)
+        g.attach_host(0)
+        g.attach_host(0)
+        moved = g.move_any_host(0, 1)
+        assert moved == 1  # deterministic: highest id on the source switch
+        assert g.hosts_on(0) == 1 and g.hosts_on(1) == 1
+
+    def test_move_any_host_from_empty_raises(self):
+        g = HostSwitchGraph(2, 4)
+        with pytest.raises(ValueError, match="no host"):
+            g.move_any_host(0, 1)
+
+    def test_hosts_of_switch(self):
+        g = HostSwitchGraph(2, 6)
+        g.attach_host(0)
+        g.attach_host(1)
+        g.attach_host(0)
+        assert g.hosts_of_switch(0) == [0, 2]
+
+    def test_free_ports_accounting(self):
+        g = HostSwitchGraph(2, 4)
+        g.add_switch_edge(0, 1)
+        g.attach_host(0)
+        assert g.free_ports(0) == 2
+        assert g.ports_used(0) == 2
+
+
+class TestConnectivityAndValidation:
+    def test_connected_detection(self):
+        g = HostSwitchGraph(3, 4)
+        g.add_switch_edge(0, 1)
+        assert not g.is_switch_graph_connected()
+        g.add_switch_edge(1, 2)
+        assert g.is_switch_graph_connected()
+
+    def test_single_switch_is_connected(self):
+        assert HostSwitchGraph(1, 4).is_switch_graph_connected()
+
+    def test_validate_passes_on_good_graph(self, fig1_graph):
+        fig1_graph.validate()
+
+    def test_validate_catches_desync(self):
+        g = HostSwitchGraph(2, 4)
+        g.attach_host(0)
+        g._hosts_per_switch[0] = 0  # corrupt internals deliberately
+        with pytest.raises(ValueError, match="desynchronised"):
+            g.validate()
+
+
+class TestCopyAndExport:
+    def test_copy_is_independent(self, fig1_graph):
+        dup = fig1_graph.copy()
+        assert dup == fig1_graph
+        dup.remove_switch_edge(0, 1)
+        assert not dup == fig1_graph
+        assert fig1_graph.has_switch_edge(0, 1)
+
+    def test_equality_semantics(self):
+        a = HostSwitchGraph.from_edges(2, 4, [(0, 1)], [0])
+        b = HostSwitchGraph.from_edges(2, 4, [(0, 1)], [0])
+        c = HostSwitchGraph.from_edges(2, 4, [(0, 1)], [1])
+        assert a == b
+        assert a != c
+
+    def test_switch_csr_matches_adjacency(self, fig1_graph):
+        csr = fig1_graph.switch_csr()
+        assert csr.shape == (4, 4)
+        dense = csr.toarray()
+        for a in range(4):
+            for b in range(4):
+                assert bool(dense[a, b]) == fig1_graph.has_switch_edge(a, b)
+
+    def test_to_networkx_roundtrip_counts(self, fig1_graph):
+        nxg = fig1_graph.to_networkx()
+        hosts = [v for v, d in nxg.nodes(data=True) if d["kind"] == "host"]
+        switches = [v for v, d in nxg.nodes(data=True) if d["kind"] == "switch"]
+        assert len(hosts) == fig1_graph.num_hosts
+        assert len(switches) == fig1_graph.num_switches
+        assert nxg.number_of_edges() == fig1_graph.num_edges
+
+    def test_host_counts_array(self, fig1_graph):
+        counts = fig1_graph.host_counts()
+        assert counts.tolist() == [4, 4, 4, 4]

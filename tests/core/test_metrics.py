@@ -1,0 +1,139 @@
+"""Tests for h-ASPL / diameter metrics, including oracle cross-checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.construct import random_host_switch_graph
+from repro.core.hostswitch import HostSwitchGraph
+from repro.core.metrics import (
+    diameter,
+    h_aspl,
+    h_aspl_and_diameter,
+    h_aspl_from_distances,
+    host_distance_matrix,
+    single_source_host_distances,
+    switch_aspl,
+    switch_distance_matrix,
+)
+from tests.conftest import brute_force_h_aspl
+
+
+class TestHAspl:
+    def test_two_hosts_one_switch(self):
+        g = HostSwitchGraph.from_edges(1, 4, [], [0, 0])
+        assert h_aspl(g) == 2.0
+        assert diameter(g) == 2.0
+
+    def test_two_hosts_two_switches(self):
+        g = HostSwitchGraph.from_edges(2, 4, [(0, 1)], [0, 1])
+        assert h_aspl(g) == 3.0
+        assert diameter(g) == 3.0
+
+    def test_fig1_style_ring(self, fig1_graph):
+        # 4-cycle of switches, 4 hosts each.  Per source host: 3 at d=2,
+        # 8 at d=3 (two adjacent switches), 4 at d=4 (opposite switch).
+        expected = (3 * 2 + 8 * 3 + 4 * 4) / 15
+        assert h_aspl(fig1_graph) == pytest.approx(expected)
+        assert diameter(fig1_graph) == 4.0
+
+    def test_clique_graph(self, clique4_graph):
+        # 2 same-switch pairs at distance 2 per switch; rest at 3.
+        n = 12
+        same = 4 * 3  # C(3,2) per switch * 4 switches
+        total_pairs = n * (n - 1) // 2
+        expected = (same * 2 + (total_pairs - same) * 3) / total_pairs
+        assert h_aspl(clique4_graph) == pytest.approx(expected)
+        assert diameter(clique4_graph) == 3.0
+
+    def test_disconnected_hosts_give_inf(self):
+        g = HostSwitchGraph.from_edges(2, 4, [], [0, 1])
+        assert h_aspl(g) == float("inf")
+        assert diameter(g) == float("inf")
+
+    def test_single_host_rejected(self):
+        g = HostSwitchGraph.from_edges(1, 4, [], [0])
+        with pytest.raises(ValueError, match="at least 2 hosts"):
+            h_aspl(g)
+
+    def test_matches_brute_force_oracle(self, fig1_graph):
+        assert h_aspl(fig1_graph) == pytest.approx(brute_force_h_aspl(fig1_graph))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_graphs_match_oracle(self, seed):
+        g = random_host_switch_graph(n=14, m=5, r=8, seed=seed)
+        assert h_aspl(g) == pytest.approx(brute_force_h_aspl(g))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_diameter_at_least_aspl(self, seed):
+        g = random_host_switch_graph(n=20, m=6, r=8, seed=seed)
+        aspl, diam = h_aspl_and_diameter(g)
+        assert diam >= aspl
+        assert diam >= 2.0
+
+
+class TestDistanceMatrices:
+    def test_switch_distance_matrix_symmetric(self, fig1_graph):
+        d = switch_distance_matrix(fig1_graph)
+        assert d.shape == (4, 4)
+        assert np.allclose(d, d.T)
+        assert np.all(np.diag(d) == 0)
+        assert d[0, 2] == 2  # opposite corners of the 4-cycle
+
+    def test_selected_sources(self, fig1_graph):
+        d = switch_distance_matrix(fig1_graph, sources=np.asarray([1]))
+        assert d.shape == (1, 4)
+        assert d[0, 3] == 2
+
+    def test_host_distance_matrix(self, fig1_graph):
+        d = host_distance_matrix(fig1_graph)
+        n = fig1_graph.num_hosts
+        assert d.shape == (n, n)
+        assert np.all(np.diag(d) == 0)
+        # hosts 0 and 1 share switch 0.
+        assert d[0, 1] == 2
+        # host 0 (switch 0) to host on opposite switch 2.
+        h_opposite = fig1_graph.hosts_of_switch(2)[0]
+        assert d[0, h_opposite] == 4
+
+    def test_single_source_host_distances(self, fig1_graph):
+        d0 = single_source_host_distances(fig1_graph, 0)
+        full = host_distance_matrix(fig1_graph)
+        assert np.allclose(d0, full[0])
+
+    def test_h_aspl_from_distances_matches(self, fig1_graph):
+        counts = fig1_graph.host_counts()
+        bearing = np.flatnonzero(counts > 0)
+        dist = switch_distance_matrix(fig1_graph, sources=bearing)[:, bearing]
+        value = h_aspl_from_distances(dist, counts[bearing], fig1_graph.num_hosts)
+        assert value == pytest.approx(h_aspl(fig1_graph))
+
+
+class TestSwitchAspl:
+    def test_ring_of_four(self, fig1_graph):
+        # distances in a 4-cycle: 1,1,2 per vertex pair set -> mean 4/3.
+        assert switch_aspl(fig1_graph) == pytest.approx(4 / 3)
+
+    def test_single_switch(self):
+        g = HostSwitchGraph.from_edges(1, 4, [], [0, 0])
+        assert switch_aspl(g) == 0.0
+
+    def test_disconnected_switches(self):
+        g = HostSwitchGraph.from_edges(3, 4, [(0, 1)], [0, 1, 1])
+        assert switch_aspl(g) == float("inf")
+
+    def test_formula1_relation_on_regular_graph(self):
+        # Formula (1): A(G) = A(G') (mn - n) / (mn - m) + 2 for regular
+        # host-switch graphs (n/m hosts per switch).
+        from repro.core.construct import random_regular_host_switch_graph
+
+        g = random_regular_host_switch_graph(n=24, m=8, r=6, seed=3)
+        n, m = 24, 8
+        lhs = h_aspl(g)
+        rhs = switch_aspl(g) * (m * n - n) / (m * n - m) + 2.0
+        assert lhs == pytest.approx(rhs)

@@ -1,0 +1,110 @@
+"""Tests for the continuous Moore bound and the m_opt predictor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import regular_h_aspl_lower_bound
+from repro.core.moore import (
+    continuous_moore_aspl,
+    continuous_moore_bound,
+    moore_bound_series,
+    optimal_switch_count,
+)
+
+
+class TestContinuousMooreAspl:
+    def test_matches_integer_moore_at_integer_degree(self):
+        from repro.core.bounds import moore_aspl_lower_bound
+
+        for n in (10, 50, 200):
+            for k in (3, 5, 10):
+                assert continuous_moore_aspl(n, float(k)) == pytest.approx(
+                    moore_aspl_lower_bound(n, k)
+                )
+
+    def test_fractional_degree_interpolates(self):
+        lo = continuous_moore_aspl(100, 4.0)
+        mid = continuous_moore_aspl(100, 4.5)
+        hi = continuous_moore_aspl(100, 5.0)
+        assert hi <= mid <= lo
+
+    def test_degree_below_two_limited_coverage(self):
+        # K < 2 covers K/(2-K) vertices; beyond that -> inf.
+        assert continuous_moore_aspl(3, 1.5) < float("inf")  # covers 3
+        assert continuous_moore_aspl(50, 1.5) == float("inf")
+
+    def test_zero_or_negative_degree(self):
+        assert continuous_moore_aspl(10, 0.0) == float("inf")
+        assert continuous_moore_aspl(10, -1.0) == float("inf")
+
+    def test_single_vertex_is_zero(self):
+        assert continuous_moore_aspl(1, 0.5) == 0.0
+
+
+class TestContinuousMooreBound:
+    def test_matches_formula2_when_divisible(self):
+        # At m | n the continuous bound equals Formula (2) exactly.
+        for n, m, r in [(24, 8, 6), (128, 16, 12), (1024, 256, 24)]:
+            assert continuous_moore_bound(n, m, r) == pytest.approx(
+                regular_h_aspl_lower_bound(n, m, r)
+            )
+
+    def test_single_switch(self):
+        assert continuous_moore_bound(8, 1, 8) == 2.0
+        assert continuous_moore_bound(9, 1, 8) == float("inf")
+
+    def test_overloaded_switches_infeasible(self):
+        # n/m >= r leaves no switch ports.
+        assert continuous_moore_bound(100, 5, 10) == float("inf")
+
+    def test_u_shape_around_minimum(self):
+        # For the paper's (1024, 24): decreasing then increasing around m_opt.
+        m_opt, best = optimal_switch_count(1024, 24)
+        below = continuous_moore_bound(1024, max(2, m_opt // 2), 24)
+        above = continuous_moore_bound(1024, min(1024, m_opt * 3), 24)
+        assert best < below
+        assert best < above
+
+
+class TestOptimalSwitchCount:
+    def test_paper_values(self):
+        # Cross-checked against the paper's Section 6 instances:
+        # r=15 -> paper 194 (ours 195: tie-breaking at the flat minimum),
+        # r=16 -> paper 183 (exact match), (128, 24) -> 8 (clique regime).
+        assert optimal_switch_count(1024, 16)[0] == 183
+        assert abs(optimal_switch_count(1024, 15)[0] - 194) <= 1
+        assert optimal_switch_count(128, 24)[0] == 8
+
+    def test_trivial_star_regime(self):
+        m, bound = optimal_switch_count(8, 16)
+        assert m == 1
+        assert bound == 2.0
+
+    def test_respects_m_max(self):
+        m, _ = optimal_switch_count(1024, 24, m_max=50)
+        assert m <= 50
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError, match="no feasible"):
+            optimal_switch_count(10**6, 3, m_max=3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(16, 2000), st.integers(6, 36))
+    def test_minimiser_is_global_over_scan(self, n, r):
+        m_opt, best = optimal_switch_count(n, r)
+        for m in range(1, min(n, 300) + 1):
+            assert continuous_moore_bound(n, m, r) >= best - 1e-12
+
+
+class TestSeries:
+    def test_series_marks_divisible_points(self):
+        rows = moore_bound_series(128, 12, range(2, 66))
+        for m, cont, disc in rows:
+            if 128 % m == 0:
+                assert disc is not None
+                assert disc == pytest.approx(continuous_moore_bound(128, m, 12))
+            else:
+                assert disc is None

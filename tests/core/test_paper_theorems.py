@@ -1,0 +1,157 @@
+"""Exhaustive small-instance verification of the paper's theory.
+
+For tiny (n, r) we can enumerate *every* connected host-switch graph over
+all feasible switch counts and check the paper's claims exactly:
+
+- Theorem 1: the diameter lower bound is valid and tight somewhere.
+- Theorem 2: the h-ASPL lower bound is valid for every graph.
+- Theorem 3 (Appendix): a clique host-switch graph attains the optimum
+  whenever the clique regime applies.
+- Section 5.3's premise: the optimum over m is where the continuous Moore
+  bound says it should be (within the discrete neighbourhood).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+
+import pytest
+
+from repro.core.bounds import diameter_lower_bound, h_aspl_lower_bound
+from repro.core.construct import clique_host_switch_graph, minimum_clique_switch_count
+from repro.core.hostswitch import HostSwitchGraph
+from repro.core.metrics import h_aspl, h_aspl_and_diameter
+from repro.utils.unionfind import UnionFind
+
+
+def enumerate_host_switch_graphs(n: int, r: int, max_m: int):
+    """Yield every connected host-switch graph with n hosts, radix r,
+    and 1..max_m switches (host identity ignored: host *counts* per switch
+    determine every metric, so we enumerate count vectors)."""
+    for m in range(1, max_m + 1):
+        pairs = list(combinations(range(m), 2))
+        for mask in range(1 << len(pairs)):
+            edges = [pairs[i] for i in range(len(pairs)) if mask >> i & 1]
+            # Connectivity of the switch graph.
+            uf = UnionFind(m)
+            for a, b in edges:
+                uf.union(a, b)
+            if m > 1 and uf.components != 1:
+                continue
+            degree = [0] * m
+            for a, b in edges:
+                degree[a] += 1
+                degree[b] += 1
+            free = [r - d for d in degree]
+            if any(f < 0 for f in free):
+                continue
+            # All host-count vectors: k_i in 0..free_i summing to n.
+            for counts in _count_vectors(free, n):
+                g = HostSwitchGraph(m, r)
+                for a, b in edges:
+                    g.add_switch_edge(a, b)
+                for s, k in enumerate(counts):
+                    for _ in range(k):
+                        g.attach_host(s)
+                yield g
+
+
+def _count_vectors(free: list[int], total: int):
+    if len(free) == 1:
+        if 0 <= total <= free[0]:
+            yield (total,)
+        return
+    for k in range(min(free[0], total) + 1):
+        for rest in _count_vectors(free[1:], total - k):
+            yield (k,) + rest
+
+
+@pytest.fixture(scope="module")
+def exhaustive_5_4():
+    """All connected host-switch graphs for n=5, r=4, m<=4 (with metrics)."""
+    results = []
+    for g in enumerate_host_switch_graphs(5, 4, 4):
+        aspl, diam = h_aspl_and_diameter(g)
+        if aspl < float("inf"):
+            results.append((g, aspl, diam))
+    return results
+
+
+class TestExhaustive:
+    def test_enumeration_is_nontrivial(self, exhaustive_5_4):
+        assert len(exhaustive_5_4) > 50
+
+    def test_theorem1_valid_and_tight(self, exhaustive_5_4):
+        lb = diameter_lower_bound(5, 4)
+        diameters = [d for _, _, d in exhaustive_5_4]
+        assert all(d >= lb for d in diameters)
+        assert lb in diameters  # tight: some graph achieves it
+
+    def test_theorem2_valid(self, exhaustive_5_4):
+        lb = h_aspl_lower_bound(5, 4)
+        assert all(a >= lb - 1e-12 for _, a, _ in exhaustive_5_4)
+
+    def test_theorem3_clique_is_optimal(self, exhaustive_5_4):
+        # n=5, r=4: no single switch fits (5 > 4); the clique construction
+        # must match the exhaustive optimum.
+        best = min(a for _, a, _ in exhaustive_5_4)
+        clique = clique_host_switch_graph(5, 4)
+        assert h_aspl(clique) == pytest.approx(best)
+
+    def test_optimal_m_matches_clique_minimum(self, exhaustive_5_4):
+        best_graph, best, _ = min(exhaustive_5_4, key=lambda t: t[1])
+        assert best_graph.num_switches == minimum_clique_switch_count(5, 4)
+
+
+class TestExhaustiveSecondInstance:
+    @pytest.fixture(scope="class")
+    def exhaustive_6_3(self):
+        results = []
+        for g in enumerate_host_switch_graphs(6, 3, 5):
+            aspl, diam = h_aspl_and_diameter(g)
+            if aspl < float("inf"):
+                results.append((g, aspl, diam))
+        return results
+
+    def test_bounds_hold_at_r3(self, exhaustive_6_3):
+        # r=3 exercises the r-2 = 1 edge case of Theorem 2's alpha.
+        a_lb = h_aspl_lower_bound(6, 3)
+        d_lb = diameter_lower_bound(6, 3)
+        assert all(a >= a_lb - 1e-12 for _, a, _ in exhaustive_6_3)
+        assert all(d >= d_lb for _, _, d in exhaustive_6_3)
+
+    def test_optimum_found_by_solver_quality(self, exhaustive_6_3):
+        # The exhaustive optimum exists; the randomized solver should get
+        # within a small factor on this tiny instance.
+        from repro import AnnealingSchedule, solve_orp
+
+        best = min(a for _, a, _ in exhaustive_6_3)
+        sol = solve_orp(
+            6, 3, schedule=AnnealingSchedule(num_steps=1_000), seed=1
+        )
+        assert sol.h_aspl <= best * 1.15 + 1e-9
+
+
+class TestLemma1Construction:
+    def test_switch_to_host_conversion_reduces_single_source_aspl(self):
+        """Lemma 1's rewriting: a frontier switch with exactly one host can
+        become a host, lowering the source's average distance."""
+        # Path s0 - s1 - s2 with the far switch s2 holding exactly 1 host.
+        g = HostSwitchGraph.from_edges(3, 4, [(0, 1), (1, 2)], [0, 0, 2])
+        before = h_aspl(g)
+        # The conversion: delete s2, attach its host to s1 directly.
+        g2 = HostSwitchGraph.from_edges(2, 4, [(0, 1)], [0, 0, 1])
+        after = h_aspl(g2)
+        assert after < before
+
+
+class TestFormula1:
+    @pytest.mark.parametrize("n,m,r", [(12, 4, 6), (24, 8, 6), (32, 8, 8)])
+    def test_regular_graph_relation(self, n, m, r):
+        from repro.core.construct import random_regular_host_switch_graph
+        from repro.core.metrics import switch_aspl
+
+        g = random_regular_host_switch_graph(n, m, r, seed=0)
+        lhs = h_aspl(g)
+        rhs = switch_aspl(g) * (m * n - n) / (m * n - m) + 2.0
+        assert lhs == pytest.approx(rhs)

@@ -1,0 +1,70 @@
+"""Tests for HSG text (de)serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.construct import random_host_switch_graph
+from repro.core.serialization import (
+    graph_from_text,
+    graph_to_text,
+    load_graph,
+    save_graph,
+)
+
+
+class TestRoundTrip:
+    def test_fig1_roundtrip(self, fig1_graph):
+        text = graph_to_text(fig1_graph)
+        back = graph_from_text(text)
+        assert back == fig1_graph
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_graph_roundtrip(self, seed):
+        g = random_host_switch_graph(18, 6, 8, seed=seed)
+        assert graph_from_text(graph_to_text(g)) == g
+
+    def test_file_roundtrip(self, tmp_path, clique4_graph):
+        path = tmp_path / "graph.hsg"
+        save_graph(clique4_graph, path)
+        assert load_graph(path) == clique4_graph
+
+    def test_comments_and_blank_lines_ignored(self, clique4_graph):
+        text = graph_to_text(clique4_graph)
+        lines = text.splitlines()
+        noisy = "\n".join(
+            ["# a comment", lines[0], "", "  # indented comment"] + lines[1:]
+        )
+        assert graph_from_text(noisy) == clique4_graph
+
+
+class TestFormatErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="HSG v1"):
+            graph_from_text("WRONG\nn 1 m 1 r 3\nswitch-edges 0\nhosts 0")
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError, match="header"):
+            graph_from_text("HSG v1\nq 1 m 1 r 3\nswitch-edges 0\nhosts 0")
+
+    def test_edge_count_mismatch(self):
+        text = "HSG v1\nn 2 m 2 r 3\nswitch-edges 2\n0 1\nhosts 0 1"
+        with pytest.raises(ValueError, match="edge"):
+            graph_from_text(text)
+
+    def test_host_count_mismatch(self):
+        text = "HSG v1\nn 3 m 2 r 3\nswitch-edges 1\n0 1\nhosts 0 1"
+        with pytest.raises(ValueError, match="hosts line"):
+            graph_from_text(text)
+
+    def test_invalid_graph_rejected_by_validate(self):
+        # Host attached beyond the radix: parser must surface the violation.
+        text = "HSG v1\nn 4 m 1 r 3\nswitch-edges 0\nhosts 0 0 0 0"
+        with pytest.raises(ValueError):
+            graph_from_text(text)
+
+    def test_deterministic_output(self, fig1_graph):
+        assert graph_to_text(fig1_graph) == graph_to_text(fig1_graph.copy())

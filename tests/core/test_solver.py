@@ -1,0 +1,80 @@
+"""Tests for the end-to-end ORP solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.annealing import AnnealingSchedule
+from repro.core.metrics import h_aspl
+from repro.core.solver import solve_orp
+
+
+class TestTrivialRegimes:
+    def test_star_regime(self):
+        sol = solve_orp(6, 8, seed=0)
+        assert sol.m == 1
+        assert sol.h_aspl == 2.0
+        assert sol.h_aspl == sol.h_aspl_lower_bound
+        assert sol.annealing is None
+
+    def test_clique_regime(self):
+        # n=20, r=8: clique of m=4 (capacity 4*5=20) fits exactly.
+        sol = solve_orp(20, 8, seed=0)
+        assert sol.annealing is None
+        m = sol.m
+        assert sol.graph.num_switch_edges == m * (m - 1) // 2
+        # Clique optimality (Theorem 3): diameter 3, h-ASPL < 3.
+        assert sol.h_aspl < 3.0
+
+    def test_solution_graph_is_valid(self):
+        sol = solve_orp(20, 8, seed=0)
+        sol.graph.validate()
+        assert sol.graph.num_hosts == 20
+
+
+class TestSearchRegime:
+    def test_uses_predicted_m_by_default(self):
+        sol = solve_orp(
+            64, 8, schedule=AnnealingSchedule(num_steps=200), seed=1
+        )
+        assert sol.m == sol.m_predicted
+        assert sol.graph.num_switches == sol.m
+        assert sol.annealing is not None
+
+    def test_m_override(self):
+        sol = solve_orp(
+            64, 8, m=30, schedule=AnnealingSchedule(num_steps=200), seed=1
+        )
+        assert sol.m == 30
+
+    def test_bounds_respected(self):
+        sol = solve_orp(64, 8, schedule=AnnealingSchedule(num_steps=400), seed=2)
+        assert sol.h_aspl >= sol.h_aspl_lower_bound - 1e-9
+        assert sol.diameter >= sol.diameter_lower_bound
+        assert sol.gap >= -1e-12
+
+    def test_restarts_keep_best(self):
+        sol1 = solve_orp(48, 8, schedule=AnnealingSchedule(num_steps=150), seed=3)
+        sol3 = solve_orp(
+            48, 8, schedule=AnnealingSchedule(num_steps=150), restarts=3, seed=3
+        )
+        assert sol3.h_aspl <= sol1.h_aspl + 1e-9
+
+    def test_deterministic_under_seed(self):
+        a = solve_orp(48, 8, schedule=AnnealingSchedule(num_steps=150), seed=9)
+        b = solve_orp(48, 8, schedule=AnnealingSchedule(num_steps=150), seed=9)
+        assert a.h_aspl == b.h_aspl
+        assert a.graph == b.graph
+
+    def test_summary_mentions_key_numbers(self):
+        sol = solve_orp(48, 8, schedule=AnnealingSchedule(num_steps=100), seed=4)
+        text = sol.summary()
+        assert "n=48" in text and "r=8" in text
+        assert "h-ASPL" in text and "diameter" in text
+
+    def test_search_beats_naive_random(self):
+        from repro.core.construct import random_host_switch_graph
+
+        sol = solve_orp(96, 8, schedule=AnnealingSchedule(num_steps=800), seed=5)
+        naive = random_host_switch_graph(96, sol.m, 8, seed=5)
+        assert sol.h_aspl < h_aspl(naive)

@@ -1,0 +1,155 @@
+"""Tests for floorplan, cabling, power, and cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.layout import (
+    Cable,
+    CableKind,
+    CostModel,
+    Floorplan,
+    PowerModel,
+    enumerate_cables,
+    network_cost,
+    network_power,
+)
+from repro.layout.cables import classify_cable
+from repro.layout.floorplan import CABINET_DEPTH_M, CABINET_WIDTH_M
+from repro.topologies import torus
+
+
+@pytest.fixture
+def small_graph() -> HostSwitchGraph:
+    return HostSwitchGraph.from_edges(
+        4, 6, [(0, 1), (1, 2), (2, 3), (3, 0)], [0, 0, 1, 2, 3]
+    )
+
+
+class TestFloorplan:
+    def test_one_switch_per_cabinet(self, small_graph):
+        plan = Floorplan(small_graph)
+        assert plan.num_cabinets == 4
+        assert plan.cabinet_of == [0, 1, 2, 3]
+
+    def test_multiple_switches_per_cabinet(self, small_graph):
+        plan = Floorplan(small_graph, switches_per_cabinet=2)
+        assert plan.num_cabinets == 2
+        assert plan.cabinet_of == [0, 0, 1, 1]
+
+    def test_same_cabinet_cable_is_short(self, small_graph):
+        plan = Floorplan(small_graph, switches_per_cabinet=2)
+        assert plan.switch_cable_length_m(0, 1) == plan.intra_cabinet_m
+
+    def test_cross_cabinet_length_manhattan(self, small_graph):
+        plan = Floorplan(small_graph)
+        d = plan.cabinet_distance_m(0, 1)
+        assert d > 0
+        assert plan.switch_cable_length_m(0, 1) == d + 2 * plan.intra_cabinet_m
+
+    def test_grid_positions_distinct(self, small_graph):
+        plan = Floorplan(small_graph)
+        assert len(set(plan.positions)) == plan.num_cabinets
+
+    def test_grid_aspect_near_square(self):
+        g, _ = torus(2, 6, 8, num_hosts=36)
+        plan = Floorplan(g)
+        xs = [p[0] for p in plan.positions]
+        ys = [p[1] for p in plan.positions]
+        width = max(xs) + CABINET_WIDTH_M / 2
+        depth = max(ys) + CABINET_DEPTH_M / 2
+        assert 0.3 < width / depth < 3.0
+
+    def test_dfs_ordering_shortens_cables_on_path(self):
+        # A path graph: index order equals DFS order from 0, so total cable
+        # lengths agree; on a shuffled-index path DFS must win.
+        g = HostSwitchGraph(6, 4)
+        order = [0, 3, 1, 5, 2, 4]
+        for a, b in zip(order, order[1:]):
+            g.add_switch_edge(a, b)
+        for s in range(6):
+            g.attach_host(s)
+        naive = Floorplan(g, ordering="index").total_cable_length_m()
+        dfs = Floorplan(g, ordering="dfs").total_cable_length_m()
+        assert dfs <= naive
+
+    def test_invalid_params(self, small_graph):
+        with pytest.raises(ValueError):
+            Floorplan(small_graph, switches_per_cabinet=0)
+        with pytest.raises(ValueError):
+            Floorplan(small_graph, ordering="spiral")
+
+
+class TestCables:
+    def test_classification_threshold(self):
+        assert classify_cable(0.5) is CableKind.ELECTRICAL
+        assert classify_cable(1.0) is CableKind.ELECTRICAL
+        assert classify_cable(1.01) is CableKind.OPTICAL
+
+    def test_enumerate_counts(self, small_graph):
+        plan = Floorplan(small_graph)
+        cables = enumerate_cables(small_graph, plan)
+        assert len(cables) == small_graph.num_edges
+        ss = [c for c in cables if c.endpoint[0] == "ss"]
+        hs = [c for c in cables if c.endpoint[0] == "hs"]
+        assert len(ss) == small_graph.num_switch_edges
+        assert len(hs) == small_graph.num_hosts
+
+    def test_host_cables_are_electrical(self, small_graph):
+        plan = Floorplan(small_graph)
+        for c in enumerate_cables(small_graph, plan):
+            if c.endpoint[0] == "hs":
+                assert c.kind is CableKind.ELECTRICAL
+
+
+class TestPower:
+    def test_switch_power_scales_with_ports(self):
+        model = PowerModel()
+        assert model.switch_power(10) > model.switch_power(2)
+
+    def test_breakdown_total(self, small_graph):
+        breakdown = network_power(small_graph)
+        assert breakdown.total_w == breakdown.switches_w + breakdown.cables_w
+        assert breakdown.switches_w > 0
+
+    def test_optical_cables_add_power(self):
+        g, _ = torus(2, 6, 8, num_hosts=36)  # big enough for long cables
+        plan = Floorplan(g)
+        zero_optics = network_power(g, plan, PowerModel(optical_cable_w=0.0))
+        with_optics = network_power(g, plan, PowerModel(optical_cable_w=2.0))
+        assert with_optics.cables_w > zero_optics.cables_w
+
+    def test_power_increases_with_switch_count(self):
+        small, _ = torus(2, 3, 8, num_hosts=9)
+        large, _ = torus(2, 5, 8, num_hosts=9)
+        assert network_power(large).switches_w > network_power(small).switches_w
+
+
+class TestCost:
+    def test_breakdown_parts(self, small_graph):
+        breakdown = network_cost(small_graph)
+        assert breakdown.total_usd == pytest.approx(
+            breakdown.switches_usd
+            + breakdown.electrical_cables_usd
+            + breakdown.optical_cables_usd
+        )
+        assert breakdown.switches_usd > 0
+        assert breakdown.electrical_cables_usd > 0
+
+    def test_switch_cost_linear_in_radix(self):
+        model = CostModel()
+        c8 = model.switch_cost(8)
+        c16 = model.switch_cost(16)
+        assert c16 - c8 == pytest.approx(8 * model.switch_port_usd)
+
+    def test_optical_premium_at_threshold(self):
+        model = CostModel()
+        short = Cable(("ss", 0, 1), 1.0, CableKind.ELECTRICAL)
+        long = Cable(("ss", 0, 1), 1.1, CableKind.OPTICAL)
+        assert model.cable_cost(long) > model.cable_cost(short)
+
+    def test_larger_network_costs_more(self):
+        small, _ = torus(2, 3, 8, num_hosts=9)
+        large, _ = torus(2, 5, 8, num_hosts=25)
+        assert network_cost(large).total_usd > network_cost(small).total_usd

@@ -1,0 +1,76 @@
+"""Tests for the annealed cabinet-placement optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.construct import random_host_switch_graph
+from repro.layout import Floorplan, optimize_placement, placement_cable_cost
+from repro.topologies import torus
+
+
+class TestExplicitAssignment:
+    def test_assignment_respected(self, fig1_graph):
+        plan = Floorplan(fig1_graph, assignment=[3, 2, 1, 0])
+        assert plan.cabinet_of == [3, 2, 1, 0]
+
+    def test_capacity_enforced(self, fig1_graph):
+        with pytest.raises(ValueError, match="over capacity"):
+            Floorplan(fig1_graph, assignment=[0, 0, 1, 2])
+
+    def test_length_validated(self, fig1_graph):
+        with pytest.raises(ValueError, match="per switch"):
+            Floorplan(fig1_graph, assignment=[0, 1])
+
+
+class TestOptimizePlacement:
+    def test_never_worse_than_start(self):
+        g = random_host_switch_graph(40, 16, 6, seed=0)
+        start = Floorplan(g, ordering="dfs")
+        optimized = optimize_placement(g, num_steps=2_000, seed=1)
+        assert placement_cable_cost(g, optimized) <= placement_cable_cost(g, start) + 1e-6
+
+    def test_improves_scrambled_torus(self):
+        # A torus placed in index order is already well-laid-out along the
+        # first dimensions; scramble it via a bad explicit start and check
+        # the optimizer recovers a large part of the cost.
+        g, _ = torus(2, 5, 8, num_hosts=25)
+        index_cost = placement_cable_cost(g, Floorplan(g))
+        optimized = optimize_placement(g, num_steps=4_000, seed=2, start="dfs")
+        opt_cost = placement_cable_cost(g, optimized)
+        # The optimizer should land within 25% of the natural embedding.
+        assert opt_cost <= index_cost * 1.25
+
+    def test_assignment_is_permutation(self):
+        g = random_host_switch_graph(30, 12, 6, seed=3)
+        plan = optimize_placement(g, num_steps=500, seed=3)
+        assert sorted(plan.cabinet_of) == list(range(12))
+
+    def test_capacity_preserved_with_shared_cabinets(self):
+        g = random_host_switch_graph(30, 12, 6, seed=4)
+        plan = optimize_placement(
+            g, switches_per_cabinet=3, num_steps=500, seed=4
+        )
+        counts: dict[int, int] = {}
+        for cab in plan.cabinet_of:
+            counts[cab] = counts.get(cab, 0) + 1
+        assert max(counts.values()) <= 3
+        assert sum(counts.values()) == 12
+
+    def test_deterministic_under_seed(self):
+        g = random_host_switch_graph(24, 10, 6, seed=5)
+        a = optimize_placement(g, num_steps=800, seed=9)
+        b = optimize_placement(g, num_steps=800, seed=9)
+        assert a.cabinet_of == b.cabinet_of
+
+    def test_reduces_optical_cable_count_or_cost(self):
+        from repro.layout import CableKind, enumerate_cables
+
+        g = random_host_switch_graph(60, 24, 7, seed=6)
+        start = Floorplan(g, ordering="index")
+        optimized = optimize_placement(g, num_steps=3_000, seed=6, start="index")
+        start_cost = placement_cable_cost(g, start)
+        opt_cost = placement_cable_cost(g, optimized)
+        assert opt_cost <= start_cost
+        # On a random topology there is real slack to recover.
+        assert opt_cost < start_cost * 0.995 or start_cost == opt_cost

@@ -1,0 +1,119 @@
+"""Tests for the Dinic max-flow solver and min-cut certification."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.construct import random_host_switch_graph
+from repro.core.hostswitch import HostSwitchGraph
+from repro.partition import WeightedGraph, cut_size, partition_host_switch
+from repro.partition.maxflow import Dinic, host_max_flow, min_cut_between_host_sets
+
+
+class TestDinic:
+    def test_single_path(self):
+        d = Dinic(3)
+        d.add_edge(0, 1, 5.0)
+        d.add_edge(1, 2, 3.0)
+        assert d.max_flow(0, 2) == pytest.approx(3.0)
+
+    def test_parallel_paths_sum(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 2.0)
+        d.add_edge(1, 3, 2.0)
+        d.add_edge(0, 2, 4.0)
+        d.add_edge(2, 3, 1.0)
+        assert d.max_flow(0, 3) == pytest.approx(3.0)
+
+    def test_classic_textbook_network(self):
+        # CLRS-style example with cross edges.
+        d = Dinic(6)
+        for u, v, c in [(0, 1, 16), (0, 2, 13), (1, 3, 12), (2, 1, 4),
+                        (3, 2, 9), (2, 4, 14), (4, 3, 7), (3, 5, 20), (4, 5, 4)]:
+            d.add_edge(u, v, float(c))
+        assert d.max_flow(0, 5) == pytest.approx(23.0)
+
+    def test_bidirectional_edges(self):
+        d = Dinic(3)
+        d.add_edge(0, 1, 1.0, bidirectional=True)
+        d.add_edge(1, 2, 1.0, bidirectional=True)
+        assert d.max_flow(2, 0) == pytest.approx(1.0)
+
+    def test_disconnected_zero_flow(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 5.0)
+        assert d.max_flow(0, 3) == 0.0
+
+    def test_min_cut_side_after_flow(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 1.0)
+        d.add_edge(1, 2, 10.0)
+        d.add_edge(2, 3, 10.0)
+        d.max_flow(0, 3)
+        side = d.min_cut_side(0)
+        assert side == {0}  # the 0->1 edge is the bottleneck
+
+    def test_source_equals_sink_rejected(self):
+        with pytest.raises(ValueError):
+            Dinic(2).max_flow(0, 0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Dinic(2).add_edge(0, 1, -1.0)
+
+
+class TestHostFlows:
+    def test_host_flow_is_one(self, fig1_graph):
+        # Hosts have a single port: flow between any two hosts is exactly 1.
+        assert host_max_flow(fig1_graph, 0, 15) == pytest.approx(1.0)
+
+    def test_same_host_rejected(self, fig1_graph):
+        with pytest.raises(ValueError):
+            host_max_flow(fig1_graph, 3, 3)
+
+    def test_min_cut_between_halves_on_ring(self, fig1_graph):
+        # 4-cycle of switches, 4 hosts each: separating switch-0 hosts from
+        # switch-2 hosts must cut the two ring paths -> min cut 2.
+        side_a = fig1_graph.hosts_of_switch(0)
+        side_b = fig1_graph.hosts_of_switch(2)
+        assert min_cut_between_host_sets(fig1_graph, side_a, side_b) == 2
+
+    def test_min_cut_single_host_is_its_link(self, fig1_graph):
+        cut = min_cut_between_host_sets(fig1_graph, [0], [8])
+        assert cut == 1  # host 0's single uplink
+
+    def test_input_validation(self, fig1_graph):
+        with pytest.raises(ValueError, match="disjoint"):
+            min_cut_between_host_sets(fig1_graph, [0, 1], [1, 2])
+        with pytest.raises(ValueError, match="non-empty"):
+            min_cut_between_host_sets(fig1_graph, [], [1])
+
+
+class TestCertifiesPartitioner:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2_000))
+    def test_partition_cut_upper_bounds_exact_min_cut(self, seed):
+        """For the partitioner's own bisection of V = H ∪ S, the exact
+        min cut separating the two host groups can never exceed the
+        partition's cut (max-flow min-cut certification)."""
+        g = random_host_switch_graph(20, 6, 8, seed=seed)
+        parts, cut = partition_host_switch(g, 2, seed=seed, trials=1)
+        m = g.num_switches
+        side_a = [h for h in range(g.num_hosts) if parts[m + h] == 0]
+        side_b = [h for h in range(g.num_hosts) if parts[m + h] == 1]
+        if not side_a or not side_b:
+            return  # degenerate host split (all hosts one side)
+        exact = min_cut_between_host_sets(g, side_a, side_b)
+        assert exact <= cut
+
+    def test_clique_bisection_certificate(self, clique4_graph):
+        parts, cut = partition_host_switch(clique4_graph, 2, seed=0, trials=2)
+        wg = WeightedGraph.from_host_switch(clique4_graph)
+        assert cut == cut_size(wg, parts)
+        m = clique4_graph.num_switches
+        side_a = [h for h in range(12) if parts[m + h] == 0]
+        side_b = [h for h in range(12) if parts[m + h] == 1]
+        exact = min_cut_between_host_sets(clique4_graph, side_a, side_b)
+        assert exact <= cut

@@ -1,0 +1,130 @@
+"""Property-based tests of FM refinement and multilevel invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.coarsen import coarsen_once, coarsen_to
+from repro.partition.graph import WeightedGraph
+from repro.partition.metrics import cut_size, part_weights
+from repro.partition.refine import compute_gains, fm_refine
+
+
+def random_graph(num_vertices: int, num_edges: int, seed: int) -> WeightedGraph:
+    rng = np.random.default_rng(seed)
+    edges = set()
+    attempts = 0
+    while len(edges) < num_edges and attempts < num_edges * 10:
+        a, b = rng.integers(0, num_vertices, size=2)
+        attempts += 1
+        if a != b:
+            edges.add((min(int(a), int(b)), max(int(a), int(b))))
+    weighted = [(a, b, int(rng.integers(1, 5))) for a, b in edges]
+    return WeightedGraph.from_edges(num_vertices, weighted)
+
+
+class TestGainInvariant:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_gain_equals_cut_delta(self, seed):
+        """Moving vertex v changes the cut by exactly -gain(v)."""
+        g = random_graph(12, 20, seed)
+        rng = np.random.default_rng(seed)
+        parts = [int(p) for p in rng.integers(0, 2, size=12)]
+        gains = compute_gains(g, parts)
+        v = int(rng.integers(0, 12))
+        before = cut_size(g, parts)
+        parts[v] = 1 - parts[v]
+        after = cut_size(g, parts)
+        assert after == before - gains[v]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_gains_sum_relation(self, seed):
+        """Sum of all gains = 2*(external) - 2*(internal) edge weight."""
+        g = random_graph(10, 16, seed)
+        rng = np.random.default_rng(seed)
+        parts = [int(p) for p in rng.integers(0, 2, size=10)]
+        gains = compute_gains(g, parts)
+        cut = cut_size(g, parts)
+        total_weight = sum(w for v in range(10) for _, w in g.adj[v]) // 2
+        internal = total_weight - cut
+        assert sum(gains) == 2 * cut - 2 * internal
+
+
+class TestFMProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_refine_never_increases_cut_from_feasible(self, seed):
+        g = random_graph(16, 28, seed)
+        rng = np.random.default_rng(seed)
+        # Feasible balanced start: exact half split.
+        perm = rng.permutation(16)
+        parts = [0] * 16
+        for v in perm[:8]:
+            parts[int(v)] = 1
+        before = cut_size(g, parts)
+        after = fm_refine(g, parts, target0=g.total_weight / 2)
+        assert after <= before
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_refine_returns_true_cut(self, seed):
+        g = random_graph(14, 24, seed)
+        rng = np.random.default_rng(seed)
+        parts = [int(p) for p in rng.integers(0, 2, size=14)]
+        returned = fm_refine(g, parts, target0=g.total_weight / 2)
+        assert returned == cut_size(g, parts)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 5_000), st.floats(0.02, 0.2))
+    def test_balance_bound_respected(self, seed, eps):
+        g = random_graph(20, 34, seed)
+        rng = np.random.default_rng(seed)
+        parts = [int(p) for p in rng.integers(0, 2, size=20)]
+        target0 = g.total_weight / 2
+        fm_refine(g, parts, target0, eps=eps)
+        w = part_weights(g, parts, 2)
+        max_vw = max(g.vwgt)
+        assert max(w) <= target0 * (1 + eps) + max_vw + 1e-9
+
+
+class TestCoarsenProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_total_edge_weight_conserved_or_absorbed(self, seed):
+        """Coarse inter-vertex weight + absorbed intra-pair weight equals
+        the fine total."""
+        g = random_graph(18, 30, seed)
+        rng = np.random.default_rng(seed)
+        coarse, mapping = coarsen_once(g, rng)
+        fine_total = sum(w for v in range(18) for _, w in g.adj[v]) // 2
+        coarse_total = sum(
+            w for v in range(coarse.num_vertices) for _, w in coarse.adj[v]
+        ) // 2
+        absorbed = 0
+        for v in range(18):
+            for u, w in g.adj[v]:
+                if u > v and mapping[u] == mapping[v]:
+                    absorbed += w
+        assert coarse_total + absorbed == fine_total
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_hierarchy_mappings_compose(self, seed):
+        g = random_graph(30, 60, seed)
+        levels, mappings = coarsen_to(g, 8, seed=seed)
+        # Composing all mappings lands every fine vertex in the coarsest.
+        assignment = list(range(30))
+        for mapping in mappings:
+            assignment = [mapping[a] for a in assignment]
+        coarsest = levels[-1]
+        assert all(0 <= a < coarsest.num_vertices for a in assignment)
+        # Weight is conserved through the composition.
+        acc = [0] * coarsest.num_vertices
+        for v, a in enumerate(assignment):
+            acc[a] += g.vwgt[v]
+        assert acc == coarsest.vwgt

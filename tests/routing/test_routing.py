@@ -1,0 +1,102 @@
+"""Tests for shortest-path routing tables and path extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.construct import random_host_switch_graph
+from repro.core.hostswitch import HostSwitchGraph
+from repro.core.metrics import single_source_host_distances
+from repro.routing import RoutingTables, host_path, switch_path
+
+
+@pytest.fixture
+def ring_tables(fig1_graph) -> RoutingTables:
+    return RoutingTables(fig1_graph)
+
+
+class TestTables:
+    def test_distance_matches_metric(self, ring_tables):
+        assert ring_tables.distance(0, 2) == 2
+        assert ring_tables.distance(1, 1) == 0
+
+    def test_next_hops_on_ring(self, ring_tables):
+        # 0 -> 2 has two shortest routes: via 1 and via 3.
+        assert ring_tables.next_hops(0, 2) == [1, 3]
+        # 0 -> 1 is direct.
+        assert ring_tables.next_hops(0, 1) == [1]
+        assert ring_tables.next_hops(0, 0) == []
+
+    def test_deterministic_next_hop_lowest_id(self, ring_tables):
+        assert ring_tables.next_hop(0, 2) == 1
+
+    def test_ecmp_next_hop_uses_rng(self, ring_tables):
+        rng = np.random.default_rng(0)
+        seen = {ring_tables.next_hop(0, 2, rng) for _ in range(50)}
+        assert seen == {1, 3}
+
+    def test_route_reaches_destination(self, ring_tables):
+        route = ring_tables.switch_route(0, 2)
+        assert route[0] == 0 and route[-1] == 2
+        assert len(route) == 3
+
+    def test_disconnected_graph_rejected(self):
+        g = HostSwitchGraph.from_edges(3, 4, [(0, 1)], [0, 1, 2])
+        with pytest.raises(ValueError, match="disconnected"):
+            RoutingTables(g)
+
+    def test_path_diversity_on_ring(self, ring_tables):
+        assert ring_tables.path_diversity(0, 2) == 2
+        assert ring_tables.path_diversity(0, 1) == 1
+        assert ring_tables.path_diversity(0, 0) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_routes_are_shortest(self, seed):
+        g = random_host_switch_graph(20, 7, 8, seed=seed)
+        tables = RoutingTables(g)
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            u, v = rng.integers(0, 7, size=2)
+            route = tables.switch_route(int(u), int(v))
+            assert len(route) - 1 == tables.distance(int(u), int(v))
+            for a, b in zip(route, route[1:]):
+                assert g.has_switch_edge(a, b)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_ecmp_routes_also_shortest(self, seed):
+        g = random_host_switch_graph(20, 7, 8, seed=seed)
+        tables = RoutingTables(g)
+        for u in range(7):
+            for v in range(7):
+                route = tables.switch_route(u, v, rng=seed)
+                assert len(route) - 1 == tables.distance(u, v)
+
+
+class TestHostPaths:
+    def test_host_path_structure(self, fig1_graph):
+        tables = RoutingTables(fig1_graph)
+        path = host_path(tables, 0, 15)
+        assert path[0] == ("h", 0)
+        assert path[-1] == ("h", 15)
+        assert all(kind == "s" for kind, _ in path[1:-1])
+
+    def test_host_path_length_equals_distance(self, fig1_graph):
+        tables = RoutingTables(fig1_graph)
+        d = single_source_host_distances(fig1_graph, 0)
+        for h in range(1, fig1_graph.num_hosts):
+            path = host_path(tables, 0, h)
+            assert len(path) - 1 == d[h]
+
+    def test_same_switch_hosts(self, fig1_graph):
+        tables = RoutingTables(fig1_graph)
+        path = host_path(tables, 0, 1)  # both on switch 0
+        assert len(path) == 3
+
+    def test_switch_path_wrapper(self, fig1_graph):
+        tables = RoutingTables(fig1_graph)
+        assert switch_path(tables, 1, 3) in ([1, 0, 3], [1, 2, 3])

@@ -1,0 +1,135 @@
+"""Tests for the NAS benchmark skeletons and the runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.apps import available_benchmarks, get_benchmark, run_nas
+from repro.simulation.apps.base import factor_2d, factor_3d, require_square
+from repro.simulation.mapping import rank_to_host_mapping
+from repro.topologies import torus
+
+
+@pytest.fixture(scope="module")
+def net():
+    g, _ = torus(2, 4, 8, num_hosts=64, fill="round-robin")
+    return g
+
+
+class TestHelpers:
+    def test_factor_2d(self):
+        assert factor_2d(16) == (4, 4)
+        assert factor_2d(64) == (8, 8)
+        assert factor_2d(8) == (2, 4)
+        assert factor_2d(7) == (1, 7)
+
+    def test_factor_3d(self):
+        assert factor_3d(8) == (2, 2, 2)
+        assert factor_3d(64) == (4, 4, 4)
+        assert sorted(factor_3d(16)) == [2, 2, 4]
+
+    def test_require_square(self):
+        assert require_square(16, "x") == 4
+        with pytest.raises(ValueError):
+            require_square(8, "x")
+
+
+class TestRegistry:
+    def test_all_eight_registered(self):
+        assert available_benchmarks() == ["bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"]
+
+    def test_get_benchmark_configures(self):
+        b = get_benchmark("ft", nas_class="B", iterations=3)
+        assert b.name == "FT"
+        assert b.nas_class == "B"
+        assert b.iterations == 3
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            get_benchmark("hpl")
+
+    def test_unknown_class(self):
+        with pytest.raises(ValueError, match="classes"):
+            get_benchmark("ft", nas_class="Z")
+
+    def test_default_iterations_per_class(self):
+        assert get_benchmark("ft", nas_class="A").iterations == 6
+        assert get_benchmark("ft", nas_class="B").iterations == 20
+        assert get_benchmark("cg", nas_class="B").iterations == 75
+
+
+class TestRuns:
+    @pytest.mark.parametrize("name", ["ep", "is", "ft", "mg", "cg", "lu", "bt", "sp"])
+    def test_every_benchmark_completes_16_ranks(self, net, name):
+        res = run_nas(name, net, 16, nas_class="A", iterations=1)
+        assert res.time_s > 0
+        assert res.mops_total > 0
+        assert res.stats.num_ranks == 16
+
+    def test_square_rank_requirement_enforced(self, net):
+        for name in ("cg", "lu", "bt", "sp"):
+            with pytest.raises(ValueError):
+                run_nas(name, net, 8, nas_class="A", iterations=1)
+
+    def test_mg_power_of_two_requirement(self, net):
+        with pytest.raises(ValueError, match="power-of-two"):
+            run_nas("mg", net, 12, nas_class="A", iterations=1)
+
+    def test_class_b_moves_more_bytes(self, net):
+        a = run_nas("ft", net, 16, nas_class="A", iterations=1)
+        b = run_nas("ft", net, 16, nas_class="B", iterations=1)
+        assert b.stats.bytes > a.stats.bytes
+
+    def test_more_iterations_more_time(self, net):
+        one = run_nas("is", net, 16, nas_class="A", iterations=1)
+        three = run_nas("is", net, 16, nas_class="A", iterations=3)
+        assert three.time_s > one.time_s
+        # Mop/s normalises by work, so rates should be comparable (within 3x).
+        assert 0.3 < three.mops_total / one.mops_total < 3.0
+
+    def test_ep_is_topology_insensitive(self):
+        small, _ = torus(2, 4, 8, num_hosts=16, fill="round-robin")
+        linear = run_nas("ep", small, 16, iterations=1,
+                         rank_to_host=rank_to_host_mapping(small, 16, "linear"))
+        rnd = run_nas("ep", small, 16, iterations=1,
+                      rank_to_host=rank_to_host_mapping(small, 16, "random", seed=1))
+        assert linear.time_s == pytest.approx(rnd.time_s, rel=0.02)
+
+    def test_latency_model_faster_to_simulate_same_shape(self, net):
+        fluid = run_nas("mg", net, 16, iterations=1, model="fluid")
+        lat = run_nas("mg", net, 16, iterations=1, model="latency")
+        # Contention can only slow things down.
+        assert lat.time_s <= fluid.time_s * 1.001
+
+    def test_benchmark_instance_reuse(self, net):
+        bench = get_benchmark("ep", nas_class="A")
+        r1 = run_nas(bench, net, 16)
+        r2 = run_nas(bench, net, 16)
+        assert r1.time_s == pytest.approx(r2.time_s)
+
+
+class TestMapping:
+    def test_linear_mapping_identity(self, net):
+        assert rank_to_host_mapping(net, 8, "linear") == list(range(8))
+
+    def test_dfs_mapping_groups_by_switch(self, net):
+        mapping = rank_to_host_mapping(net, net.num_hosts, "dfs")
+        assert sorted(mapping) == list(range(net.num_hosts))
+        # Consecutive ranks on the same or adjacent switch most of the time.
+        switches = [net.host_attachment(h) for h in mapping]
+        same_or_new = sum(1 for a, b in zip(switches, switches[1:]) if a == b)
+        assert same_or_new > 0
+
+    def test_random_mapping_seeded(self, net):
+        a = rank_to_host_mapping(net, 16, "random", seed=5)
+        b = rank_to_host_mapping(net, 16, "random", seed=5)
+        assert a == b
+        assert len(set(a)) == 16
+
+    def test_too_many_ranks(self, net):
+        with pytest.raises(ValueError, match="exceed"):
+            rank_to_host_mapping(net, net.num_hosts + 1, "dfs")
+
+    def test_unknown_strategy(self, net):
+        with pytest.raises(ValueError, match="unknown mapping"):
+            rank_to_host_mapping(net, 4, "teleport")

@@ -1,0 +1,86 @@
+"""Additional app-layer tests: class C, routing passthrough, scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.apps import get_benchmark, run_nas
+from repro.topologies import torus
+
+
+@pytest.fixture(scope="module")
+def net():
+    g, _ = torus(2, 3, 10, num_hosts=36, fill="round-robin")
+    return g
+
+
+class TestClassC:
+    def test_class_c_accepted_everywhere(self):
+        for name in ("ep", "is", "ft", "mg", "cg", "lu", "bt", "sp"):
+            bench = get_benchmark(name, nas_class="C")
+            assert bench.nas_class == "C"
+            assert bench.total_flops(16) > get_benchmark(name, nas_class="A").total_flops(16)
+
+    def test_class_c_runs(self, net):
+        res = run_nas("ep", net, 16, nas_class="C", iterations=1)
+        assert res.nas_class == "C"
+        assert res.time_s > 0
+
+    def test_mg_class_c_uses_larger_grid(self):
+        a = get_benchmark("mg", nas_class="A")
+        c = get_benchmark("mg", nas_class="C")
+        assert c.total_flops(16) / c.iterations > a.total_flops(16) / a.iterations
+
+    def test_unsupported_class_rejected(self):
+        with pytest.raises(ValueError, match="classes"):
+            get_benchmark("ep", nas_class="D")
+
+
+class TestRoutingPassthrough:
+    def test_run_nas_with_ecmp(self, net):
+        res = run_nas("mg", net, 16, nas_class="A", iterations=1,
+                      routing="ecmp", routing_seed=1)
+        assert res.time_s > 0
+
+    def test_run_nas_with_valiant_slower_or_equal(self, net):
+        det = run_nas("lu", net, 16, nas_class="A", iterations=1,
+                      model="latency")
+        val = run_nas("lu", net, 16, nas_class="A", iterations=1,
+                      model="latency", routing="valiant", routing_seed=2)
+        # Valiant paths are never shorter, so the contention-free time
+        # cannot drop.
+        assert val.time_s >= det.time_s * 0.999
+
+    def test_invalid_routing_rejected(self, net):
+        with pytest.raises(ValueError, match="routing"):
+            run_nas("ep", net, 4, routing="warp")
+
+
+class TestIterationOverrides:
+    def test_explicit_iterations_respected(self):
+        bench = get_benchmark("ft", nas_class="B", iterations=2)
+        assert bench.iterations == 2
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError, match="iterations"):
+            get_benchmark("ft", iterations=0)
+
+    def test_flops_scale_with_iterations(self):
+        one = get_benchmark("is", iterations=1).total_flops(16)
+        five = get_benchmark("is", iterations=5).total_flops(16)
+        assert five == pytest.approx(5 * one)
+
+
+class TestRankScaling:
+    @pytest.mark.parametrize("ranks", [4, 16])
+    def test_more_ranks_not_slower_for_compute_bound(self, net, ranks):
+        res = run_nas("ep", net, ranks, nas_class="A", iterations=1)
+        # EP is compute bound: time ~ 1/ranks.
+        expected = get_benchmark("ep").total_flops(ranks) / ranks / 100e9
+        assert res.time_s == pytest.approx(expected, rel=0.05)
+
+    def test_parallel_efficiency_definition(self, net):
+        r4 = run_nas("mg", net, 4, nas_class="A", iterations=1)
+        r16 = run_nas("mg", net, 16, nas_class="A", iterations=1)
+        # Same total work; more ranks should not increase wall time much.
+        assert r16.time_s < r4.time_s * 1.5

@@ -1,0 +1,177 @@
+"""Tests for the collective algorithms (message counts and completion)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.simulation.mpi import run_mpi_program
+from repro.topologies import torus
+
+
+def make_net(num_hosts: int):
+    base = max(3, math.isqrt(num_hosts) + 1)
+    g, _ = torus(2, base, 8, num_hosts=num_hosts, fill="round-robin")
+    return g
+
+
+def run_collective(num_ranks: int, body):
+    """Run one collective on every rank; return stats."""
+    g = make_net(num_ranks)
+
+    def prog(mpi):
+        yield from body(mpi)
+
+    return run_mpi_program(g, num_ranks, prog)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("p", [2, 3, 4, 7, 8])
+    def test_completes_any_p(self, p):
+        stats = run_collective(p, lambda mpi: mpi.barrier())
+        # Dissemination: ceil(log2 P) rounds, one send per rank per round.
+        assert stats.messages == p * math.ceil(math.log2(p))
+
+    def test_single_rank_no_messages(self):
+        stats = run_collective(1, lambda mpi: mpi.barrier())
+        assert stats.messages == 0
+
+
+class TestBcastReduce:
+    @pytest.mark.parametrize("p", [2, 4, 5, 8])
+    def test_bcast_message_count(self, p):
+        stats = run_collective(p, lambda mpi: mpi.bcast(1000, root=0))
+        assert stats.messages == p - 1  # a tree edge per non-root rank
+
+    def test_bcast_nonzero_root(self):
+        stats = run_collective(6, lambda mpi: mpi.bcast(1000, root=3))
+        assert stats.messages == 5
+
+    @pytest.mark.parametrize("p", [2, 4, 5, 8])
+    def test_reduce_message_count(self, p):
+        stats = run_collective(p, lambda mpi: mpi.reduce(1000, root=0))
+        assert stats.messages == p - 1
+
+    def test_bcast_bytes_scale_with_payload(self):
+        small = run_collective(8, lambda mpi: mpi.bcast(10, root=0))
+        large = run_collective(8, lambda mpi: mpi.bcast(10_000, root=0))
+        assert large.bytes == pytest.approx(small.bytes * 1000)
+
+
+class TestAllreduce:
+    def test_power_of_two_recursive_doubling(self):
+        stats = run_collective(8, lambda mpi: mpi.allreduce(64))
+        assert stats.messages == 8 * 3  # log2(8) rounds, all ranks send
+
+    def test_non_power_of_two_fallback(self):
+        stats = run_collective(6, lambda mpi: mpi.allreduce(64))
+        assert stats.messages == 2 * 5  # reduce + bcast trees
+
+    def test_single_rank(self):
+        stats = run_collective(1, lambda mpi: mpi.allreduce(64))
+        assert stats.messages == 0
+
+
+class TestAllgatherAlltoall:
+    def test_allgather_ring_count(self):
+        stats = run_collective(6, lambda mpi: mpi.allgather(100))
+        assert stats.messages == 6 * 5
+
+    def test_alltoall_pairwise_count_pow2(self):
+        stats = run_collective(8, lambda mpi: mpi.alltoall(100))
+        assert stats.messages == 8 * 7
+
+    def test_alltoall_pairwise_count_general(self):
+        stats = run_collective(6, lambda mpi: mpi.alltoall(100))
+        assert stats.messages == 6 * 5
+
+    def test_alltoall_total_bytes(self):
+        stats = run_collective(4, lambda mpi: mpi.alltoall(250))
+        assert stats.bytes == pytest.approx(4 * 3 * 250)
+
+    def test_alltoallv_per_peer_sizes(self):
+        def body(mpi):
+            yield from mpi.alltoallv(lambda peer: 100.0 * (peer + 1))
+
+        stats = run_collective(4, body)
+        expected = sum(100.0 * (peer + 1) for r in range(4) for peer in range(4) if peer != r)
+        assert stats.bytes == pytest.approx(expected)
+
+    def test_back_to_back_collectives_do_not_cross_match(self):
+        # Two alltoalls in a row: tags must keep rounds separate.
+        def body(mpi):
+            yield from mpi.alltoall(50)
+            yield from mpi.alltoall(50)
+
+        stats = run_collective(4, body)
+        assert stats.messages == 2 * 4 * 3
+
+    def test_mixed_collective_sequence(self):
+        def body(mpi):
+            yield from mpi.barrier()
+            yield from mpi.bcast(10, root=1)
+            yield from mpi.allreduce(8)
+            yield from mpi.allgather(16)
+            yield from mpi.alltoall(32)
+
+        stats = run_collective(4, body)
+        assert stats.time_s > 0
+
+
+class TestScatterGather:
+    @pytest.mark.parametrize("p", [2, 4, 5, 8])
+    def test_scatter_message_count(self, p):
+        stats = run_collective(p, lambda mpi: mpi.scatter(100, root=0))
+        assert stats.messages == p - 1  # binomial tree edges
+
+    def test_scatter_total_bytes_binomial(self):
+        # P=4 from root 0: root sends 2 blocks to vrank 2 and 1 block to
+        # vrank 1; vrank 2 sends 1 block to vrank 3 -> 4 blocks total.
+        stats = run_collective(4, lambda mpi: mpi.scatter(100, root=0))
+        assert stats.bytes == pytest.approx(400)
+
+    def test_scatter_nonzero_root(self):
+        stats = run_collective(6, lambda mpi: mpi.scatter(64, root=2))
+        assert stats.messages == 5
+
+    @pytest.mark.parametrize("p", [2, 4, 7])
+    def test_gather_message_count(self, p):
+        stats = run_collective(p, lambda mpi: mpi.gather(100, root=0))
+        assert stats.messages == p - 1
+
+    def test_gather_bytes_mirror_scatter(self):
+        s = run_collective(8, lambda mpi: mpi.scatter(50, root=0))
+        g = run_collective(8, lambda mpi: mpi.gather(50, root=0))
+        assert g.bytes == pytest.approx(s.bytes)
+
+
+class TestReduceScatterScan:
+    def test_reduce_scatter_pow2_rounds(self):
+        stats = run_collective(8, lambda mpi: mpi.reduce_scatter(800))
+        assert stats.messages == 8 * 3  # log2(8) halving rounds
+
+    def test_reduce_scatter_pow2_bytes_halve(self):
+        stats = run_collective(4, lambda mpi: mpi.reduce_scatter(400))
+        # Each rank: 200 + 100 bytes over 2 rounds.
+        assert stats.bytes == pytest.approx(4 * 300)
+
+    def test_reduce_scatter_non_pow2_fallback(self):
+        stats = run_collective(6, lambda mpi: mpi.reduce_scatter(600))
+        assert stats.messages == 6 * 5  # pairwise exchange
+
+    def test_scan_message_count(self):
+        # Hillis-Steele over P=8: round k has (P - 2^k) senders.
+        stats = run_collective(8, lambda mpi: mpi.scan(64))
+        assert stats.messages == (8 - 1) + (8 - 2) + (8 - 4)
+
+    def test_scan_completes_any_p(self):
+        for p in (2, 3, 5):
+            stats = run_collective(p, lambda mpi: mpi.scan(8))
+            assert stats.time_s > 0
+
+    def test_single_rank_noop(self):
+        for op in (lambda m: m.scatter(8), lambda m: m.gather(8),
+                   lambda m: m.reduce_scatter(8), lambda m: m.scan(8)):
+            stats = run_collective(1, op)
+            assert stats.messages == 0

@@ -1,0 +1,192 @@
+"""Tests for the DES kernel and generator processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.engine import Event, Kernel
+
+
+class TestKernelScheduling:
+    def test_events_fire_in_time_order(self):
+        k = Kernel()
+        log = []
+        k.call_later(2.0, log.append, "b")
+        k.call_later(1.0, log.append, "a")
+        k.call_later(3.0, log.append, "c")
+        k.run()
+        assert log == ["a", "b", "c"]
+        assert k.now == 3.0
+
+    def test_fifo_at_same_timestamp(self):
+        k = Kernel()
+        log = []
+        k.call_later(1.0, log.append, 1)
+        k.call_later(1.0, log.append, 2)
+        k.run()
+        assert log == [1, 2]
+
+    def test_call_at_absolute(self):
+        k = Kernel()
+        k.call_at(5.0, lambda: None)
+        assert k.run() == 5.0
+
+    def test_negative_delay_rejected(self):
+        k = Kernel()
+        with pytest.raises(ValueError):
+            k.call_later(-1.0, lambda: None)
+
+    def test_past_schedule_rejected(self):
+        k = Kernel()
+        k.call_later(2.0, lambda: k.call_at(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            k.run()
+
+    def test_run_until_stops_clock(self):
+        k = Kernel()
+        fired = []
+        k.call_later(10.0, fired.append, 1)
+        assert k.run(until=5.0) == 5.0
+        assert fired == []
+
+
+class TestProcesses:
+    def test_sleep_advances_time(self):
+        k = Kernel()
+
+        def prog():
+            yield 1.5
+            yield 2.5
+            return "done"
+
+        proc = k.spawn(prog())
+        k.run()
+        assert proc.done
+        assert proc.result == "done"
+        assert k.now == 4.0
+
+    def test_none_yield_resumes_immediately(self):
+        k = Kernel()
+
+        def prog():
+            yield None
+            yield 1.0
+
+        k.spawn(prog())
+        assert k.run() == 1.0
+
+    def test_event_wait_and_value(self):
+        k = Kernel()
+        ev = Event()
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append(value)
+
+        def firer():
+            yield 2.0
+            ev.fire("payload")
+
+        k.spawn(waiter())
+        k.spawn(firer())
+        k.run()
+        assert got == ["payload"]
+
+    def test_wait_on_fired_event_is_instant(self):
+        k = Kernel()
+        ev = Event()
+        ev.fire(42)
+
+        def prog():
+            value = yield ev
+            assert value == 42
+
+        proc = k.spawn(prog())
+        k.run()
+        assert proc.done
+
+    def test_done_event_chains_processes(self):
+        k = Kernel()
+        order = []
+
+        def first():
+            yield 1.0
+            order.append("first")
+
+        def second(dep):
+            yield dep.done_event
+            order.append("second")
+
+        p1 = k.spawn(first())
+        k.spawn(second(p1))
+        k.run()
+        assert order == ["first", "second"]
+
+    def test_yield_from_composition(self):
+        k = Kernel()
+
+        def inner():
+            yield 1.0
+            return 7
+
+        def outer():
+            value = yield from inner()
+            yield value  # sleeps 7 more
+            return value
+
+        proc = k.spawn(outer())
+        k.run()
+        assert proc.result == 7
+        assert k.now == 8.0
+
+    def test_bad_yield_type_raises(self):
+        k = Kernel()
+
+        def prog():
+            yield "nonsense"
+
+        k.spawn(prog())
+        with pytest.raises(TypeError, match="unsupported"):
+            k.run()
+
+    def test_all_done_tracking(self):
+        k = Kernel()
+        ev = Event()  # never fired
+
+        def stuck():
+            yield ev
+
+        k.spawn(stuck())
+        k.run()
+        assert not k.all_done()
+
+
+class TestEvent:
+    def test_double_fire_rejected(self):
+        ev = Event()
+        ev.fire()
+        with pytest.raises(RuntimeError):
+            ev.fire()
+
+    def test_callbacks_run_before_waiters(self):
+        k = Kernel()
+        order = []
+        ev = Event()
+        ev.on_fire(lambda _v: order.append("callback"))
+
+        def waiter():
+            yield ev
+            order.append("waiter")
+
+        k.spawn(waiter())
+        k.call_later(1.0, ev.fire, None)
+        k.run()
+        assert order == ["callback", "waiter"]
+
+    def test_on_fire_after_fired_runs_now(self):
+        ev = Event()
+        ev.fire("x")
+        got = []
+        ev.on_fire(got.append)
+        assert got == ["x"]

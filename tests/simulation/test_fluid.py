@@ -1,0 +1,151 @@
+"""Tests for the max-min fair fluid scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.engine import Event, Kernel
+from repro.simulation.fluid import FluidScheduler
+
+
+def make(capacities):
+    k = Kernel()
+    sched = FluidScheduler(k, np.asarray(capacities, dtype=float))
+    return k, sched
+
+
+def finish_time(kernel: Kernel, event: Event) -> float:
+    times = []
+    event.on_fire(lambda _v: times.append(kernel.now))
+    kernel.run()
+    assert times, "flow never completed"
+    return times[0]
+
+
+class TestSingleFlow:
+    def test_full_capacity(self):
+        k, sched = make([100.0])
+        ev = Event()
+        sched.start_flow([0], 500.0, ev)
+        assert finish_time(k, ev) == pytest.approx(5.0)
+
+    def test_bottleneck_is_min_link(self):
+        k, sched = make([100.0, 50.0, 200.0])
+        ev = Event()
+        sched.start_flow([0, 1, 2], 100.0, ev)
+        assert finish_time(k, ev) == pytest.approx(2.0)
+
+    def test_zero_size_completes_instantly(self):
+        k, sched = make([10.0])
+        ev = Event()
+        sched.start_flow([0], 0.0, ev)
+        assert ev.fired
+
+    def test_empty_route_rejected(self):
+        _, sched = make([10.0])
+        with pytest.raises(ValueError):
+            sched.start_flow([], 10.0, Event())
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            make([10.0, 0.0])
+
+
+class TestSharing:
+    def test_two_flows_share_equally(self):
+        k, sched = make([100.0])
+        e1, e2 = Event(), Event()
+        sched.start_flow([0], 100.0, e1)
+        sched.start_flow([0], 100.0, e2)
+        t = []
+        e2.on_fire(lambda _v: t.append(k.now))
+        k.run()
+        # Both share 50 each; both finish at 2.0.
+        assert t[0] == pytest.approx(2.0)
+
+    def test_remaining_flow_speeds_up_after_completion(self):
+        k, sched = make([100.0])
+        e1, e2 = Event(), Event()
+        sched.start_flow([0], 50.0, e1)   # finishes at t=1 under sharing
+        sched.start_flow([0], 150.0, e2)  # 50 by t=1, then 100 B/s
+        t1 = []
+        t2 = []
+        e1.on_fire(lambda _v: t1.append(k.now))
+        e2.on_fire(lambda _v: t2.append(k.now))
+        k.run()
+        assert t1[0] == pytest.approx(1.0)
+        assert t2[0] == pytest.approx(2.0)
+
+    def test_max_min_with_disjoint_bottlenecks(self):
+        # Flow A uses link0 (cap 100) alone; flow B uses link0+link1 where
+        # link1 has cap 10.  Max-min: B gets 10, A gets 90.
+        k, sched = make([100.0, 10.0])
+        ea, eb = Event(), Event()
+        sched.start_flow([0], 90.0, ea)
+        sched.start_flow([0, 1], 10.0, eb)
+        ta, tb = [], []
+        ea.on_fire(lambda _v: ta.append(k.now))
+        eb.on_fire(lambda _v: tb.append(k.now))
+        k.run()
+        assert ta[0] == pytest.approx(1.0)
+        assert tb[0] == pytest.approx(1.0)
+
+    def test_late_arrival_reshares(self):
+        k, sched = make([100.0])
+        e1, e2 = Event(), Event()
+        sched.start_flow([0], 100.0, e1)
+        k.call_later(0.5, sched.start_flow, [0], 50.0, e2)
+        t1 = []
+        e1.on_fire(lambda _v: t1.append(k.now))
+        k.run()
+        # First 0.5 s alone (50 B), then shares 50/50 (50 B left -> 1 s).
+        assert t1[0] == pytest.approx(1.5)
+
+    def test_many_flows_fair_share(self):
+        k, sched = make([100.0])
+        events = [Event() for _ in range(10)]
+        for ev in events:
+            sched.start_flow([0], 10.0, ev)
+        times = []
+        for ev in events:
+            ev.on_fire(lambda _v: times.append(k.now))
+        k.run()
+        assert all(t == pytest.approx(1.0) for t in times)
+
+
+class TestAccounting:
+    def test_counters(self):
+        k, sched = make([100.0, 100.0])
+        e1, e2 = Event(), Event()
+        sched.start_flow([0], 30.0, e1)
+        sched.start_flow([0, 1], 70.0, e2)
+        k.run()
+        assert sched.completed_flows == 2
+        assert sched.total_bytes == pytest.approx(100.0)
+
+    def test_link_bytes_tracks_traffic(self):
+        k, sched = make([100.0, 100.0])
+        ev = Event()
+        sched.start_flow([0, 1], 40.0, ev)
+        k.run()
+        assert sched.link_bytes[0] == pytest.approx(40.0, abs=1e-3)
+        assert sched.link_bytes[1] == pytest.approx(40.0, abs=1e-3)
+
+    def test_num_active_lifecycle(self):
+        k, sched = make([100.0])
+        ev = Event()
+        sched.start_flow([0], 100.0, ev)
+        assert sched.num_active == 1
+        k.run()
+        assert sched.num_active == 0
+
+    def test_slot_growth_beyond_initial(self):
+        # More concurrent flows than the initial slot pool.
+        k, sched = make([1000.0])
+        events = [Event() for _ in range(200)]
+        for ev in events:
+            sched.start_flow([0], 5.0, ev)
+        k.run()
+        assert sched.completed_flows == 200
+        assert sched.total_bytes == pytest.approx(1000.0)

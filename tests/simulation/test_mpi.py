@@ -1,0 +1,204 @@
+"""Tests for the MPI layer: p2p semantics, matching, requests, world runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.simulation.mpi import ANY, MPIWorld, run_mpi_program
+from repro.simulation.trace import DeadlockError
+from repro.topologies import torus
+
+
+@pytest.fixture
+def net8() -> HostSwitchGraph:
+    g, _ = torus(2, 2, 6, num_hosts=8, fill="round-robin")
+    return g
+
+
+class TestPointToPoint:
+    def test_send_recv_metadata(self, net8):
+        seen = {}
+
+        def prog(mpi):
+            if mpi.rank == 0:
+                mpi.send(1, 4096, tag=7)
+            elif mpi.rank == 1:
+                msg = yield from mpi.recv(src=0, tag=7)
+                seen["msg"] = msg
+            return
+            yield  # make every rank a generator
+
+        run_mpi_program(net8, 2, prog)
+        assert seen["msg"].src == 0
+        assert seen["msg"].tag == 7
+        assert seen["msg"].nbytes == 4096
+
+    def test_recv_wildcards(self, net8):
+        order = []
+
+        def prog(mpi):
+            if mpi.rank == 0:
+                mpi.send(2, 10, tag=5)
+            elif mpi.rank == 1:
+                mpi.send(2, 20, tag=6)
+            elif mpi.rank == 2:
+                m1 = yield from mpi.recv(src=ANY, tag=ANY)
+                m2 = yield from mpi.recv(src=ANY, tag=ANY)
+                order.append({m1.src, m2.src})
+            return
+            yield
+
+        run_mpi_program(net8, 3, prog)
+        assert order == [{0, 1}]
+
+    def test_tag_selectivity(self, net8):
+        got = []
+
+        def prog(mpi):
+            if mpi.rank == 0:
+                mpi.send(1, 1, tag=1)
+                mpi.send(1, 2, tag=2)
+            elif mpi.rank == 1:
+                m2 = yield from mpi.recv(src=0, tag=2)
+                m1 = yield from mpi.recv(src=0, tag=1)
+                got.extend([m2.nbytes, m1.nbytes])
+            return
+            yield
+
+        run_mpi_program(net8, 2, prog)
+        assert got == [2, 1]
+
+    def test_eager_send_does_not_block(self, net8):
+        # Both ranks send first, then recv: fine under eager semantics.
+        def prog(mpi):
+            peer = 1 - mpi.rank
+            if mpi.rank <= 1:
+                mpi.send(peer, 100_000)
+                yield from mpi.recv(src=peer)
+            return
+            yield
+
+        stats = run_mpi_program(net8, 2, prog)
+        assert stats.messages == 2
+
+    def test_ssend_waits_for_delivery(self, net8):
+        times = {}
+
+        def prog(mpi):
+            if mpi.rank == 0:
+                yield from mpi.ssend(1, 5_000_000)
+                times["send_done"] = mpi.now
+            elif mpi.rank == 1:
+                yield from mpi.recv(src=0)
+                times["recv_done"] = mpi.now
+            return
+            yield
+
+        run_mpi_program(net8, 2, prog)
+        assert times["send_done"] == pytest.approx(times["recv_done"])
+
+    def test_isend_wait(self, net8):
+        def prog(mpi):
+            if mpi.rank == 0:
+                req = mpi.isend(1, 1000)
+                yield from mpi.wait(req)
+                assert req.complete
+            elif mpi.rank == 1:
+                yield from mpi.recv(src=0)
+            return
+            yield
+
+        run_mpi_program(net8, 2, prog)
+
+    def test_irecv_waitall(self, net8):
+        def prog(mpi):
+            if mpi.rank == 0:
+                mpi.send(2, 1, tag=1)
+            elif mpi.rank == 1:
+                mpi.send(2, 1, tag=2)
+            elif mpi.rank == 2:
+                reqs = [mpi.irecv(src=0, tag=1), mpi.irecv(src=1, tag=2)]
+                yield from mpi.waitall(reqs)
+                assert all(r.complete for r in reqs)
+            return
+            yield
+
+        run_mpi_program(net8, 3, prog)
+
+    def test_sendrecv_exchange(self, net8):
+        def prog(mpi):
+            peer = 1 - mpi.rank
+            if mpi.rank <= 1:
+                msg = yield from mpi.sendrecv(peer, 500, src=peer)
+                assert msg.src == peer
+            return
+            yield
+
+        run_mpi_program(net8, 2, prog)
+
+
+class TestComputeAndTime:
+    def test_compute_charges_time(self, net8):
+        def prog(mpi):
+            yield from mpi.compute(1e9)  # 10 ms at 100 GFlops
+
+        stats = run_mpi_program(net8, 4, prog)
+        assert stats.time_s == pytest.approx(0.01)
+        assert stats.mean_compute_s == pytest.approx(0.01)
+
+    def test_sleep(self, net8):
+        def prog(mpi):
+            yield from mpi.sleep(0.5)
+
+        stats = run_mpi_program(net8, 2, prog)
+        assert stats.time_s == pytest.approx(0.5)
+
+
+class TestWorldValidation:
+    def test_too_many_ranks(self, net8):
+        with pytest.raises(ValueError, match="hosts"):
+            MPIWorld(net8, 99)
+
+    def test_rank_map_must_be_injective(self, net8):
+        with pytest.raises(ValueError, match="injective"):
+            MPIWorld(net8, 2, rank_to_host=[0, 0])
+
+    def test_rank_map_length(self, net8):
+        with pytest.raises(ValueError, match="length"):
+            MPIWorld(net8, 2, rank_to_host=[0, 1, 2])
+
+    def test_invalid_destination_rank(self, net8):
+        def prog(mpi):
+            if mpi.rank == 0:
+                mpi.send(5, 10)
+            return
+            yield
+
+        with pytest.raises(ValueError, match="invalid destination"):
+            run_mpi_program(net8, 2, prog)
+
+    def test_deadlock_detection(self, net8):
+        def prog(mpi):
+            if mpi.rank == 0:
+                yield from mpi.recv(src=1)  # never sent
+            return
+            yield
+
+        with pytest.raises(DeadlockError, match="rank0"):
+            run_mpi_program(net8, 2, prog)
+
+    def test_stats_fields(self, net8):
+        def prog(mpi):
+            if mpi.rank == 0:
+                mpi.send(1, 100)
+            elif mpi.rank == 1:
+                yield from mpi.recv(src=0)
+            return
+            yield
+
+        stats = run_mpi_program(net8, 2, prog)
+        assert stats.num_ranks == 2
+        assert stats.messages == 1
+        assert stats.bytes == 100
+        assert 0 <= stats.communication_fraction <= 1

@@ -1,0 +1,146 @@
+"""Tests for the network models built from host-switch graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.simulation.engine import Event, Kernel
+from repro.simulation.network import (
+    FluidNetworkModel,
+    LatencyOnlyNetworkModel,
+    NetworkParams,
+    build_network,
+)
+
+
+@pytest.fixture
+def line_graph() -> HostSwitchGraph:
+    # h0 - s0 - s1 - s2 - h1 ; plus h2 on s0.
+    return HostSwitchGraph.from_edges(3, 4, [(0, 1), (1, 2)], [0, 2, 0])
+
+
+def delivery_time(kernel: Kernel, net, src: int, dst: int, nbytes: float) -> float:
+    ev = Event()
+    times: list[float] = []
+    ev.on_fire(lambda _v: times.append(kernel.now))
+    net.send(src, dst, nbytes, ev)
+    kernel.run()
+    return times[0]
+
+
+class TestLatencyOnly:
+    def test_delivery_time_formula(self, line_graph):
+        k = Kernel()
+        params = NetworkParams(
+            bandwidth_bytes_per_s=1e6, link_latency_s=1e-3, software_overhead_s=1e-4
+        )
+        net = LatencyOnlyNetworkModel(line_graph, k, params)
+        # h0 (s0) -> h1 (s2): 4 links (up, s0-s1, s1-s2, down).
+        t = delivery_time(k, net, 0, 1, 1000.0)
+        assert t == pytest.approx(1e-4 + 4 * 1e-3 + 1000.0 / 1e6)
+
+    def test_same_switch_hosts_two_links(self, line_graph):
+        k = Kernel()
+        params = NetworkParams(bandwidth_bytes_per_s=1e6, link_latency_s=1e-3)
+        net = LatencyOnlyNetworkModel(line_graph, k, params)
+        t = delivery_time(k, net, 0, 2, 0.0)
+        assert t == pytest.approx(params.software_overhead_s + 2 * 1e-3)
+
+    def test_self_message_local_latency(self, line_graph):
+        k = Kernel()
+        net = LatencyOnlyNetworkModel(line_graph, k)
+        t = delivery_time(k, net, 0, 0, 1e9)
+        assert t == pytest.approx(net.params.local_copy_latency_s)
+
+
+class TestFluidNetwork:
+    def test_matches_latency_model_without_contention(self, line_graph):
+        params = NetworkParams(bandwidth_bytes_per_s=1e6, link_latency_s=1e-3)
+        k1, k2 = Kernel(), Kernel()
+        t_fluid = delivery_time(
+            k1, FluidNetworkModel(line_graph, k1, params), 0, 1, 5000.0
+        )
+        t_lat = delivery_time(
+            k2, LatencyOnlyNetworkModel(line_graph, k2, params), 0, 1, 5000.0
+        )
+        assert t_fluid == pytest.approx(t_lat)
+
+    def test_contention_slows_shared_link(self, line_graph):
+        # Two messages simultaneously crossing s0->s1 share its capacity.
+        params = NetworkParams(
+            bandwidth_bytes_per_s=1e6, link_latency_s=0.0, software_overhead_s=0.0
+        )
+        k = Kernel()
+        net = FluidNetworkModel(line_graph, k, params)
+        e1, e2 = Event(), Event()
+        times: list[float] = []
+        e1.on_fire(lambda _v: times.append(k.now))
+        e2.on_fire(lambda _v: times.append(k.now))
+        net.send(0, 1, 1000.0, e1)  # h0 -> h1 over s0-s1-s2
+        net.send(2, 1, 1000.0, e2)  # h2 -> h1 over the same switch path
+        k.run()
+        # Shared links halve the rate: 2 ms each instead of 1 ms.
+        assert max(times) == pytest.approx(2e-3, rel=1e-6)
+
+    def test_duplex_links_do_not_contend(self, line_graph):
+        params = NetworkParams(
+            bandwidth_bytes_per_s=1e6, link_latency_s=0.0, software_overhead_s=0.0
+        )
+        k = Kernel()
+        net = FluidNetworkModel(line_graph, k, params)
+        e1, e2 = Event(), Event()
+        times: list[float] = []
+        e1.on_fire(lambda _v: times.append(k.now))
+        e2.on_fire(lambda _v: times.append(k.now))
+        net.send(0, 1, 1000.0, e1)  # forward direction
+        net.send(1, 0, 1000.0, e2)  # reverse direction, opposite links
+        k.run()
+        assert max(times) == pytest.approx(1e-3, rel=1e-6)
+
+    def test_link_utilization_accumulates(self, line_graph):
+        k = Kernel()
+        net = FluidNetworkModel(line_graph, k)
+        ev = Event()
+        net.send(0, 1, 1000.0, ev)
+        k.run()
+        util = net.link_utilization()
+        assert util.sum() == pytest.approx(4 * 1000.0, rel=1e-3)
+
+    def test_route_cache_reused(self, line_graph):
+        k = Kernel()
+        net = FluidNetworkModel(line_graph, k)
+        r1 = net.route_links(0, 1)
+        r2 = net.route_links(0, 1)
+        assert r1 is r2
+
+    def test_stats_counters(self, line_graph):
+        k = Kernel()
+        net = FluidNetworkModel(line_graph, k)
+        ev1, ev2 = Event(), Event()
+        net.send(0, 1, 10.0, ev1)
+        net.send(0, 0, 5.0, ev2)
+        k.run()
+        assert net.messages_sent == 2
+        assert net.bytes_sent == 15.0
+
+
+class TestBuildNetwork:
+    def test_factory_dispatch(self, line_graph):
+        k = Kernel()
+        assert isinstance(build_network(line_graph, k, model="fluid"), FluidNetworkModel)
+        assert isinstance(
+            build_network(line_graph, k, model="latency"), LatencyOnlyNetworkModel
+        )
+
+    def test_unknown_model(self, line_graph):
+        with pytest.raises(ValueError, match="unknown network model"):
+            build_network(line_graph, Kernel(), model="quantum")
+
+    def test_route_links_distinct_ids(self, line_graph):
+        k = Kernel()
+        net = build_network(line_graph, k)
+        route = net.route_links(0, 1)
+        assert len(set(route.tolist())) == len(route)
+        assert len(route) == 4

@@ -1,0 +1,100 @@
+"""Tests for per-rank timeline tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.mpi import MPIWorld
+from repro.simulation.trace import RankTimeline, TraceInterval, timeline_utilisation
+from repro.topologies import torus
+
+
+@pytest.fixture
+def net():
+    g, _ = torus(2, 2, 6, num_hosts=8, fill="round-robin")
+    return g
+
+
+def run_traced(graph, num_ranks, factory):
+    world = MPIWorld(graph, num_ranks, trace=True)
+    return world.run(factory)
+
+
+class TestTracing:
+    def test_disabled_by_default(self, net):
+        world = MPIWorld(net, 2)
+
+        def prog(mpi):
+            yield from mpi.compute(1e8)
+
+        stats = world.run(prog)
+        assert stats.timelines is None
+
+    def test_compute_intervals_recorded(self, net):
+        def prog(mpi):
+            yield from mpi.compute(1e9)  # 10 ms
+            yield from mpi.compute(5e8)  # 5 ms
+
+        stats = run_traced(net, 2, prog)
+        assert stats.timelines is not None
+        tl = stats.timelines[0]
+        computes = [iv for iv in tl.intervals if iv.kind == "compute"]
+        assert len(computes) == 2
+        assert tl.time_in("compute") == pytest.approx(0.015)
+
+    def test_recv_wait_recorded_with_source(self, net):
+        def prog(mpi):
+            if mpi.rank == 0:
+                yield from mpi.compute(1e9)  # makes rank 1 wait ~10 ms
+                mpi.send(1, 100)
+            elif mpi.rank == 1:
+                yield from mpi.recv(src=0)
+            return
+            yield
+
+        stats = run_traced(net, 2, prog)
+        waits = [iv for iv in stats.timelines[1].intervals if iv.kind == "recv-wait"]
+        assert len(waits) == 1
+        assert waits[0].duration_s == pytest.approx(0.01, rel=0.05)
+        assert waits[0].detail == "src=0"
+
+    def test_sleep_recorded(self, net):
+        def prog(mpi):
+            yield from mpi.sleep(0.25)
+
+        stats = run_traced(net, 2, prog)
+        assert stats.timelines[0].time_in("sleep") == pytest.approx(0.25)
+
+    def test_instant_recv_not_traced_as_wait(self, net):
+        def prog(mpi):
+            if mpi.rank == 0:
+                mpi.send(1, 10)
+            elif mpi.rank == 1:
+                yield from mpi.sleep(0.1)  # message surely arrived
+                yield from mpi.recv(src=0)
+            return
+            yield
+
+        stats = run_traced(net, 2, prog)
+        waits = [iv for iv in stats.timelines[1].intervals if iv.kind == "recv-wait"]
+        assert waits == []  # matched from the arrived queue, no blocking
+
+
+class TestUtilisation:
+    def test_fractions_sum_below_one(self, net):
+        def prog(mpi):
+            yield from mpi.compute(1e9)
+            yield from mpi.barrier()
+
+        stats = run_traced(net, 4, prog)
+        fractions = timeline_utilisation(stats.timelines, stats.time_s)
+        assert 0.0 < sum(fractions.values()) <= 1.0 + 1e-9
+        assert fractions["compute"] > 0.5  # compute-dominated program
+
+    def test_empty_inputs(self):
+        assert timeline_utilisation([], 1.0) == {}
+        assert timeline_utilisation([RankTimeline(0)], 0.0) == {}
+
+    def test_interval_duration(self):
+        iv = TraceInterval("compute", 1.0, 3.5)
+        assert iv.duration_s == 2.5

@@ -1,0 +1,168 @@
+"""Tests for synthetic traffic patterns and the latency/throughput harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.traffic import (
+    TrafficResult,
+    _destination,
+    available_patterns,
+    run_traffic,
+)
+from repro.topologies import torus
+
+
+@pytest.fixture(scope="module")
+def net():
+    g, _ = torus(2, 3, 8, num_hosts=36, fill="round-robin")
+    return g
+
+
+class TestDestinations:
+    def test_uniform_never_self(self):
+        rng = np.random.default_rng(0)
+        for src in range(16):
+            for _ in range(20):
+                assert _destination("uniform", src, 16, rng, 0.0) != src
+
+    def test_transpose_is_involution(self):
+        rng = np.random.default_rng(0)
+        n = 16
+        for src in range(n):
+            dst = _destination("transpose", src, n, rng, 0.0)
+            back = _destination("transpose", dst, n, rng, 0.0)
+            assert back == src
+
+    def test_transpose_requires_square(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="square"):
+            _destination("transpose", 0, 12, rng, 0.0)
+
+    def test_bit_reversal_is_involution_pow2(self):
+        rng = np.random.default_rng(0)
+        n = 32
+        for src in range(n):
+            dst = _destination("bit_reversal", src, n, rng, 0.0)
+            assert _destination("bit_reversal", dst, n, rng, 0.0) == src
+
+    def test_bit_complement_pow2(self):
+        rng = np.random.default_rng(0)
+        assert _destination("bit_complement", 0, 16, rng, 0.0) == 15
+        assert _destination("bit_complement", 5, 16, rng, 0.0) == 10
+
+    def test_neighbor_ring(self):
+        rng = np.random.default_rng(0)
+        assert _destination("neighbor", 7, 8, rng, 0.0) == 0
+
+    def test_hotspot_bias(self):
+        rng = np.random.default_rng(0)
+        hits = sum(
+            _destination("hotspot", 5, 16, rng, 0.5) == 0 for _ in range(400)
+        )
+        assert hits > 120  # ~200 expected at fraction 0.5
+
+    def test_unknown_pattern(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="unknown pattern"):
+            _destination("chaos", 0, 8, rng, 0.0)
+
+    def test_catalogue(self):
+        assert "uniform" in available_patterns()
+        assert len(available_patterns()) == 6
+
+
+class TestRunTraffic:
+    def test_all_messages_delivered(self, net):
+        res = run_traffic(net, "uniform", messages_per_host=5, seed=0)
+        assert len(res.latencies_s) == 36 * 5
+        assert res.mean_latency_s > 0
+        assert res.p99_latency_s >= res.mean_latency_s
+        assert res.throughput_bytes_per_s > 0
+
+    def test_higher_load_higher_latency(self, net):
+        low = run_traffic(net, "uniform", messages_per_host=10, offered_load=0.1, seed=1)
+        high = run_traffic(net, "uniform", messages_per_host=10, offered_load=0.9, seed=1)
+        assert high.mean_latency_s >= low.mean_latency_s
+
+    def test_hotspot_worse_than_uniform(self, net):
+        uni = run_traffic(net, "uniform", messages_per_host=10, offered_load=0.5, seed=2)
+        hot = run_traffic(
+            net, "hotspot", messages_per_host=10, offered_load=0.5,
+            hotspot_fraction=0.5, seed=2,
+        )
+        assert hot.mean_latency_s > uni.mean_latency_s
+
+    def test_deterministic_under_seed(self, net):
+        a = run_traffic(net, "uniform", messages_per_host=5, seed=9)
+        b = run_traffic(net, "uniform", messages_per_host=5, seed=9)
+        assert a.mean_latency_s == b.mean_latency_s
+
+    def test_latency_model_lower_bound(self, net):
+        fluid = run_traffic(net, "uniform", messages_per_host=5, seed=3, model="fluid")
+        free = run_traffic(net, "uniform", messages_per_host=5, seed=3, model="latency")
+        # Removing contention can only reduce latencies.
+        assert free.mean_latency_s <= fluid.mean_latency_s + 1e-12
+
+    def test_invalid_load(self, net):
+        with pytest.raises(ValueError, match="offered_load"):
+            run_traffic(net, "uniform", offered_load=0.0)
+        with pytest.raises(ValueError, match="messages_per_host"):
+            run_traffic(net, "uniform", messages_per_host=0)
+
+    def test_result_dataclass_empty_safe(self):
+        empty = TrafficResult("uniform", 4, 100.0, 0.5)
+        assert empty.mean_latency_s == 0.0
+        assert empty.p99_latency_s == 0.0
+        assert empty.throughput_bytes_per_s == 0.0
+
+
+class TestRoutingStrategies:
+    def test_ecmp_paths_still_shortest_on_average(self, net):
+        det = run_traffic(net, "uniform", messages_per_host=5, offered_load=0.05,
+                          routing="shortest", seed=4)
+        ecmp = run_traffic(net, "uniform", messages_per_host=5, offered_load=0.05,
+                           routing="ecmp", seed=4)
+        # At negligible load both see pure path latency: same mean within 10%.
+        assert ecmp.mean_latency_s == pytest.approx(det.mean_latency_s, rel=0.1)
+
+    def test_valiant_longer_paths_at_low_load(self, net):
+        det = run_traffic(net, "uniform", messages_per_host=5, offered_load=0.05,
+                          routing="shortest", seed=5)
+        val = run_traffic(net, "uniform", messages_per_host=5, offered_load=0.05,
+                          routing="valiant", seed=5)
+        assert val.mean_latency_s > det.mean_latency_s
+
+    def test_ecmp_helps_adversarial_traffic(self, net):
+        det = run_traffic(net, "transpose", messages_per_host=10, offered_load=0.8,
+                          routing="shortest", seed=6)
+        ecmp = run_traffic(net, "transpose", messages_per_host=10, offered_load=0.8,
+                           routing="ecmp", seed=6)
+        assert ecmp.mean_latency_s < det.mean_latency_s
+
+    def test_unknown_routing_rejected(self, net):
+        with pytest.raises(ValueError, match="routing"):
+            run_traffic(net, "uniform", routing="psychic")
+
+
+class TestValiantRoute:
+    def test_route_structure(self, net):
+        from repro.routing import RoutingTables, valiant_switch_route
+
+        tables = RoutingTables(net)
+        route = valiant_switch_route(tables, 0, 5, rng=0)
+        assert route[0] == 0 and route[-1] == 5
+        # Every hop is an edge.
+        for a, b in zip(route, route[1:]):
+            assert net.has_switch_edge(a, b)
+
+    def test_route_at_least_shortest(self, net):
+        from repro.routing import RoutingTables, valiant_switch_route
+
+        tables = RoutingTables(net)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            u, v = rng.integers(0, net.num_switches, size=2)
+            route = valiant_switch_route(tables, int(u), int(v), rng=rng)
+            assert len(route) - 1 >= tables.distance(int(u), int(v))

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBounds:
+    def test_prints_all_quantities(self, capsys):
+        assert main(["bounds", "1024", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "diameter lower bound" in out
+        assert "h-ASPL lower bound" in out
+        assert "m_opt" in out
+        assert "79" in out  # known m_opt for (1024, 24)
+
+
+class TestSolve:
+    def test_solve_and_save(self, capsys, tmp_path):
+        out_file = tmp_path / "g.hsg"
+        code = main(
+            ["solve", "24", "8", "--steps", "150", "--seed", "1",
+             "--out", str(out_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ORP(n=24, r=8)" in out
+        assert out_file.exists()
+        from repro import load_graph
+
+        g = load_graph(out_file)
+        assert g.num_hosts == 24
+
+    def test_m_override(self, capsys):
+        assert main(["solve", "24", "8", "--m", "10", "--steps", "100"]) == 0
+        assert "m=10" in capsys.readouterr().out
+
+
+class TestOdp:
+    def test_odp_summary(self, capsys):
+        assert main(["odp", "16", "4", "--steps", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "ODP(n=16, d=4)" in out and "Moore bound" in out
+
+
+class TestTopology:
+    def test_torus(self, capsys):
+        code = main(["topology", "torus", "--dimension", "2", "--base", "3",
+                     "--radix", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "torus" in out and "h-ASPL" in out
+
+    def test_fat_tree(self, capsys):
+        assert main(["topology", "fat-tree", "--k", "4"]) == 0
+        assert "fat-tree" in capsys.readouterr().out
+
+    def test_dragonfly_with_hosts(self, capsys):
+        assert main(["topology", "dragonfly", "--a", "4", "--hosts", "32"]) == 0
+        assert "attached hosts: 32" in capsys.readouterr().out
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["topology", "klein-bottle"])
+
+
+class TestSimulate:
+    def test_default_network(self, capsys):
+        assert main(["simulate", "ep", "--ranks", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "EP class A" in out and "Mop/s" in out
+
+    def test_loaded_graph(self, capsys, tmp_path):
+        from repro import save_graph
+        from repro.topologies import torus
+
+        path = tmp_path / "net.hsg"
+        save_graph(torus(2, 3, 8, num_hosts=18, fill="round-robin")[0], path)
+        code = main(["simulate", "mg", "--graph", str(path), "--ranks", "16",
+                     "--mapping", "linear"])
+        assert code == 0
+        assert "simulated time" in capsys.readouterr().out
+
+    def test_routing_option(self, capsys):
+        assert main(["simulate", "ep", "--ranks", "4", "--routing", "ecmp"]) == 0
+
+
+class TestTraffic:
+    def test_uniform(self, capsys):
+        code = main(["traffic", "uniform", "--messages", "3", "--load", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean latency" in out and "throughput" in out
+
+    def test_valiant_routing(self, capsys):
+        assert main(["traffic", "uniform", "--messages", "2",
+                     "--routing", "valiant"]) == 0
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_available(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0

@@ -1,0 +1,137 @@
+"""Golden-value regression tests.
+
+Pins exact, deterministic quantities (bounds, m_opt predictions, h-ASPL of
+structured topologies) so subtle regressions in the metric/bound kernels
+cannot slip through.  All values were cross-checked by hand or against the
+paper where it states them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import (
+    diameter_lower_bound,
+    h_aspl_lower_bound,
+    moore_aspl_lower_bound,
+)
+from repro.core.metrics import h_aspl, h_aspl_and_diameter
+from repro.core.moore import continuous_moore_bound, optimal_switch_count
+from repro.topologies import dragonfly, fat_tree, hypercube, slim_fly, torus
+
+
+class TestBoundGoldens:
+    @pytest.mark.parametrize(
+        "n,r,expected",
+        [
+            (1024, 24, 4),
+            (1024, 12, 4),
+            (1024, 15, 4),  # 14^3 = 2744 >= 1023 > 14^2
+            (128, 12, 4),   # 11^2 = 121 < 127
+            (128, 24, 3),
+            (10, 4, 3),
+            (8, 8, 2),
+        ],
+    )
+    def test_diameter_bounds(self, n, r, expected):
+        assert diameter_lower_bound(n, r) == expected
+
+    @pytest.mark.parametrize(
+        "n,r,expected",
+        [
+            # alpha = (r-1)^(D-2) - ceil((n-1-(r-1)^(D-2))/(r-2))
+            (1024, 24, 4 - (529 - 23) / 1023),
+            (10, 4, 3.0),  # n = (r-1)^2 + 1 exactly
+            (8, 8, 2.0),
+        ],
+    )
+    def test_h_aspl_bounds(self, n, r, expected):
+        assert h_aspl_lower_bound(n, r) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "N,K,expected",
+        [
+            (10, 3, 5 / 3),     # Petersen
+            (5, 4, 1.0),        # complete graph
+            (50, 7, (7 + 42 * 2) / 49),
+            (7, 2, 2.0),        # ring bound
+        ],
+    )
+    def test_moore_goldens(self, N, K, expected):
+        assert moore_aspl_lower_bound(N, K) == pytest.approx(expected)
+
+
+class TestMoptGoldens:
+    @pytest.mark.parametrize(
+        "n,r,m_expected",
+        [
+            (1024, 24, 79),
+            (1024, 16, 183),  # paper: 183
+            (1024, 12, 239),
+            (128, 24, 8),     # paper: 8 (clique regime)
+            (256, 12, 55),
+            (64, 10, 11),
+        ],
+    )
+    def test_m_opt_predictions(self, n, r, m_expected):
+        assert optimal_switch_count(n, r)[0] == m_expected
+
+    def test_m_opt_1024_15_near_paper(self):
+        # Paper reports 194; the flat minimum makes 194/195 a tie region.
+        assert abs(optimal_switch_count(1024, 15)[0] - 194) <= 1
+
+    def test_continuous_moore_at_m_opt(self):
+        _, bound = optimal_switch_count(1024, 24)
+        assert bound == pytest.approx(3.8367560528607916)
+
+
+class TestTopologyGoldens:
+    def test_torus_5d_paper_instance(self):
+        g, spec = torus(5, 3, 15, num_hosts=1024)
+        assert spec.num_switches == 243
+        assert spec.max_hosts == 1215
+        aspl, diam = h_aspl_and_diameter(g)
+        assert diam == 7.0  # 5 * floor(3/2) = 5 switch hops + 2
+        assert aspl == pytest.approx(5.303454148338221)  # sequential fill
+
+    def test_dragonfly_a8_paper_instance(self):
+        g, spec = dragonfly(8, num_hosts=1024)
+        assert (spec.num_switches, spec.radix, spec.max_hosts) == (264, 15, 1056)
+        aspl, diam = h_aspl_and_diameter(g)
+        assert diam == 5.0
+        assert aspl == pytest.approx(4.676991691104594, rel=1e-9)  # sequential fill
+
+    def test_fat_tree_16_paper_instance(self):
+        g, spec = fat_tree(16)
+        assert (spec.num_switches, spec.radix, spec.max_hosts) == (320, 16, 1024)
+        aspl, diam = h_aspl_and_diameter(g)
+        assert diam == 6.0
+        assert aspl == pytest.approx(5.863147605083089)
+
+    def test_hypercube_golden(self):
+        g, _ = hypercube(4, 6, num_hosts=32)
+        # 2 hosts/switch; ASPL of Q4 = (sum_k k*C(4,k)) / 15 = 32/15;
+        # Formula (1): A = ASPL * (mn - n)/(mn - m) + 2, n=32, m=16.
+        expected = (32 / 15) * (512 - 32) / (512 - 16) + 2.0
+        assert h_aspl(g) == pytest.approx(expected)
+
+    def test_slim_fly_q5_golden(self):
+        g, spec = slim_fly(5)
+        assert spec.num_switches == 50
+        assert spec.params["degree"] == 7
+        aspl, diam = h_aspl_and_diameter(g)
+        assert diam == 4.0
+        # Regular host-switch graph: Formula (1) from the MMS ASPL.
+        from repro.core.metrics import switch_aspl
+
+        expected = switch_aspl(g) * (50 * 200 - 200) / (50 * 200 - 50) + 2.0
+        assert aspl == pytest.approx(expected)
+
+
+class TestFormulaGoldens:
+    def test_continuous_moore_equals_paper_shape(self):
+        # Formula 2 at a divisible point vs continuous extension.
+        assert continuous_moore_bound(1024, 256, 24) == pytest.approx(
+            moore_aspl_lower_bound(256, 20) * (256 * 1024 - 1024) / (256 * 1024 - 256)
+            + 2.0
+        )

@@ -1,0 +1,146 @@
+"""Cross-module integration tests: the paper's pipelines end to end.
+
+These run miniature versions of the paper's experiments through the full
+stack — ORP solve -> routing -> simulation / partitioning / layout — and
+check the qualitative claims that are robust at small scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AnnealingSchedule, h_aspl, h_aspl_and_diameter, solve_orp
+from repro.analysis import host_distribution_summary
+from repro.layout import Floorplan, network_cost, network_power
+from repro.partition import WeightedGraph, partition_balance, partition_host_switch
+from repro.routing import RoutingTables, host_path
+from repro.simulation.apps import run_nas
+from repro.simulation.mapping import rank_to_host_mapping
+from repro.topologies import dragonfly, fat_tree, torus
+
+
+@pytest.fixture(scope="module")
+def solution():
+    """One shared small ORP solve (n=64, r=10)."""
+    return solve_orp(64, 10, schedule=AnnealingSchedule(num_steps=1_500), seed=17)
+
+
+class TestProposedVsConventional:
+    def test_lower_h_aspl_than_torus_at_same_radix(self, solution):
+        conv, _ = torus(3, 3, 10, num_hosts=64)
+        assert solution.h_aspl < h_aspl(conv)
+
+    def test_lower_h_aspl_than_fat_tree_at_same_radix(self):
+        conv, spec = fat_tree(8)
+        sol = solve_orp(
+            spec.max_hosts, spec.radix,
+            schedule=AnnealingSchedule(num_steps=1_500), seed=17,
+        )
+        assert sol.h_aspl < h_aspl(conv)
+
+    def test_fewer_switches_than_conventional(self, solution):
+        _, torus_spec_ = torus(3, 3, 10, num_hosts=64)
+        assert solution.m < torus_spec_.num_switches
+
+    def test_non_regular_host_distribution(self, solution):
+        # The paper's qualitative finding: neither direct nor indirect.
+        summary = host_distribution_summary(solution.graph)
+        assert summary.max_hosts >= 1
+
+
+class TestRoutingOverSolvedGraph:
+    def test_routes_match_metric_distances(self, solution):
+        graph = solution.graph
+        tables = RoutingTables(graph)
+        from repro.core.metrics import host_distance_matrix
+
+        dist = host_distance_matrix(graph)
+        for src in range(0, graph.num_hosts, 13):
+            for dst in range(0, graph.num_hosts, 17):
+                if src == dst:
+                    continue
+                path = host_path(tables, src, dst)
+                assert len(path) - 1 == dist[src, dst]
+
+    def test_mean_route_length_equals_h_aspl(self, solution):
+        graph = solution.graph
+        tables = RoutingTables(graph)
+        n = graph.num_hosts
+        total = 0
+        count = 0
+        for src in range(n):
+            for dst in range(src + 1, n):
+                total += len(host_path(tables, src, dst)) - 1
+                count += 1
+        assert total / count == pytest.approx(solution.h_aspl)
+
+
+class TestSimulationOverSolvedGraph:
+    def test_nas_runs_on_solved_topology(self, solution):
+        mapping = rank_to_host_mapping(solution.graph, 16, "dfs")
+        res = run_nas(
+            "mg", solution.graph, 16, nas_class="A", iterations=1,
+            rank_to_host=mapping,
+        )
+        assert res.time_s > 0
+
+    def test_lower_h_aspl_helps_latency_bound_traffic(self, solution):
+        """Contention-free latency model: proposed beats fat-tree on a
+        latency-dominated benchmark (pure path-length effect)."""
+        conv, _ = fat_tree(8)
+        sol = solve_orp(
+            128, 8, schedule=AnnealingSchedule(num_steps=1_500), seed=17
+        )
+        r_conv = run_nas("lu", conv, 16, nas_class="A", iterations=1, model="latency",
+                         rank_to_host=rank_to_host_mapping(conv, 16, "linear"))
+        r_prop = run_nas("lu", sol.graph, 16, nas_class="A", iterations=1,
+                         model="latency",
+                         rank_to_host=rank_to_host_mapping(sol.graph, 16, "dfs"))
+        # Messages traverse strictly fewer hops on average.
+        assert r_prop.time_s <= r_conv.time_s * 1.05
+
+
+class TestPartitionOverSolvedGraph:
+    def test_bisection_balanced_and_positive(self, solution):
+        parts, cut = partition_host_switch(solution.graph, 2, seed=0, trials=2)
+        wg = WeightedGraph.from_host_switch(solution.graph)
+        assert cut > 0
+        assert partition_balance(wg, parts, 2) <= 1.1
+
+    def test_fat_tree_bisection_beats_proposed(self):
+        """The paper's Fig. 11b inversion at reduced scale."""
+        conv, _ = fat_tree(8)
+        sol = solve_orp(
+            128, 8, schedule=AnnealingSchedule(num_steps=1_500), seed=17
+        )
+        _, cut_conv = partition_host_switch(conv, 2, seed=0, trials=2)
+        _, cut_prop = partition_host_switch(sol.graph, 2, seed=0, trials=2)
+        assert cut_conv > cut_prop
+
+
+class TestLayoutOverSolvedGraph:
+    def test_power_and_cost_computable(self, solution):
+        plan = Floorplan(solution.graph)
+        power = network_power(solution.graph, plan)
+        cost = network_cost(solution.graph, plan)
+        assert power.total_w > 0
+        assert cost.total_usd > 0
+
+    def test_fewer_switches_means_lower_switch_power(self, solution):
+        conv, _ = torus(3, 3, 10, num_hosts=64)
+        p_conv = network_power(conv, Floorplan(conv))
+        p_prop = network_power(solution.graph, Floorplan(solution.graph))
+        assert p_prop.switches_w < p_conv.switches_w
+
+
+class TestSerializationRoundTripThroughStack:
+    def test_saved_graph_reproduces_all_metrics(self, solution, tmp_path):
+        from repro import load_graph, save_graph
+
+        path = tmp_path / "solved.hsg"
+        save_graph(solution.graph, path)
+        back = load_graph(path)
+        assert h_aspl_and_diameter(back) == h_aspl_and_diameter(solution.graph)
+        _, cut1 = partition_host_switch(solution.graph, 2, seed=5, trials=1)
+        _, cut2 = partition_host_switch(back, 2, seed=5, trials=1)
+        assert cut1 == cut2

@@ -1,0 +1,216 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants.
+
+These complement the per-module tests by generating whole random
+host-switch graphs and checking relations *between* subsystems: metrics vs
+networkx oracles, annealing vs bounds, routing vs metrics, partitioning vs
+brute force, fluid simulation conservation laws.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import diameter_lower_bound, h_aspl_lower_bound
+from repro.core.construct import random_host_switch_graph
+from repro.core.metrics import h_aspl_and_diameter, switch_distance_matrix
+from repro.core.operations import SwingMove
+
+
+# A moderate catalogue of feasible (n, m, r) triples for generation.
+CONFIGS = [(12, 4, 7), (18, 6, 7), (24, 6, 9), (30, 10, 7), (40, 8, 10)]
+
+graph_strategy = st.tuples(
+    st.sampled_from(CONFIGS), st.integers(0, 10_000)
+)
+
+
+def build(config_seed):
+    (n, m, r), seed = config_seed
+    return random_host_switch_graph(n, m, r, seed=seed)
+
+
+class TestMetricInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(graph_strategy)
+    def test_bounds_always_hold(self, cs):
+        g = build(cs)
+        aspl, diam = h_aspl_and_diameter(g)
+        n, r = g.num_hosts, g.radix
+        assert aspl >= h_aspl_lower_bound(n, r) - 1e-12
+        assert diam >= diameter_lower_bound(n, r)
+        assert 2.0 <= aspl <= diam
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph_strategy)
+    def test_matches_networkx_oracle(self, cs):
+        import networkx as nx
+
+        g = build(cs)
+        nxg = g.to_networkx()
+        hosts = [("h", i) for i in range(g.num_hosts)]
+        lengths = dict(nx.all_pairs_shortest_path_length(nxg))
+        total = sum(
+            lengths[a][b] for i, a in enumerate(hosts) for b in hosts[i + 1 :]
+        )
+        n = g.num_hosts
+        expected = total / (n * (n - 1) / 2)
+        assert h_aspl_and_diameter(g)[0] == pytest.approx(expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph_strategy)
+    def test_triangle_inequality_on_switch_distances(self, cs):
+        g = build(cs)
+        d = switch_distance_matrix(g)
+        m = g.num_switches
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a, b, c = rng.integers(0, m, size=3)
+            assert d[a, c] <= d[a, b] + d[b, c]
+
+
+class TestMoveInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(graph_strategy, st.integers(0, 1_000))
+    def test_random_swing_sequences_preserve_structure(self, cs, move_seed):
+        """Apply a random sequence of legal swings; n, port usage totals,
+        and radix feasibility are conserved throughout."""
+        g = build(cs)
+        rng = np.random.default_rng(move_seed)
+        n0 = g.num_hosts
+        edges0 = g.num_switch_edges
+        for _ in range(10):
+            edges = list(g.switch_edges())
+            if not edges:
+                break
+            a, b = edges[int(rng.integers(0, len(edges)))]
+            if rng.integers(0, 2):
+                a, b = b, a
+            sc = int(rng.integers(0, g.num_switches))
+            move = SwingMove(a, b, sc)
+            if move.is_legal(g):
+                move.apply(g)
+        g.validate()
+        assert g.num_hosts == n0
+        assert g.num_switch_edges == edges0
+
+
+class TestRoutingInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(graph_strategy)
+    def test_route_lengths_equal_bfs_distances(self, cs):
+        from repro.routing import RoutingTables
+
+        g = build(cs)
+        tables = RoutingTables(g)
+        d = switch_distance_matrix(g)
+        m = g.num_switches
+        for u in range(m):
+            for v in range(m):
+                assert len(tables.switch_route(u, v)) - 1 == d[u, v]
+
+    @settings(max_examples=12, deadline=None)
+    @given(graph_strategy, st.integers(0, 100))
+    def test_ecmp_diversity_counts_consistent(self, cs, seed):
+        from repro.routing import RoutingTables
+
+        g = build(cs)
+        tables = RoutingTables(g)
+        rng = np.random.default_rng(seed)
+        u, v = rng.integers(0, g.num_switches, size=2)
+        diversity = tables.path_diversity(int(u), int(v))
+        assert diversity >= 1
+        # Sampled ECMP routes must all be shortest.
+        for _ in range(5):
+            route = tables.switch_route(int(u), int(v), rng=rng)
+            assert len(route) - 1 == tables.distance(int(u), int(v))
+
+
+class TestPartitionInvariants:
+    @settings(max_examples=12, deadline=None)
+    @given(graph_strategy, st.integers(2, 6))
+    def test_partition_covers_all_vertices(self, cs, nparts):
+        from repro.partition import WeightedGraph, cut_size, partition_graph
+
+        g = build(cs)
+        wg = WeightedGraph.from_host_switch(g)
+        parts = partition_graph(wg, nparts, seed=0)
+        assert len(parts) == wg.num_vertices
+        assert set(parts) <= set(range(nparts))
+        # Cut is bounded by the total edge count.
+        assert 0 <= cut_size(wg, parts) <= wg.num_edges
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 1_000))
+    def test_bisection_no_worse_than_random_split(self, seed):
+        from repro.partition import WeightedGraph, bisect_graph, cut_size
+
+        g = random_host_switch_graph(24, 8, 7, seed=seed)
+        wg = WeightedGraph.from_host_switch(g)
+        parts = bisect_graph(wg, seed=seed)
+        rng = np.random.default_rng(seed)
+        random_parts = list(rng.permutation([0, 1] * (wg.num_vertices // 2)))
+        assert cut_size(wg, parts) <= cut_size(wg, random_parts)
+
+
+class TestFluidConservation:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(st.floats(1.0, 1e6), min_size=1, max_size=8),
+        st.integers(0, 1_000),
+    )
+    def test_bytes_conserved_across_random_flows(self, sizes, seed):
+        """Every started flow completes and total bytes are conserved."""
+        from repro.simulation.engine import Event, Kernel
+        from repro.simulation.fluid import FluidScheduler
+
+        kernel = Kernel()
+        rng = np.random.default_rng(seed)
+        num_links = 5
+        sched = FluidScheduler(kernel, np.full(num_links, 1e6))
+        events = []
+        for size in sizes:
+            links = rng.choice(num_links, size=int(rng.integers(1, 4)), replace=False)
+            ev = Event()
+            events.append(ev)
+            kernel.call_later(float(rng.random()), sched.start_flow, links, size, ev)
+        kernel.run()
+        assert all(ev.fired for ev in events)
+        assert sched.completed_flows == len(sizes)
+        assert sched.total_bytes == pytest.approx(sum(sizes))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 12), st.integers(0, 500))
+    def test_shared_link_throughput_never_exceeds_capacity(self, nflows, seed):
+        from repro.simulation.engine import Event, Kernel
+        from repro.simulation.fluid import FluidScheduler
+
+        kernel = Kernel()
+        capacity = 1e6
+        sched = FluidScheduler(kernel, np.asarray([capacity]))
+        size = 1e5
+        for _ in range(nflows):
+            sched.start_flow([0], size, Event())
+        end = kernel.run()
+        # All flows share one link: total time >= total bytes / capacity.
+        assert end >= nflows * size / capacity - 1e-9
+
+
+class TestAnnealingInvariants:
+    @settings(max_examples=6, deadline=None)
+    @given(st.sampled_from(CONFIGS), st.integers(0, 100))
+    def test_anneal_output_always_valid_and_bounded(self, config, seed):
+        from repro.core.annealing import AnnealingSchedule, anneal
+
+        n, m, r = config
+        g = random_host_switch_graph(n, m, r, seed=seed)
+        res = anneal(g, schedule=AnnealingSchedule(num_steps=120), seed=seed)
+        res.graph.validate()
+        assert res.graph.num_hosts == n
+        assert res.graph.num_switches == m
+        assert res.h_aspl >= h_aspl_lower_bound(n, r) - 1e-12
+        assert res.graph.is_switch_graph_connected()

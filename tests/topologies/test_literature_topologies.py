@@ -1,0 +1,119 @@
+"""Tests for the extension topologies: Slim Fly, Jellyfish, random-shortcut."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import h_aspl, switch_distance_matrix
+from repro.topologies import (
+    jellyfish,
+    jellyfish_spec,
+    random_shortcut_ring,
+    random_shortcut_spec,
+    slim_fly,
+    slim_fly_spec,
+)
+from repro.topologies.slimfly import valid_slim_fly_q
+
+
+class TestSlimFly:
+    def test_valid_q_detection(self):
+        assert valid_slim_fly_q(5)
+        assert valid_slim_fly_q(13)
+        assert valid_slim_fly_q(17)
+        assert not valid_slim_fly_q(7)  # 3 mod 4: not supported here
+        assert not valid_slim_fly_q(9)  # not prime
+        assert not valid_slim_fly_q(4)
+
+    def test_spec_formulas(self):
+        spec = slim_fly_spec(5)
+        assert spec.num_switches == 2 * 25
+        assert spec.params["degree"] == 7  # (3*5 - 1) / 2
+        assert spec.params["p"] == 4  # ceil(7/2)
+        assert spec.max_hosts == 200
+
+    def test_mms_graph_is_regular_diameter_two(self):
+        g, spec = slim_fly(5, num_hosts=50)
+        degree = spec.params["degree"]
+        assert all(g.switch_degree(s) == degree for s in range(g.num_switches))
+        assert switch_distance_matrix(g).max() == 2
+
+    def test_host_diameter_is_four(self):
+        g, _ = slim_fly(5)  # full population
+        from repro.core.metrics import diameter
+
+        assert diameter(g) == 4.0
+
+    def test_moore_efficiency(self):
+        # MMS graphs have ~ (k^2+1) * 8/9 vertices at diameter 2 -> the
+        # switch count is a large fraction of the Moore bound k^2 + 1.
+        spec = slim_fly_spec(13)
+        k = spec.params["degree"]
+        assert spec.num_switches >= 0.85 * (k * k + 1)
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ValueError, match="mod 4"):
+            slim_fly(7)
+
+
+class TestJellyfish:
+    def test_structure(self):
+        g, spec = jellyfish(num_switches=20, radix=8, hosts_per_switch=3, seed=0)
+        assert g.num_hosts == 60
+        assert all(g.hosts_on(s) == 3 for s in range(20))
+        assert all(g.switch_degree(s) == 5 for s in range(20))
+        g.validate()
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="no switch links"):
+            jellyfish_spec(10, 4, 4)
+        with pytest.raises(ValueError, match="must be <"):
+            jellyfish_spec(4, 10, 2)
+
+    def test_seeded_reproducibility(self):
+        a, _ = jellyfish(16, 8, 2, seed=3)
+        b, _ = jellyfish(16, 8, 2, seed=3)
+        assert a == b
+
+    def test_random_baseline_worse_than_annealed(self):
+        # Jellyfish is the unoptimised baseline the paper's search beats.
+        from repro.core.annealing import AnnealingSchedule, anneal
+
+        g, _ = jellyfish(16, 8, 2, seed=5)
+        result = anneal(g, schedule=AnnealingSchedule(num_steps=500), seed=5)
+        assert result.h_aspl <= h_aspl(g)
+
+
+class TestRandomShortcut:
+    def test_ring_only(self):
+        g, spec = random_shortcut_ring(10, 6, num_matchings=0, seed=0)
+        assert g.num_switch_edges == 10
+        assert all(g.switch_degree(s) == 2 for s in range(10))
+
+    def test_matchings_added(self):
+        g, spec = random_shortcut_ring(10, 6, num_matchings=2, seed=1)
+        assert all(g.switch_degree(s) == 4 for s in range(10))
+        assert spec.params["degree"] == 4
+        g.validate()
+
+    def test_shortcuts_shrink_aspl(self):
+        # One host per switch (round-robin) so distances span the ring.
+        ring, _ = random_shortcut_ring(
+            30, 8, num_matchings=0, num_hosts=30, seed=2, fill="round-robin"
+        )
+        shortcut, _ = random_shortcut_ring(
+            30, 8, num_matchings=2, num_hosts=30, seed=2, fill="round-robin"
+        )
+        assert h_aspl(shortcut) < h_aspl(ring)
+
+    def test_odd_switch_count_rejected_with_matchings(self):
+        with pytest.raises(ValueError, match="even"):
+            random_shortcut_ring(9, 6, num_matchings=1)
+
+    def test_radix_budget_enforced(self):
+        with pytest.raises(ValueError, match="exceeds radix"):
+            random_shortcut_ring(10, 4, num_matchings=2)
+
+    def test_capacity(self):
+        spec = random_shortcut_spec(10, 8, 2)
+        assert spec.max_hosts == 10 * 4

@@ -1,0 +1,185 @@
+"""Tests for the conventional topology builders (paper Section 6.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import diameter, h_aspl, switch_distance_matrix
+from repro.topologies import (
+    available_topologies,
+    build_topology,
+    dragonfly,
+    dragonfly_spec,
+    fat_tree,
+    fat_tree_spec,
+    hypercube,
+    mesh,
+    torus,
+    torus_spec,
+)
+
+
+class TestTorus:
+    def test_paper_instance_formulae(self):
+        # Paper Section 6.3.1: K=5, N=3, r=15 -> m=243, n<=1215.
+        spec = torus_spec(5, 3, 15)
+        assert spec.num_switches == 243
+        assert spec.max_hosts == 1215
+
+    def test_structure_small(self):
+        g, spec = torus(2, 3, 8)
+        # 3x3 torus: 9 switches, degree 4 -> 18 edges.
+        assert g.num_switches == 9
+        assert g.num_switch_edges == 18
+        assert all(g.switch_degree(s) == 4 for s in range(9))
+        g.validate()
+
+    def test_base_two_avoids_parallel_edges(self):
+        g, _ = torus(3, 2, 8)
+        # 2x2x2: degree 3 (wrap +1 and -1 coincide).
+        assert all(g.switch_degree(s) == 3 for s in range(8))
+
+    def test_switch_diameter_matches_theory(self):
+        g, _ = torus(2, 5, 8, num_hosts=25)
+        d = switch_distance_matrix(g)
+        # 5x5 torus: max distance = 2 + 2.
+        assert d.max() == 4
+
+    def test_radix_too_small_rejected(self):
+        with pytest.raises(ValueError, match="must exceed"):
+            torus(5, 3, 10)
+
+    def test_sequential_fill_packs(self):
+        g, _ = torus(2, 3, 8, num_hosts=5)
+        assert g.host_counts().tolist() == [4, 1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_round_robin_fill_spreads(self):
+        g, _ = torus(2, 3, 8, num_hosts=5, fill="round-robin")
+        assert g.host_counts().tolist() == [1, 1, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError, match="at most"):
+            torus(2, 3, 8, num_hosts=100)
+
+
+class TestDragonfly:
+    def test_paper_instance_formulae(self):
+        # Paper Section 6.3.2: a=8 -> r=15, m=264, n<=1056.
+        spec = dragonfly_spec(8)
+        assert spec.radix == 15
+        assert spec.num_switches == 264
+        assert spec.max_hosts == 1056
+        assert spec.params["g"] == 33
+
+    def test_odd_group_size_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            dragonfly_spec(7)
+
+    def test_structure_a4(self):
+        g, spec = dragonfly(4)
+        # a=4: g=9 groups, m=36; each switch: 3 intra + 2 global = 5 links.
+        assert g.num_switches == 36
+        assert all(g.switch_degree(s) == 5 for s in range(36))
+        g.validate()
+
+    def test_one_global_link_per_group_pair(self):
+        a = 4
+        g, spec = dragonfly(a, num_hosts=1)
+        groups = spec.params["g"]
+        counts: dict[tuple[int, int], int] = {}
+        for u, v in g.switch_edges():
+            gu, gv = u // a, v // a
+            if gu != gv:
+                key = (min(gu, gv), max(gu, gv))
+                counts[key] = counts.get(key, 0) + 1
+        assert len(counts) == groups * (groups - 1) // 2
+        assert set(counts.values()) == {1}
+
+    def test_switch_graph_diameter_is_three(self):
+        g, _ = dragonfly(4, num_hosts=1)
+        assert switch_distance_matrix(g).max() == 3
+
+    def test_full_graph_diameter_is_five(self):
+        g, _ = dragonfly(4)
+        assert diameter(g) == 5.0
+
+
+class TestFatTree:
+    def test_paper_instance_formulae(self):
+        # Paper Section 6.3.3: K=16 -> r=16, m=320, n=1024.
+        spec = fat_tree_spec(16)
+        assert spec.radix == 16
+        assert spec.num_switches == 320
+        assert spec.max_hosts == 1024
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            fat_tree_spec(5)
+
+    def test_structure_k4(self):
+        g, _ = fat_tree(4)
+        # K=4: 16 hosts, 20 switches; every switch uses <= 4 ports.
+        assert g.num_hosts == 16
+        assert g.num_switches == 20
+        assert all(g.ports_used(s) <= 4 for s in range(20))
+        g.validate()
+
+    def test_edge_switches_carry_hosts_core_does_not(self):
+        k = 4
+        g, _ = fat_tree(k)
+        for pod in range(k):
+            for e in range(k // 2):
+                assert g.hosts_on(pod * k + e) == k // 2
+        for core in range(k * k, g.num_switches):
+            assert g.hosts_on(core) == 0
+
+    def test_host_diameter_is_six(self):
+        g, _ = fat_tree(4)
+        assert diameter(g) == 6.0
+        assert h_aspl(g) < 6.0
+
+    def test_full_bisection_structure(self):
+        # Core layer has (K/2)^2 switches each linked to all K pods.
+        k = 4
+        g, _ = fat_tree(k)
+        for i in range(k // 2):
+            for j in range(k // 2):
+                core = k * k + i * (k // 2) + j
+                assert g.switch_degree(core) == k
+
+
+class TestExtras:
+    def test_hypercube_structure(self):
+        g, spec = hypercube(4, 6)
+        assert g.num_switches == 16
+        assert all(g.switch_degree(s) == 4 for s in range(16))
+        assert switch_distance_matrix(g).max() == 4
+
+    def test_mesh_has_no_wraparound(self):
+        g, _ = mesh(2, 3, 8, num_hosts=9)
+        # corner switch degree 2, centre degree 4
+        assert g.switch_degree(0) == 2
+        assert g.switch_degree(4) == 4
+        assert switch_distance_matrix(g).max() == 4  # corner to corner
+
+    def test_registry_builds_by_name(self):
+        g, spec = build_topology("torus", dimension=2, base=3, radix=8)
+        assert spec.name == "torus"
+        g2, spec2 = build_topology("fat-tree", k=4)
+        assert spec2.name == "fat-tree"
+
+    def test_registry_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            build_topology("moebius")
+
+    def test_available_topologies_all_buildable(self):
+        assert set(available_topologies()) == {
+            "torus",
+            "dragonfly",
+            "fat-tree",
+            "hypercube",
+            "mesh",
+            "slim-fly",
+            "jellyfish",
+            "random-shortcut-ring",
+        }

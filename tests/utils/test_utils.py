@@ -1,0 +1,107 @@
+"""Tests for shared utilities (rng, union-find, validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import (
+    UnionFind,
+    as_generator,
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+    spawn_generators,
+)
+
+
+class TestRng:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(7).integers(0, 1000, size=5)
+        b = as_generator(7).integers(0, 1000, size=5)
+        assert (a == b).all()
+
+    def test_generator_passthrough_shares_state(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_spawn_generators_independent(self):
+        children = spawn_generators(3, 4)
+        assert len(children) == 4
+        draws = [c.integers(0, 10**9) for c in children]
+        assert len(set(draws)) > 1
+
+    def test_spawn_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestUnionFind:
+    def test_initial_components(self):
+        uf = UnionFind(5)
+        assert uf.components == 5
+        assert not uf.connected(0, 1)
+
+    def test_union_and_find(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.union(1, 0)  # already joined
+        assert uf.components == 4
+
+    def test_component_size(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.component_size(2) == 3
+        assert uf.component_size(5) == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60))
+    def test_matches_naive_partition(self, pairs):
+        uf = UnionFind(20)
+        groups = [{i} for i in range(20)]
+        index = list(range(20))
+        for a, b in pairs:
+            uf.union(a, b)
+            ga, gb = index[a], index[b]
+            if ga != gb:
+                groups[ga] |= groups[gb]
+                for v in groups[gb]:
+                    index[v] = ga
+                groups[gb] = set()
+        for a in range(20):
+            for b in range(a + 1, 20):
+                assert uf.connected(a, b) == (index[a] == index[b])
+
+
+class TestValidation:
+    def test_positive_int(self):
+        assert check_positive_int(3, "x") == 3
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+        with pytest.raises(TypeError):
+            check_positive_int(3.0, "x")
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_nonnegative_int(self):
+        assert check_nonnegative_int(0, "x") == 0
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1, "x")
+
+    def test_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
