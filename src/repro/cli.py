@@ -84,6 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--routing", choices=["shortest", "ecmp", "valiant"],
                    default="shortest")
     p.add_argument("--mapping", choices=["linear", "dfs", "random"], default="dfs")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the (possibly random) rank-to-host mapping")
 
     p = sub.add_parser("traffic", help="synthetic traffic latency/throughput")
     p.add_argument("pattern")
@@ -194,7 +196,7 @@ def _cmd_simulate(args) -> int:
     from repro.simulation.mapping import rank_to_host_mapping
 
     graph = load_graph(args.graph) if args.graph else _default_graph()
-    mapping = rank_to_host_mapping(graph, args.ranks, args.mapping)
+    mapping = rank_to_host_mapping(graph, args.ranks, args.mapping, seed=args.seed)
     res = run_nas(
         args.benchmark, graph, args.ranks, nas_class=args.nas_class,
         iterations=args.iterations, rank_to_host=mapping, model=args.model,

@@ -47,6 +47,7 @@ def star_host_switch_graph(n: int, r: int) -> HostSwitchGraph:
     g = HostSwitchGraph(num_switches=1, radix=r)
     for _ in range(n):
         g.attach_host(0)
+    g.validate()
     return g
 
 
@@ -91,6 +92,7 @@ def clique_host_switch_graph(n: int, r: int, m: int | None = None) -> HostSwitch
         for b in range(a + 1, m):
             g.add_switch_edge(a, b)
     spread_hosts_evenly(g, n)
+    g.validate()
     return g
 
 
@@ -229,6 +231,7 @@ def random_regular_host_switch_graph(
     for s in range(m):
         for _ in range(hosts_per_switch):
             g.attach_host(s)
+    g.validate()
     return g
 
 
@@ -281,6 +284,7 @@ def random_host_switch_graph(
 
     if fill_edges and m > 1:
         _add_random_edges(g, rng)
+    g.validate()
     return g
 
 

@@ -24,6 +24,7 @@ from collections.abc import Iterable, Iterator
 import numpy as np
 from scipy import sparse
 
+from repro.utils.contracts import graph_invariant
 from repro.utils.validation import check_nonnegative_int, check_positive_int
 
 __all__ = ["HostSwitchGraph"]
@@ -141,6 +142,7 @@ class HostSwitchGraph:
     # Mutation
     # ------------------------------------------------------------------ #
 
+    @graph_invariant(touched=lambda self, result, a, b: (a, b))
     def add_switch_edge(self, a: int, b: int) -> None:
         """Link switches ``a`` and ``b``; raises if illegal.
 
@@ -159,6 +161,7 @@ class HostSwitchGraph:
         self._adj[b].add(a)
         self._num_switch_edges += 1
 
+    @graph_invariant(touched=lambda self, result, a, b: (a, b))
     def remove_switch_edge(self, a: int, b: int) -> None:
         """Remove the switch-switch edge ``(a, b)``; raises if absent."""
         if b not in self._adj[a]:
@@ -167,6 +170,7 @@ class HostSwitchGraph:
         self._adj[b].discard(a)
         self._num_switch_edges -= 1
 
+    @graph_invariant(touched=lambda self, result, s: (s,))
     def attach_host(self, s: int) -> int:
         """Attach a new host to switch ``s`` and return its host id."""
         if self.free_ports(s) < 1:
@@ -175,6 +179,7 @@ class HostSwitchGraph:
         self._hosts_per_switch[s] += 1
         return len(self._host_switch) - 1
 
+    @graph_invariant(touched=lambda self, result, h, to_switch: (result, to_switch))
     def move_host(self, h: int, to_switch: int) -> int:
         """Re-attach host ``h`` to ``to_switch``; returns the old switch."""
         old = self._host_switch[h]
@@ -296,11 +301,20 @@ class HostSwitchGraph:
                 raise ValueError(f"host {h} attached to invalid switch {s}")
             counts[s] += 1
         if counts != self._hosts_per_switch:
-            raise ValueError("per-switch host counts desynchronised")
+            for s in range(m):
+                if counts[s] != self._hosts_per_switch[s]:
+                    raise ValueError(
+                        f"per-switch host counts desynchronised at switch {s}: "
+                        f"counter says {self._hosts_per_switch[s]}, attachment "
+                        f"array has {counts[s]}"
+                    )
         for s in range(m):
-            if self.ports_used(s) > self._radix:
+            used = self.ports_used(s)
+            if used > self._radix:
                 raise ValueError(
-                    f"switch {s} uses {self.ports_used(s)} ports, radix is {self._radix}"
+                    f"switch {s} exceeds its port budget: {used} ports used "
+                    f"({len(self._adj[s])} switch links + "
+                    f"{self._hosts_per_switch[s]} hosts) > radix {self._radix}"
                 )
 
     # ------------------------------------------------------------------ #
@@ -337,4 +351,5 @@ class HostSwitchGraph:
             g.add_switch_edge(a, b)
         for s in host_attachments:
             g.attach_host(s)
+        g.validate()
         return g

@@ -24,6 +24,7 @@ import numpy as np
 from scipy.sparse import csgraph
 
 from repro.core.hostswitch import HostSwitchGraph
+from repro.utils.contracts import ensures, requires
 
 __all__ = [
     "switch_distance_matrix",
@@ -106,6 +107,10 @@ def diameter(graph: HostSwitchGraph) -> float:
     return h_aspl_and_diameter(graph)[1]
 
 
+@ensures(
+    lambda result: result[0] >= 2.0 - 1e-9 and result[1] >= result[0] - 1e-9,
+    "h-ASPL >= 2 and diameter >= h-ASPL (paper Section 2)",
+)
 def h_aspl_and_diameter(graph: HostSwitchGraph) -> tuple[float, float]:
     """Compute ``(A(G), D(G))`` with a single APSP pass.
 
@@ -150,6 +155,10 @@ def h_aspl_from_distances(dist: np.ndarray, k: np.ndarray, n: int) -> float:
     return float((0.5 * weighted - n) / (n * (n - 1) / 2.0))
 
 
+@requires(
+    lambda graph, sources: len(np.atleast_1d(sources)) > 0,
+    "need at least one sampled source switch",
+)
 def h_aspl_sampled(
     graph: HostSwitchGraph,
     sources: np.ndarray,

@@ -10,6 +10,8 @@ Fig. 5 and the x-axis location checked in Fig. 7).
 
 from __future__ import annotations
 
+import math
+
 from repro.utils.validation import check_positive_int
 
 __all__ = [
@@ -74,7 +76,7 @@ def continuous_moore_bound(n: int, m: int, r: int) -> float:
         return 2.0 if n <= r else float("inf")
     degree = r - n / m
     base = continuous_moore_aspl(m, degree)
-    if base == float("inf"):
+    if math.isinf(base):
         return float("inf")
     return base * (m * n - n) / (m * n - m) + 2.0
 

@@ -23,7 +23,7 @@ from repro.core.annealing import AnnealingResult, AnnealingSchedule, anneal
 from repro.core.bounds import moore_aspl_lower_bound
 from repro.core.construct import random_regular_switch_topology
 from repro.core.hostswitch import HostSwitchGraph
-from repro.core.metrics import switch_aspl, switch_distance_matrix
+from repro.core.metrics import switch_distance_matrix
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int
 
@@ -68,6 +68,7 @@ def _embed(num_vertices: int, degree: int, edges) -> HostSwitchGraph:
         g.add_switch_edge(a, b)
     for s in range(num_vertices):
         g.attach_host(s)
+    g.validate()
     return g
 
 
@@ -107,8 +108,13 @@ def solve_odp(
     assert best is not None
 
     graph = best.graph
-    aspl = switch_aspl(graph)
+    # One APSP pass serves both the ASPL and the diameter.
     dist = switch_distance_matrix(graph)
+    m = graph.num_switches
+    if np.isinf(dist).any():
+        aspl = float("inf")
+    else:
+        aspl = float(dist.sum() / (m * (m - 1))) if m > 1 else 0.0
     return ODPSolution(
         num_vertices=num_vertices,
         degree=degree,

@@ -1,0 +1,11 @@
+"""Developer tooling for the ORP reproduction.
+
+Currently hosts ``repro-lint`` (:mod:`repro.devtools.lint`), the
+domain-specific static-analysis pass that enforces the repository's
+reproducibility and graph-invariant conventions.  Runtime enforcement of
+the same conventions lives in :mod:`repro.utils.contracts`.
+"""
+
+from repro.devtools.lint import Diagnostic, lint_paths, lint_source, main
+
+__all__ = ["Diagnostic", "lint_paths", "lint_source", "main"]

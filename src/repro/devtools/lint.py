@@ -1,0 +1,783 @@
+"""``repro-lint`` — domain-specific static analysis for host-switch graph code.
+
+The ORP reproduction's correctness hinges on invariants the paper states
+but Python cannot express: every run must be replayable from one seed,
+every constructed :class:`~repro.core.hostswitch.HostSwitchGraph` must
+satisfy its radix accounting, and h-ASPL evaluation must use batched APSP
+(tiny metric errors flip optimality conclusions).  This module checks
+those conventions with a pure-stdlib AST pass.
+
+Rules
+-----
+REP001
+    Unseeded / global RNG use: calls through the ``random`` module or
+    ``numpy.random`` module functions (instead of an injected
+    :class:`numpy.random.Generator`), zero-argument ``default_rng()``,
+    and calls to known stochastic entry points without an explicit
+    ``seed=`` / ``rng=`` keyword.
+REP002
+    A function that builds a ``HostSwitchGraph``, mutates it
+    (``add_switch_edge`` / ``attach_host`` / ``move_host`` / ...), and
+    returns it without calling ``validate()``.
+REP003
+    Shortest-path / APSP routines invoked inside a Python loop, or twice
+    on the same graph in straight-line code, where a single batched
+    :mod:`scipy.sparse.csgraph` pass would do.
+REP004
+    Float ``==`` / ``!=`` comparisons involving h-ASPL, latency, or
+    diameter metric values (including comparisons against ``inf``).
+REP005
+    Cross-module access to private internals: importing underscore names
+    from another ``repro`` module, touching ``HostSwitchGraph`` storage
+    slots outside ``repro/core/``, or calling underscore methods on
+    objects whose class lives in another ``repro`` module.
+
+Waivers
+-------
+A violation can be silenced with a trailing (or immediately preceding)
+comment naming the rule, ideally with a justification::
+
+    value = h_aspl(work)  # repro-lint: disable=REP003 -- graph differs per trial
+
+``# repro-lint: disable-file=REP001`` anywhere in a file waives the rule
+for the whole file.
+
+Usage
+-----
+``repro-lint [PATHS...]`` (console script) or
+``python -m repro.devtools.lint [PATHS...]``.  Exits 0 when clean, 1 when
+any diagnostic fires, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Diagnostic", "RULES", "lint_source", "lint_file", "lint_paths", "main"]
+
+
+RULES: dict[str, str] = {
+    "REP001": "unseeded or global RNG use (inject a numpy.random.Generator)",
+    "REP002": "HostSwitchGraph constructed and mutated but returned without validate()",
+    "REP003": "shortest-path routine called in a loop / repeatedly where one batched "
+    "scipy.sparse.csgraph pass suffices",
+    "REP004": "float ==/!= comparison on h-ASPL / latency / diameter metric values",
+    "REP005": "private internals accessed across module boundaries",
+}
+
+# HostSwitchGraph mutation methods (REP002) and helpers that mutate the
+# graph passed as their first argument.
+_MUTATORS = frozenset(
+    {"add_switch_edge", "remove_switch_edge", "attach_host", "move_host", "move_any_host"}
+)
+_MUTATION_HELPERS = frozenset(
+    {
+        "spread_hosts_evenly",
+        "fill_hosts_sequentially",
+        "fill_hosts_dfs",
+        "attach_hosts",
+        "_add_random_edges",
+    }
+)
+
+# Shortest-path / APSP entry points (REP003).
+_DIST_FUNCS = frozenset(
+    {
+        "h_aspl",
+        "diameter",
+        "switch_aspl",
+        "h_aspl_and_diameter",
+        "h_aspl_sampled",
+        "switch_distance_matrix",
+        "host_distance_matrix",
+        "single_source_host_distances",
+        "shortest_path",
+    }
+)
+
+# Metric-producing calls and identifier hints (REP004).
+_METRIC_FUNCS = frozenset(
+    {
+        "h_aspl",
+        "diameter",
+        "switch_aspl",
+        "h_aspl_and_diameter",
+        "h_aspl_from_distances",
+        "h_aspl_sampled",
+    }
+)
+_METRIC_NAME_HINTS = ("aspl", "latency")
+_METRIC_NAME_EXACT = frozenset({"diameter"})
+
+# Stochastic entry points that must receive an explicit seed= / rng=
+# keyword so whole runs stay replayable (REP001).
+_STOCHASTIC_FUNCS = frozenset(
+    {
+        "jellyfish",
+        "random_shortcut_ring",
+        "random_regular_switch_topology",
+        "random_regular_host_switch_graph",
+        "random_host_switch_graph",
+        "anneal",
+        "solve_orp",
+        "solve_odp",
+        "rank_to_host_mapping",
+        "run_traffic",
+        "optimize_placement",
+        "edge_failure_impact",
+        "switch_failure_impact",
+        "partition_host_switch",
+        "valiant_switch_route",
+    }
+)
+_SEED_KEYWORDS = frozenset({"seed", "rng"})
+
+# numpy.random attributes that are fine to reference (they construct or
+# name generator machinery rather than draw from hidden global state).
+_NP_RANDOM_ALLOWED = frozenset(
+    {"Generator", "default_rng", "SeedSequence", "BitGenerator", "RandomState"}
+)
+
+# HostSwitchGraph.__slots__ — touching these outside repro/core is REP005.
+_HOSTSWITCH_SLOTS = frozenset(
+    {"_adj", "_host_switch", "_hosts_per_switch", "_num_switch_edges", "_radix"}
+)
+
+_WAIVER_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*([A-Z0-9, ]+)"
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, renderable as ``path:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+# --------------------------------------------------------------------- #
+# Small AST helpers
+# --------------------------------------------------------------------- #
+
+
+def _dotted(node: ast.expr) -> tuple[str, ...] | None:
+    """``a.b.c`` as ``("a", "b", "c")``; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _call_tail(call: ast.Call) -> str | None:
+    """The terminal name of a call: ``f`` for ``f(...)`` and ``x.f(...)``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_float_inf(node: ast.expr) -> bool:
+    """Matches ``float("inf")``, ``math.inf``, ``np.inf`` / ``numpy.inf``."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id == "float" and len(node.args) == 1:
+            arg = node.args[0]
+            return isinstance(arg, ast.Constant) and arg.value in ("inf", "-inf")
+    chain = _dotted(node)
+    if chain and len(chain) == 2 and chain[1] in ("inf", "infty"):
+        return chain[0] in ("math", "np", "numpy")
+    return False
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """``x`` for a Name, ``attr`` for any attribute chain terminal."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _scope_walk(node: ast.AST, *, skip_nested_defs: bool = True):
+    """``ast.walk`` that optionally does not descend into nested def/class."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if skip_nested_defs and isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _annotation_class(node: ast.expr | None) -> str | None:
+    """Terminal class name of a parameter annotation (handles strings)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # Forward reference like "RankContext" (possibly dotted).
+        return node.value.strip().strip('"').split("[")[0].split(".")[-1] or None
+    if isinstance(node, ast.Subscript):  # Optional[X] / "X | None" unwrap
+        return _annotation_class(node.slice)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = _annotation_class(node.left)
+        return left or _annotation_class(node.right)
+    name = _terminal_name(node)
+    return name
+
+
+def _module_name_for(path: Path) -> str:
+    """Dotted module name for a file, anchored at the ``repro`` package."""
+    parts = list(path.resolve().parts)
+    name = path.stem
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        mods = list(parts[idx:-1]) + ([] if name == "__init__" else [name])
+        return ".".join(mods)
+    return name
+
+
+# --------------------------------------------------------------------- #
+# Per-file context
+# --------------------------------------------------------------------- #
+
+
+class _FileContext:
+    """Imports, aliases, and waivers for one source file."""
+
+    def __init__(self, tree: ast.AST, source: str, path: str) -> None:
+        self.path = path
+        self.module = _module_name_for(Path(path))
+        self.package = self.module.rsplit(".", 1)[0] if "." in self.module else ""
+        self.random_aliases: set[str] = set()
+        self.numpy_aliases: set[str] = set()
+        self.np_random_aliases: set[str] = set()
+        # name bound in this module -> repro module it was imported from
+        self.repro_imports: dict[str, str] = {}
+        self.line_waivers: dict[int, set[str]] = {}
+        self.file_waivers: set[str] = set()
+        self._collect_imports(tree)
+        self._collect_waivers(source)
+
+    def _collect_imports(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.random_aliases.add(bound)
+                    elif alias.name in ("numpy", "numpy.random"):
+                        self.numpy_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                if mod == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.np_random_aliases.add(alias.asname or alias.name)
+                if mod == "repro" or mod.startswith("repro."):
+                    for alias in node.names:
+                        self.repro_imports[alias.asname or alias.name] = mod
+
+    def _collect_waivers(self, source: str) -> None:
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _WAIVER_RE.search(line)
+            if not match:
+                continue
+            codes = {c.strip() for c in match.group(2).split(",") if c.strip()}
+            if match.group(1) == "disable-file":
+                self.file_waivers |= codes
+            else:
+                self.line_waivers.setdefault(lineno, set()).update(codes)
+
+    def waived(self, code: str, line: int) -> bool:
+        if code in self.file_waivers:
+            return True
+        for candidate in (line, line - 1):
+            if code in self.line_waivers.get(candidate, set()):
+                return True
+        return False
+
+
+# --------------------------------------------------------------------- #
+# The analyzer
+# --------------------------------------------------------------------- #
+
+
+class _Analyzer(ast.NodeVisitor):
+    def __init__(self, ctx: _FileContext) -> None:
+        self.ctx = ctx
+        self.diags: list[Diagnostic] = []
+        self._loop_depth = 0
+        self._class_stack: list[str] = []
+        # name -> repro module of its (annotated or constructed) class,
+        # scoped per function; only simple Name receivers are tracked.
+        self._foreign_typed: list[dict[str, str]] = [{}]
+
+    # -- reporting ------------------------------------------------------ #
+
+    def _report(self, code: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if not self.ctx.waived(code, line):
+            self.diags.append(Diagnostic(self.ctx.path, line, col, code, message))
+
+    # -- scope plumbing ------------------------------------------------- #
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._handle_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._handle_function(node)
+
+    def _handle_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        scope: dict[str, str] = {}
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            cls = _annotation_class(arg.annotation)
+            mod = self.ctx.repro_imports.get(cls) if cls else None
+            if mod and mod != self.ctx.module:
+                scope[arg.arg] = mod
+        self._foreign_typed.append(scope)
+        outer_depth, self._loop_depth = self._loop_depth, 0
+        self._check_rep002(node)
+        self.generic_visit(node)
+        self._loop_depth = outer_depth
+        self._foreign_typed.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Track `x = SomeImportedClass(...)` for REP005 receiver typing.
+        if isinstance(node.value, ast.Call) and isinstance(node.value.func, ast.Name):
+            mod = self.ctx.repro_imports.get(node.value.func.id)
+            if mod and mod != self.ctx.module:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._foreign_typed[-1][target.id] = mod
+        self.generic_visit(node)
+
+    def _loop_visit(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    visit_For = visit_AsyncFor = visit_While = _loop_visit
+    visit_ListComp = visit_SetComp = visit_DictComp = visit_GeneratorExp = _loop_visit
+
+    # -- REP001 + REP003 (call sites) ----------------------------------- #
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_rep001_call(node)
+        self._check_rep003_loop(node)
+        self.generic_visit(node)
+
+    def _check_rep001_call(self, node: ast.Call) -> None:
+        chain = _dotted(node.func)
+        if chain:
+            # random.<fn>(...)
+            if len(chain) == 2 and chain[0] in self.ctx.random_aliases:
+                self._report(
+                    "REP001",
+                    node,
+                    f"call to stdlib 'random.{chain[1]}' uses hidden global state; "
+                    "inject a seeded numpy.random.Generator instead",
+                )
+                return
+            # np.random.<fn>(...) or (from numpy import random) random.<fn>(...)
+            fn: str | None = None
+            if (
+                len(chain) == 3
+                and chain[0] in self.ctx.numpy_aliases
+                and chain[1] == "random"
+            ):
+                fn = chain[2]
+            elif len(chain) == 2 and chain[0] in self.ctx.np_random_aliases:
+                fn = chain[1]
+            if fn is not None:
+                if fn not in _NP_RANDOM_ALLOWED:
+                    self._report(
+                        "REP001",
+                        node,
+                        f"call to 'numpy.random.{fn}' draws from the global RNG; "
+                        "inject a seeded numpy.random.Generator instead",
+                    )
+                    return
+                if fn == "default_rng" and not node.args and not node.keywords:
+                    self._report(
+                        "REP001",
+                        node,
+                        "default_rng() without a seed gives an irreproducible "
+                        "stream; pass a seed or thread a Generator through",
+                    )
+                    return
+        tail = _call_tail(node)
+        if tail in _STOCHASTIC_FUNCS:
+            if any(kw.arg is None for kw in node.keywords):
+                return  # **kwargs splat: cannot decide statically
+            if not any(kw.arg in _SEED_KEYWORDS for kw in node.keywords):
+                self._report(
+                    "REP001",
+                    node,
+                    f"stochastic call '{tail}(...)' without an explicit seed=/rng= "
+                    "keyword is not replayable",
+                )
+
+    def _check_rep003_loop(self, node: ast.Call) -> None:
+        tail = _call_tail(node)
+        if tail in _DIST_FUNCS and self._loop_depth > 0:
+            self._report(
+                "REP003",
+                node,
+                f"shortest-path routine '{tail}' called inside a loop; hoist it or "
+                "use one batched scipy.sparse.csgraph pass over all sources",
+            )
+
+    # -- REP002 (constructed, mutated, returned unvalidated) ------------- #
+
+    def _check_rep002(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        in_hostswitch_class = bool(
+            self._class_stack and self._class_stack[-1] == "HostSwitchGraph"
+        )
+        constructed: set[str] = set()
+        mutated: dict[str, ast.AST] = {}
+        validated: set[str] = set()
+        returns: list[tuple[str, ast.Return]] = []
+
+        for node in _scope_walk(fn):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                tail = _call_tail(node.value)
+                is_ctor = tail == "HostSwitchGraph" or (
+                    in_hostswitch_class
+                    and isinstance(node.value.func, ast.Name)
+                    and node.value.func.id == "cls"
+                )
+                if is_ctor:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            constructed.add(target.id)
+            elif isinstance(node, ast.Call):
+                tail = _call_tail(node)
+                if isinstance(node.func, ast.Attribute) and isinstance(
+                    node.func.value, ast.Name
+                ):
+                    recv = node.func.value.id
+                    if tail in _MUTATORS:
+                        mutated.setdefault(recv, node)
+                    elif tail == "validate":
+                        validated.add(recv)
+                elif (
+                    tail in _MUTATION_HELPERS
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                ):
+                    mutated.setdefault(node.args[0].id, node)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                candidates = (
+                    node.value.elts
+                    if isinstance(node.value, ast.Tuple)
+                    else [node.value]
+                )
+                for cand in candidates:
+                    if isinstance(cand, ast.Name):
+                        returns.append((cand.id, node))
+
+        for name, ret in returns:
+            if name in constructed and name in mutated and name not in validated:
+                self._report(
+                    "REP002",
+                    ret,
+                    f"'{name}' is a HostSwitchGraph mutated in '{fn.name}' but "
+                    "returned without a validate() call (add one or waive with "
+                    "'# repro-lint: disable=REP002 -- <reason>')",
+                )
+
+    # -- REP003 straight-line duplicates --------------------------------- #
+
+    def _stmt_dist_calls(self, stmt: ast.stmt) -> list[ast.Call]:
+        """Dist-func calls in a statement, not descending into sub-blocks."""
+        calls: list[ast.Call] = []
+        stack: list[ast.AST] = [stmt]
+        first = True
+        while stack:
+            node = stack.pop()
+            # Any nested statement belongs to a sub-block that is scanned as
+            # its own block by check_duplicate_dist_calls; skip it here.
+            if not first and isinstance(node, ast.stmt):
+                continue
+            first = False
+            if isinstance(node, ast.Call) and _call_tail(node) in _DIST_FUNCS:
+                calls.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return calls
+
+    def check_duplicate_dist_calls(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            for field in ("body", "orelse", "finalbody"):
+                block = getattr(node, field, None)
+                if not isinstance(block, list):
+                    continue
+                seen_args: dict[str, str] = {}
+                for stmt in block:
+                    if not isinstance(stmt, ast.stmt):
+                        continue
+                    for call in self._stmt_dist_calls(stmt):
+                        if not call.args or not isinstance(call.args[0], ast.Name):
+                            continue
+                        arg = call.args[0].id
+                        tail = _call_tail(call) or "?"
+                        if arg in seen_args:
+                            self._report(
+                                "REP003",
+                                call,
+                                f"'{tail}({arg})' repeats an APSP over '{arg}' "
+                                f"already computed by '{seen_args[arg]}({arg})' in "
+                                "the same block; compute the distance matrix once "
+                                "and derive both quantities from it",
+                            )
+                        else:
+                            seen_args[arg] = tail
+
+    # -- REP004 ----------------------------------------------------------- #
+
+    def _is_metric_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Call):
+            return _call_tail(node) in _METRIC_FUNCS
+        name = _terminal_name(node)
+        if name is None:
+            return False
+        lowered = name.lower()
+        return lowered in _METRIC_NAME_EXACT or any(
+            hint in lowered for hint in _METRIC_NAME_HINTS
+        )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            pair = (left, right)
+            metric = any(self._is_metric_expr(x) for x in pair)
+            inf = any(_is_float_inf(x) for x in pair)
+            # Comparing against a string constant is never a float compare.
+            stringy = any(
+                isinstance(x, ast.Constant) and isinstance(x.value, str) for x in pair
+            )
+            if stringy:
+                continue
+            if inf and (metric or not all(isinstance(x, ast.Constant) for x in pair)):
+                self._report(
+                    "REP004",
+                    node,
+                    "equality comparison against inf on a float value; use "
+                    "math.isinf()/numpy.isinf() instead",
+                )
+            elif metric:
+                self._report(
+                    "REP004",
+                    node,
+                    "float ==/!= comparison on a metric value (h-ASPL/latency/"
+                    "diameter); use math.isclose(), a tolerance, or an ordering "
+                    "comparison",
+                )
+        self.generic_visit(node)
+
+    # -- REP005 ----------------------------------------------------------- #
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        mod = node.module or ""
+        if mod == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _NP_RANDOM_ALLOWED:
+                    self._report(
+                        "REP001",
+                        node,
+                        f"import of 'numpy.random.{alias.name}' draws from the "
+                        "global RNG; inject a seeded numpy.random.Generator instead",
+                    )
+        if mod == "repro" or mod.startswith("repro."):
+            owner_pkg = mod.rsplit(".", 1)[0] if "." in mod else mod
+            same_package = owner_pkg == self.ctx.package
+            for alias in node.names:
+                if (
+                    alias.name.startswith("_")
+                    and mod != self.ctx.module
+                    and not same_package
+                ):
+                    hint = (
+                        " (HostSwitchGraph internals are private to repro/core)"
+                        if mod == "repro.core.hostswitch"
+                        else ""
+                    )
+                    self._report(
+                        "REP005",
+                        node,
+                        f"import of private name '{alias.name}' from '{mod}'"
+                        f"{hint}; use or add a public API",
+                    )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = node.attr
+        if attr.startswith("_") and not attr.startswith("__"):
+            recv = node.value
+            recv_name = recv.id if isinstance(recv, ast.Name) else None
+            if recv_name not in ("self", "cls") and recv_name is not None:
+                # (a) HostSwitchGraph storage slots outside repro/core.
+                if attr in _HOSTSWITCH_SLOTS and not self.ctx.module.startswith(
+                    "repro.core"
+                ):
+                    self._report(
+                        "REP005",
+                        node,
+                        f"access to HostSwitchGraph internal '{attr}' outside "
+                        "repro/core; use the public accessors "
+                        "(neighbors/ports_used/host_counts/...)",
+                    )
+                else:
+                    # (b) underscore member on an object whose class lives in
+                    # another repro module (resolved via annotations).  Same
+                    # package is fine: privates are shared within a package.
+                    for scope in reversed(self._foreign_typed):
+                        mod = scope.get(recv_name)
+                        if mod and (mod.rsplit(".", 1)[0] if "." in mod else mod) == (
+                            self.ctx.package
+                        ):
+                            break
+                        if mod:
+                            self._report(
+                                "REP005",
+                                node,
+                                f"access to private member '{attr}' of a "
+                                f"'{mod}' object from '{self.ctx.module}'; "
+                                "use or add a public API",
+                            )
+                            break
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------- #
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Lint one Python source string; returns sorted diagnostics."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(path, exc.lineno or 1, exc.offset or 0, "REP000",
+                       f"syntax error: {exc.msg}")
+        ]
+    ctx = _FileContext(tree, source, path)
+    analyzer = _Analyzer(ctx)
+    analyzer.visit(tree)
+    analyzer.check_duplicate_dist_calls(tree)
+    return sorted(analyzer.diags, key=lambda d: (d.line, d.col, d.code))
+
+
+def lint_file(path: str | Path) -> list[Diagnostic]:
+    """Lint one file."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def _iter_python_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(
+                f
+                for f in sorted(p.rglob("*.py"))
+                if not any(part.startswith(".") for part in f.parts)
+            )
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        elif p.suffix == ".py":
+            files.append(p)
+    return files
+
+
+def lint_paths(paths: list[str]) -> list[Diagnostic]:
+    """Lint every ``.py`` file under the given files/directories."""
+    diags: list[Diagnostic] = []
+    for f in _iter_python_files(paths):
+        diags.extend(lint_file(f))
+    return diags
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point for ``repro-lint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Domain-specific static analysis for the ORP reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to enable (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, summary in sorted(RULES.items()):
+            print(f"{code}  {summary}")
+        return 0
+
+    selected = (
+        {c.strip() for c in args.select.split(",") if c.strip()}
+        if args.select
+        else None
+    )
+    if selected is not None:
+        unknown = selected - set(RULES) - {"REP000"}
+        if unknown:
+            print(
+                f"repro-lint: unknown rule code(s): {', '.join(sorted(unknown))} "
+                f"(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        diags = lint_paths(args.paths or ["src"])
+    except (FileNotFoundError, OSError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    if selected is not None:
+        diags = [d for d in diags if d.code in selected]
+    for diag in diags:
+        print(diag.render())
+    if diags:
+        print(f"repro-lint: {len(diags)} violation(s) in {len({d.path for d in diags})} file(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -66,7 +66,7 @@ def barrier(ctx: "RankContext"):
     size, rank = ctx.size, ctx.rank
     if size == 1:
         return
-    tag = ctx._next_coll_tag(_OP_BARRIER)
+    tag = ctx.collective_tag(_OP_BARRIER)
     step = 1
     while step < size:
         dst = (rank + step) % size
@@ -81,7 +81,7 @@ def bcast(ctx: "RankContext", nbytes: float, root: int = 0):
     size, rank = ctx.size, ctx.rank
     if size == 1:
         return
-    tag = ctx._next_coll_tag(_OP_BCAST)
+    tag = ctx.collective_tag(_OP_BCAST)
     vrank = (rank - root) % size
     mask = 1
     while mask < size:
@@ -103,7 +103,7 @@ def reduce(ctx: "RankContext", nbytes: float, root: int = 0):
     size, rank = ctx.size, ctx.rank
     if size == 1:
         return
-    tag = ctx._next_coll_tag(_OP_REDUCE)
+    tag = ctx.collective_tag(_OP_REDUCE)
     vrank = (rank - root) % size
     mask = 1
     while mask < size:
@@ -124,7 +124,7 @@ def allreduce(ctx: "RankContext", nbytes: float):
     if size == 1:
         return
     if _is_pow2(size):
-        tag = ctx._next_coll_tag(_OP_ALLREDUCE)
+        tag = ctx.collective_tag(_OP_ALLREDUCE)
         mask = 1
         while mask < size:
             partner = rank ^ mask
@@ -141,7 +141,7 @@ def allgather(ctx: "RankContext", nbytes_per_rank: float):
     size, rank = ctx.size, ctx.rank
     if size == 1:
         return
-    tag = ctx._next_coll_tag(_OP_ALLGATHER)
+    tag = ctx.collective_tag(_OP_ALLGATHER)
     right = (rank + 1) % size
     left = (rank - 1) % size
     for step in range(size - 1):
@@ -164,7 +164,7 @@ def scatter(ctx: "RankContext", nbytes_per_rank: float, root: int = 0):
     size, rank = ctx.size, ctx.rank
     if size == 1:
         return
-    tag = ctx._next_coll_tag(_OP_SCATTER)
+    tag = ctx.collective_tag(_OP_SCATTER)
     vrank = (rank - root) % size
     mask = 1
     recv_block = size  # blocks this vrank is responsible for (root: all)
@@ -190,7 +190,7 @@ def gather(ctx: "RankContext", nbytes_per_rank: float, root: int = 0):
     size, rank = ctx.size, ctx.rank
     if size == 1:
         return
-    tag = ctx._next_coll_tag(_OP_GATHER)
+    tag = ctx.collective_tag(_OP_GATHER)
     vrank = (rank - root) % size
     mask = 1
     while mask < size:
@@ -216,7 +216,7 @@ def reduce_scatter(ctx: "RankContext", nbytes_total: float):
     size, rank = ctx.size, ctx.rank
     if size == 1:
         return
-    tag = ctx._next_coll_tag(_OP_REDUCE_SCATTER)
+    tag = ctx.collective_tag(_OP_REDUCE_SCATTER)
     if _is_pow2(size):
         remaining = nbytes_total / 2.0
         mask = size >> 1
@@ -247,7 +247,7 @@ def scan(ctx: "RankContext", nbytes: float):
     size, rank = ctx.size, ctx.rank
     if size == 1:
         return
-    tag = ctx._next_coll_tag(_OP_SCAN)
+    tag = ctx.collective_tag(_OP_SCAN)
     step = 1
     round_no = 0
     while step < size:
@@ -269,7 +269,7 @@ def alltoallv(ctx: "RankContext", size_of: Callable[[int], float]):
     size, rank = ctx.size, ctx.rank
     if size == 1:
         return
-    tag = ctx._next_coll_tag(_OP_ALLTOALL)
+    tag = ctx.collective_tag(_OP_ALLTOALL)
     if _is_pow2(size):
         for step in range(1, size):
             partner = rank ^ step

@@ -179,12 +179,17 @@ class RankContext:
     # Collectives (MVAPICH2-style algorithms; see collectives module)
     # ------------------------------------------------------------------ #
 
-    def _next_coll_tag(self, op: int) -> int:
-        # Collective tags are negative so they never collide with user tags;
-        # ranks call collectives in identical order (an MPI requirement),
-        # so the per-rank sequence number lines matching calls up.  Rounds
-        # within one collective use ``tag - step`` (step < size), so the
-        # op stride must exceed any realistic rank count.
+    def collective_tag(self, op: int) -> int:
+        """Next base tag for a collective of kind ``op``.
+
+        Part of the contract with :mod:`repro.simulation.collectives`, which
+        implements the algorithms outside this class.  Collective tags are
+        negative so they never collide with user tags; ranks call
+        collectives in identical order (an MPI requirement), so the
+        per-rank sequence number lines matching calls up.  Rounds within
+        one collective use ``tag - step`` (step < size), so the op stride
+        must exceed any realistic rank count.
+        """
         self._coll_seq += 1
         return -(self._coll_seq * 1_000_000 + op * 10_000)
 

@@ -14,6 +14,7 @@ import numpy as np
 from repro.core.construct import random_regular_host_switch_graph
 from repro.core.hostswitch import HostSwitchGraph
 from repro.topologies.base import TopologySpec
+from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int
 
 __all__ = ["jellyfish", "jellyfish_spec"]
@@ -54,7 +55,10 @@ def jellyfish(
     graph parity).
     """
     spec = jellyfish_spec(num_switches, radix, hosts_per_switch)
+    # Coerce to a Generator here so the stream is shared (not restarted)
+    # if the caller reuses the same seed for several topologies.
+    rng = as_generator(seed)
     g = random_regular_host_switch_graph(
-        spec.max_hosts, num_switches, radix, seed=seed
+        spec.max_hosts, num_switches, radix, seed=rng
     )
     return g, spec

@@ -76,18 +76,28 @@ def random_shortcut_ring(
             g.add_switch_edge(s, (s + 1) % m)
 
     for _ in range(num_matchings):
-        for attempt in range(max_tries):
-            perm = rng.permutation(m)
-            pairs = [(int(perm[2 * i]), int(perm[2 * i + 1])) for i in range(m // 2)]
-            if all(a != b and not g.has_switch_edge(a, b) for a, b in pairs):
-                for a, b in pairs:
-                    g.add_switch_edge(a, b)
-                break
-        else:
-            raise RuntimeError(
-                f"failed to sample a conflict-free matching after {max_tries} tries"
-            )
+        for a, b in _sample_matching(g, rng, max_tries):
+            g.add_switch_edge(a, b)
 
     attach_hosts(g, num_hosts, fill)
     g.validate()
     return g, spec
+
+
+def _sample_matching(
+    g: HostSwitchGraph, rng: np.random.Generator, max_tries: int
+) -> list[tuple[int, int]]:
+    """Sample a perfect matching adding no duplicate/self edges to ``g``.
+
+    Takes the caller's :class:`numpy.random.Generator` explicitly so the
+    draw order (and thus the topology) is fully determined by the seed.
+    """
+    m = g.num_switches
+    for _ in range(max_tries):
+        perm = rng.permutation(m)
+        pairs = [(int(perm[2 * i]), int(perm[2 * i + 1])) for i in range(m // 2)]
+        if all(a != b and not g.has_switch_edge(a, b) for a, b in pairs):
+            return pairs
+    raise RuntimeError(
+        f"failed to sample a conflict-free matching after {max_tries} tries"
+    )

@@ -199,3 +199,33 @@ class TestCopyAndExport:
     def test_host_counts_array(self, fig1_graph):
         counts = fig1_graph.host_counts()
         assert counts.tolist() == [4, 4, 4, 4]
+
+
+class TestValidateDiagnostics:
+    """validate() errors must name the offending switch and its budget."""
+
+    def test_port_budget_message_names_switch_and_breakdown(self):
+        g = HostSwitchGraph(num_switches=2, radix=3)
+        g.add_switch_edge(0, 1)
+        g.attach_host(0)
+        g.attach_host(0)
+        # Sneak a third host onto switch 0 past the mutation-time guard.
+        g._host_switch.append(0)
+        g._hosts_per_switch[0] += 1
+        with pytest.raises(
+            ValueError,
+            match=r"switch 0 exceeds its port budget: 4 ports used "
+            r"\(1 switch links \+ 3 hosts\) > radix 3",
+        ):
+            g.validate()
+
+    def test_host_count_desync_message_names_switch_and_counts(self):
+        g = HostSwitchGraph(num_switches=3, radix=4)
+        g.attach_host(1)
+        g._hosts_per_switch[1] = 0
+        with pytest.raises(
+            ValueError,
+            match=r"desynchronised at switch 1: counter says 0, "
+            r"attachment array has 1",
+        ):
+            g.validate()

@@ -1,0 +1,332 @@
+"""Fixture-snippet tests for the ``repro-lint`` rules (REP001–REP005).
+
+Each rule gets at least one firing and one non-firing snippet; waivers and
+the console entry point are exercised at the end.  Snippets are linted as
+strings under fake ``src/repro/...`` paths so the package-sensitive rules
+(REP005) see realistic module locations.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.devtools.lint import lint_source, main
+
+LIB_PATH = "src/repro/analysis/fake_module.py"
+CORE_PATH = "src/repro/core/fake_module.py"
+
+
+def codes(source: str, path: str = LIB_PATH) -> list[str]:
+    return [d.code for d in lint_source(textwrap.dedent(source), path)]
+
+
+# --------------------------------------------------------------------- #
+# REP001 — unseeded randomness
+# --------------------------------------------------------------------- #
+
+
+def test_rep001_fires_on_global_random_module():
+    src = """
+        import random
+
+        def pick(xs):
+            return random.choice(xs)
+        """
+    assert "REP001" in codes(src)
+
+
+def test_rep001_fires_on_numpy_global_random():
+    src = """
+        import numpy as np
+
+        def noise(n):
+            return np.random.rand(n)
+        """
+    assert "REP001" in codes(src)
+
+
+def test_rep001_fires_on_zero_arg_default_rng():
+    src = """
+        import numpy as np
+
+        def noise(n):
+            rng = np.random.default_rng()
+            return rng.random(n)
+        """
+    assert "REP001" in codes(src)
+
+
+def test_rep001_fires_on_unseeded_stochastic_entry_point():
+    src = """
+        from repro.core.annealing import anneal
+
+        def solve(g):
+            return anneal(g)
+        """
+    assert "REP001" in codes(src)
+
+
+def test_rep001_quiet_on_seeded_calls():
+    src = """
+        import numpy as np
+        from repro.core.annealing import anneal
+
+        def solve(g, seed):
+            rng = np.random.default_rng(seed)
+            return anneal(g, seed=rng)
+        """
+    assert codes(src) == []
+
+
+# --------------------------------------------------------------------- #
+# REP002 — mutated graph returned without validate()
+# --------------------------------------------------------------------- #
+
+
+def test_rep002_fires_on_unvalidated_construction():
+    src = """
+        from repro.core.hostswitch import HostSwitchGraph
+
+        def build():
+            g = HostSwitchGraph(num_switches=2, radix=4)
+            g.add_switch_edge(0, 1)
+            g.attach_host(0)
+            return g
+        """
+    assert "REP002" in codes(src)
+
+
+def test_rep002_quiet_when_validated():
+    src = """
+        from repro.core.hostswitch import HostSwitchGraph
+
+        def build():
+            g = HostSwitchGraph(num_switches=2, radix=4)
+            g.add_switch_edge(0, 1)
+            g.attach_host(0)
+            g.validate()
+            return g
+        """
+    assert codes(src) == []
+
+
+def test_rep002_quiet_when_not_returned():
+    # Mutating in place on behalf of the caller is the helper contract
+    # (spread_hosts_evenly-style); only *returning* unvalidated fires.
+    src = """
+        from repro.core.hostswitch import HostSwitchGraph
+
+        def fill(g: HostSwitchGraph) -> None:
+            g.attach_host(0)
+        """
+    assert codes(src) == []
+
+
+# --------------------------------------------------------------------- #
+# REP003 — shortest-path calls in Python loops / duplicated APSP
+# --------------------------------------------------------------------- #
+
+
+def test_rep003_fires_on_dist_call_in_loop():
+    src = """
+        from repro.core.metrics import h_aspl
+
+        def sweep(graphs):
+            return [h_aspl(g) for g in graphs[:0]] or [h_aspl(g) for g in graphs]
+        """
+    # comprehension counts as a loop
+    assert "REP003" in codes(src)
+
+
+def test_rep003_fires_on_for_loop():
+    src = """
+        from repro.core.metrics import single_source_host_distances
+
+        def all_rows(g, hosts):
+            rows = []
+            for h in hosts:
+                rows.append(single_source_host_distances(g, h))
+            return rows
+        """
+    assert "REP003" in codes(src)
+
+
+def test_rep003_fires_on_duplicate_apsp_same_block():
+    src = """
+        from repro.core.metrics import diameter, h_aspl
+
+        def report(g):
+            a = h_aspl(g)
+            d = diameter(g)
+            return a, d
+        """
+    assert "REP003" in codes(src)
+
+
+def test_rep003_quiet_on_single_batched_call():
+    src = """
+        from repro.core.metrics import h_aspl_and_diameter
+
+        def report(g):
+            return h_aspl_and_diameter(g)
+        """
+    assert codes(src) == []
+
+
+# --------------------------------------------------------------------- #
+# REP004 — float equality on metric values
+# --------------------------------------------------------------------- #
+
+
+def test_rep004_fires_on_metric_equality():
+    src = """
+        def is_clique_like(aspl):
+            return aspl == 2.0
+        """
+    assert "REP004" in codes(src)
+
+
+def test_rep004_fires_on_inf_equality():
+    src = """
+        def disconnected(value):
+            return value == float("inf")
+        """
+    assert "REP004" in codes(src)
+
+
+def test_rep004_quiet_on_ordering_and_string_compare():
+    src = """
+        def good(aspl, model):
+            return aspl < 2.5 and model == "latency"
+        """
+    assert codes(src) == []
+
+
+# --------------------------------------------------------------------- #
+# REP005 — private internals crossing package boundaries
+# --------------------------------------------------------------------- #
+
+
+def test_rep005_fires_on_private_import_outside_core():
+    src = """
+        from repro.core.hostswitch import _private_helper
+        """
+    assert "REP005" in codes(src)
+
+
+def test_rep005_fires_on_slot_access_outside_core():
+    src = """
+        from repro.core.hostswitch import HostSwitchGraph
+
+        def degree(g: HostSwitchGraph, s: int) -> int:
+            return len(g._adj[s])
+        """
+    assert "REP005" in codes(src)
+
+
+def test_rep005_quiet_inside_core_package():
+    src = """
+        from repro.core.hostswitch import HostSwitchGraph
+
+        def degree(g: HostSwitchGraph, s: int) -> int:
+            return len(g._adj[s])
+        """
+    assert codes(src, path=CORE_PATH) == []
+
+
+# --------------------------------------------------------------------- #
+# Waivers
+# --------------------------------------------------------------------- #
+
+
+def test_same_line_waiver_suppresses():
+    src = """
+        import random
+
+        def pick(xs):
+            return random.choice(xs)  # repro-lint: disable=REP001 -- demo only
+        """
+    assert codes(src) == []
+
+
+def test_line_above_waiver_suppresses():
+    src = """
+        import random
+
+        def pick(xs):
+            # repro-lint: disable=REP001 -- demo only
+            return random.choice(xs)
+        """
+    assert codes(src) == []
+
+
+def test_file_waiver_suppresses_everywhere():
+    src = """
+        # repro-lint: disable-file=REP001
+        import random
+
+        def pick(xs):
+            return random.choice(xs)
+
+        def roll():
+            return random.random()
+        """
+    assert codes(src) == []
+
+
+def test_waiver_is_rule_specific():
+    src = """
+        import random
+
+        def pick(aspl, xs):
+            x = random.choice(xs)  # repro-lint: disable=REP004 -- wrong rule
+            return x
+        """
+    assert "REP001" in codes(src)
+
+
+def test_syntax_error_reports_rep000():
+    assert codes("def broken(:\n") == ["REP000"]
+
+
+# --------------------------------------------------------------------- #
+# Console entry point
+# --------------------------------------------------------------------- #
+
+
+def test_main_exit_codes_and_output(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\n\ndef f():\n    return random.random()\n")
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(x):\n    return x + 1\n")
+
+    assert main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "REP001" in out
+    assert f"{dirty}:4:" in out  # path:line prefix
+
+    assert main([str(clean)]) == 0
+
+
+def test_main_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        assert code in out
+
+
+def test_main_select_filters_rules(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\n\ndef f():\n    return random.random()\n")
+    assert main(["--select", "REP004", str(dirty)]) == 0
+    assert main(["--select", "REP001", str(dirty)]) == 1
+
+
+def test_shipped_tree_is_clean():
+    # The acceptance bar: the repository's own src tree lints clean.
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[2] / "src"
+    assert main([str(src)]) == 0

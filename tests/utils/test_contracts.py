@@ -1,0 +1,179 @@
+"""Tests for the runtime contract layer (:mod:`repro.utils.contracts`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.utils.contracts import (
+    ContractViolation,
+    contracts_enabled,
+    contracts_level,
+    ensures,
+    requires,
+    set_contracts,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_level():
+    yield
+    set_contracts(None)
+
+
+# --------------------------------------------------------------------- #
+# Level plumbing
+# --------------------------------------------------------------------- #
+
+
+def test_default_level_is_on(monkeypatch):
+    monkeypatch.delenv("REPRO_CONTRACTS", raising=False)
+    set_contracts(None)
+    assert contracts_level() == "on"
+    assert contracts_enabled()
+
+
+@pytest.mark.parametrize("raw", ["0", "false", "off", "no", " OFF "])
+def test_env_disables(monkeypatch, raw):
+    monkeypatch.setenv("REPRO_CONTRACTS", raw)
+    set_contracts(None)
+    assert contracts_level() == "off"
+    assert not contracts_enabled()
+
+
+@pytest.mark.parametrize("raw", ["full", "2", "all"])
+def test_env_full(monkeypatch, raw):
+    monkeypatch.setenv("REPRO_CONTRACTS", raw)
+    set_contracts(None)
+    assert contracts_level() == "full"
+
+
+def test_set_contracts_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CONTRACTS", "0")
+    set_contracts("full")
+    assert contracts_level() == "full"
+    set_contracts(None)
+    assert contracts_level() == "off"
+
+
+def test_set_contracts_accepts_bool():
+    set_contracts(False)
+    assert contracts_level() == "off"
+    set_contracts(True)
+    assert contracts_level() == "on"
+
+
+def test_set_contracts_rejects_junk():
+    with pytest.raises(ValueError, match="level must be"):
+        set_contracts("loud")
+
+
+# --------------------------------------------------------------------- #
+# requires / ensures
+# --------------------------------------------------------------------- #
+
+
+@requires(lambda x: x >= 0, "x must be non-negative")
+def _sqrtish(x: float) -> float:
+    return x**0.5
+
+
+@ensures(lambda r: r >= 0, "result must be non-negative")
+def _identity(x: float) -> float:
+    return x
+
+
+def test_requires_passes_and_fails():
+    set_contracts("on")
+    assert _sqrtish(4.0) == pytest.approx(2.0)
+    with pytest.raises(ContractViolation, match="non-negative"):
+        _sqrtish(-1.0)
+
+
+def test_requires_disabled_skips_check():
+    set_contracts("off")
+    # Predicate not enforced: the call proceeds (and returns a complex root).
+    assert _sqrtish(-1.0) == (-1.0) ** 0.5
+
+
+def test_ensures_passes_and_fails():
+    set_contracts("on")
+    assert _identity(3.0) == 3.0
+    with pytest.raises(ContractViolation, match="postcondition"):
+        _identity(-3.0)
+
+
+def test_ensures_disabled_skips_check():
+    set_contracts("off")
+    assert _identity(-3.0) == -3.0
+
+
+def test_contract_violation_is_assertion_error():
+    assert issubclass(ContractViolation, AssertionError)
+
+
+# --------------------------------------------------------------------- #
+# graph_invariant on the real mutation methods
+# --------------------------------------------------------------------- #
+
+
+def _corrupted_graph() -> HostSwitchGraph:
+    """Graph whose host counter is broken behind the public guards' back."""
+    g = HostSwitchGraph(num_switches=2, radix=3)
+    g._hosts_per_switch[0] = -1
+    return g
+
+
+def test_mutations_clean_under_all_levels():
+    for level in ("off", "on", "full"):
+        set_contracts(level)
+        g = HostSwitchGraph(num_switches=3, radix=4)
+        g.add_switch_edge(0, 1)
+        g.add_switch_edge(1, 2)
+        h = g.attach_host(0)
+        g.move_host(h, 2)
+        g.remove_switch_edge(0, 1)
+        assert g.num_hosts == 1
+
+
+def test_spot_check_catches_corruption_on_touched_switch():
+    set_contracts("on")
+    g = _corrupted_graph()
+    with pytest.raises(ContractViolation, match="negative host count"):
+        g.add_switch_edge(0, 1)
+
+
+def test_full_level_runs_validate():
+    set_contracts("full")
+    g = _corrupted_graph()
+    with pytest.raises(ContractViolation, match="desynchronised"):
+        g.add_switch_edge(0, 1)
+
+
+def test_off_level_skips_invariant_checks():
+    set_contracts("off")
+    g = _corrupted_graph()
+    g.add_switch_edge(0, 1)  # no contract check, no raise
+    assert g.has_switch_edge(0, 1)
+
+
+def test_metrics_postcondition_holds_on_real_graph():
+    from repro.core.construct import clique_host_switch_graph
+    from repro.core.metrics import h_aspl_and_diameter
+
+    set_contracts("on")
+    aspl, diam = h_aspl_and_diameter(clique_host_switch_graph(8, 6))
+    assert aspl >= 2.0
+    assert diam >= aspl
+
+
+def test_sampled_metric_precondition_rejects_empty_sources():
+    import numpy as np
+
+    from repro.core.construct import clique_host_switch_graph
+    from repro.core.metrics import h_aspl_sampled
+
+    set_contracts("on")
+    g = clique_host_switch_graph(8, 6)
+    with pytest.raises(ContractViolation, match="at least one sampled source"):
+        h_aspl_sampled(g, np.array([], dtype=np.int64))
