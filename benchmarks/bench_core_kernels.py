@@ -1,20 +1,64 @@
 """Micro-benchmarks of the library's hot kernels.
 
 Not a paper figure: these time the primitives every experiment is built
-on (h-ASPL evaluation, routing-table construction, one fluid alltoall,
+on (h-ASPL evaluation, one annealing proposal through the incremental
+and full evaluators, routing-table construction, one fluid alltoall,
 graph bisection) so performance regressions in the substrate are caught
 by the benchmark suite itself.
+
+Besides the pytest-benchmark cases, the module is runnable directly to
+track the perf trajectory in ``BENCH_pr2.json`` at the repo root::
+
+    python benchmarks/bench_core_kernels.py --quick --check BENCH_pr2.json
+    python benchmarks/bench_core_kernels.py --full --out BENCH_pr2.json
+
+``--quick`` times the gated kernels with ``time.perf_counter`` (seconds,
+best of several repeats) and ``--check`` fails (exit 1) when a gated
+kernel regresses more than 1.5x against the committed baseline.  ``--full``
+additionally measures the end-to-end ``solve 1024 15`` speedup of the
+incremental evaluator over the full-APSP evaluator (default schedule).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
+import time
+
 import pytest
 
+from repro.core.annealing import AnnealingSchedule, anneal
 from repro.core.construct import random_host_switch_graph
+from repro.core.hostswitch import HostSwitchGraph
+from repro.core.incremental import IncrementalEvaluator
 from repro.core.metrics import h_aspl, h_aspl_and_diameter
+from repro.core.operations import SwapMove
+from repro.core.solver import solve_orp
 from repro.partition import partition_host_switch
 from repro.routing import RoutingTables
 from repro.simulation.mpi import run_mpi_program
+
+# Kernels gated by CI against the committed BENCH_pr2.json baseline.
+GATED = ("bench_h_aspl_1024", "bench_anneal_step_1024_incremental")
+REGRESSION_TOLERANCE = 1.5
+
+
+def _legal_swap(graph: HostSwitchGraph) -> SwapMove:
+    """First legal swap in a deterministic edge scan (for repeatable timing)."""
+    edges = [tuple(sorted(e)) for e in graph.switch_edges()]
+    for i, (a, b) in enumerate(edges):
+        for c, d in edges[i + 1 :]:
+            move = SwapMove(a, b, c, d)
+            if move.is_legal(graph):
+                return move
+    raise RuntimeError("graph admits no legal swap")
+
+
+def _swap_round_trip(move: SwapMove) -> tuple[SwapMove, SwapMove]:
+    """``(move, inverse)`` so repeated committed proposals leave the graph
+    unchanged: ``SwapMove(a, d, c, b)`` undoes ``SwapMove(a, b, c, d)``."""
+    return move, SwapMove(move.a, move.d, move.c, move.b)
 
 
 @pytest.fixture(scope="module")
@@ -36,6 +80,51 @@ def bench_h_aspl_1024(graph_1024, benchmark):
 def bench_h_aspl_and_diameter_256(graph_256, benchmark):
     value = benchmark(h_aspl_and_diameter, graph_256)
     assert value[1] >= value[0]
+
+
+def bench_anneal_step_1024_incremental(graph_1024, benchmark):
+    """One committed annealing proposal (and its undo) via delta repair."""
+    work = graph_1024.copy()
+    evaluator = IncrementalEvaluator(work)
+    move, inverse = _swap_round_trip(_legal_swap(work))
+
+    def step():
+        move.apply(work)
+        value = evaluator.propose(move)
+        evaluator.commit()
+        inverse.apply(work)
+        evaluator.propose(inverse)
+        evaluator.commit()
+        return value
+
+    assert benchmark(step) < float("inf")
+
+
+def bench_anneal_step_1024_full(graph_1024, benchmark):
+    """The same committed proposal scored by full APSP recomputation."""
+    work = graph_1024.copy()
+    move, inverse = _swap_round_trip(_legal_swap(work))
+
+    def step():
+        move.apply(work)
+        value = h_aspl(work)
+        inverse.apply(work)
+        h_aspl(work)
+        return value
+
+    assert benchmark(step) < float("inf")
+
+
+def bench_solver_restarts(benchmark):
+    """A short multi-restart solve (the restart fan-out's serial baseline)."""
+
+    def kernel():
+        return solve_orp(
+            128, 8, schedule=AnnealingSchedule(num_steps=300), restarts=2, seed=0
+        ).h_aspl
+
+    value = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    assert value < float("inf")
 
 
 def bench_routing_tables_1024(graph_1024, benchmark):
@@ -62,3 +151,137 @@ def bench_fluid_alltoall_16(graph_256, benchmark):
 
     t = benchmark.pedantic(kernel, rounds=3, iterations=1)
     assert t > 0
+
+
+# --------------------------------------------------------------------- #
+# Standalone runner: machine-readable results + CI regression gate
+# --------------------------------------------------------------------- #
+
+
+def _best_of(fn, repeat: int = 5) -> float:
+    """Best wall-clock seconds over ``repeat`` calls (min filters noise)."""
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _quick_suite() -> dict[str, dict[str, float]]:
+    """Time the gated kernels plus the restart fan-out (seconds)."""
+    graph = random_host_switch_graph(1024, 195, 15, seed=0)
+    results: dict[str, dict[str, float]] = {}
+
+    results["bench_h_aspl_1024"] = {"seconds": _best_of(lambda: h_aspl(graph))}
+
+    work = graph.copy()
+    evaluator = IncrementalEvaluator(work)
+    move, inverse = _swap_round_trip(_legal_swap(work))
+
+    def incremental_step():
+        move.apply(work)
+        evaluator.propose(move)
+        evaluator.commit()
+        inverse.apply(work)
+        evaluator.propose(inverse)
+        evaluator.commit()
+
+    # Each step proposes twice (there and back); report one proposal.
+    results["bench_anneal_step_1024_incremental"] = {
+        "seconds": _best_of(incremental_step) / 2.0
+    }
+
+    full_work = graph.copy()
+
+    def full_step():
+        move.apply(full_work)
+        h_aspl(full_work)
+        inverse.apply(full_work)
+        h_aspl(full_work)
+
+    results["bench_anneal_step_1024_full"] = {"seconds": _best_of(full_step) / 2.0}
+
+    def restarts():
+        solve_orp(128, 8, schedule=AnnealingSchedule(num_steps=300), restarts=2, seed=0)
+
+    results["bench_solver_restarts"] = {"seconds": _best_of(restarts, repeat=3)}
+    return results
+
+
+def _anneal_seconds(start: HostSwitchGraph, evaluator: str, seed: int) -> tuple[float, float]:
+    t0 = time.perf_counter()
+    result = anneal(start, schedule=AnnealingSchedule(), seed=seed, evaluator=evaluator)
+    return time.perf_counter() - t0, result.h_aspl
+
+
+def _solve_speedup(n: int, r: int, m: int) -> dict[str, float]:
+    """End-to-end ``solve n r`` (default schedule) speedup, both evaluators.
+
+    Times the search stage of the solver pipeline on the same starting
+    graph and seed; the two runs are bit-identical, so the ratio is pure
+    evaluator cost.
+    """
+    start = random_host_switch_graph(n, m, r, seed=0)
+    incremental_s, value_inc = _anneal_seconds(start, "incremental", seed=1)
+    full_s, value_full = _anneal_seconds(start, "full", seed=1)
+    assert value_inc == value_full  # repro-lint: disable=REP004 -- bit-identity check
+    return {
+        "incremental_seconds": incremental_s,
+        "full_seconds": full_s,
+        "speedup": full_s / incremental_s,
+        "h_aspl": value_inc,
+    }
+
+
+def _check_regressions(results: dict, baseline_path: str) -> int:
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    failures = []
+    for name in GATED:
+        base = baseline.get("benchmarks", {}).get(name, {}).get("seconds")
+        now = results.get(name, {}).get("seconds")
+        if base is None or now is None:
+            failures.append(f"{name}: missing from baseline or current run")
+            continue
+        ratio = now / base
+        status = "FAIL" if ratio > REGRESSION_TOLERANCE else "ok"
+        print(f"{name}: {now * 1e3:.3f} ms vs baseline {base * 1e3:.3f} ms "
+              f"({ratio:.2f}x) {status}")
+        if ratio > REGRESSION_TOLERANCE:
+            failures.append(f"{name}: {ratio:.2f}x > {REGRESSION_TOLERANCE}x tolerance")
+    for failure in failures:
+        print(f"regression gate: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--quick", action="store_true",
+                      help="gated kernels only (CI mode)")
+    mode.add_argument("--full", action="store_true",
+                      help="quick suite + end-to-end solve-1024-15 speedup")
+    parser.add_argument("--out", default=None, help="write results JSON here")
+    parser.add_argument("--check", default=None,
+                        help="baseline JSON to gate against (exit 1 on regression)")
+    args = parser.parse_args(argv)
+
+    results = _quick_suite()
+    payload: dict = {"schema": 1, "benchmarks": results}
+    if args.full:
+        payload["solve_1024_15"] = _solve_speedup(1024, 15, m=195)
+        payload["solve_256_12"] = _solve_speedup(256, 12, m=55)
+
+    print(json.dumps(payload, indent=2))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if args.check:
+        return _check_regressions(results, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--m", type=int, default=None, help="override switch count")
     p.add_argument("--steps", type=int, default=10_000, help="SA proposals")
     p.add_argument("--restarts", type=int, default=1)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the restart fan-out "
+                        "(same result as serial for any value)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", type=str, default=None, help="save graph (HSG v1)")
 
@@ -133,7 +136,7 @@ def _cmd_solve(args) -> int:
     sol = solve_orp(
         args.n, args.r, m=args.m,
         schedule=AnnealingSchedule(num_steps=args.steps),
-        restarts=args.restarts, seed=args.seed,
+        restarts=args.restarts, jobs=args.jobs, seed=args.seed,
     )
     print(sol.summary())
     if args.out:

@@ -9,12 +9,17 @@ Three neighbourhood operations are available:
   recommended operation): try a swing; if rejected, try the second swing
   that together with the first amounts to a swap.  Subsumes both primitives.
 
-The annealer maintains a switch-edge list for O(1) proposal sampling and
-evaluates candidates with the C-speed APSP in :mod:`repro.core.metrics`.
-Moves that disconnect any pair of hosts evaluate to ``inf`` and are always
-rejected; when hostless switches exist, accepted moves additionally pass a
-whole-switch-graph connectivity check so the paper's "no redundant switch
-is stranded" assumption is preserved.
+The annealer maintains a switch-edge list for O(1) proposal sampling and,
+by default, scores candidates with the delta-repairing
+:class:`repro.core.incremental.IncrementalEvaluator` (propose / commit /
+rollback around each move).  ``evaluator="full"`` recomputes a full APSP
+per proposal via :mod:`repro.core.metrics` instead — bit-identical results,
+kept for verification and benchmarking — and ``eval_sources`` switches to
+the sampled estimator for very large instances.  Moves that disconnect any
+pair of hosts evaluate to ``inf`` and are always rejected; when hostless
+switches exist, accepted moves additionally pass a whole-switch-graph
+connectivity check so the paper's "no redundant switch is stranded"
+assumption is preserved.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.hostswitch import HostSwitchGraph
+from repro.core.incremental import IncrementalEvaluator
 from repro.core.metrics import h_aspl, h_aspl_and_diameter, h_aspl_sampled
 from repro.core.operations import SwapMove, SwingMove, propose_swap, propose_swing
 from repro.utils.rng import as_generator
@@ -32,6 +38,7 @@ from repro.utils.rng import as_generator
 __all__ = ["AnnealingSchedule", "AnnealingResult", "anneal"]
 
 _OPERATIONS = ("swap", "swing", "two-neighbor-swing")
+_EVALUATORS = ("incremental", "full")
 
 
 @dataclass(frozen=True)
@@ -135,6 +142,7 @@ def anneal(
     seed: int | np.random.Generator | None = None,
     history_every: int = 0,
     target: float | None = None,
+    evaluator: str = "incremental",
     eval_sources: int | None = None,
     eval_refresh: int = 200,
 ) -> AnnealingResult:
@@ -152,14 +160,23 @@ def anneal(
     seed:
         RNG seed / generator for replayable runs.
     history_every:
-        When > 0, record ``(step, current, best)`` every that many steps.
+        When > 0, record ``(step, current, best)`` every that many steps;
+        the final step is always recorded so convergence plots end at the
+        run's true terminal state.
     target:
         Optional early-stop threshold: stop once the best h-ASPL is within
         ``1e-12`` of it (e.g. the Theorem-2 lower bound).
+    evaluator:
+        ``"incremental"`` (default) scores proposals with
+        :class:`repro.core.incremental.IncrementalEvaluator`, repairing the
+        distance matrix per move; ``"full"`` recomputes the APSP on every
+        proposal.  Both are exact and produce bit-identical runs for the
+        same seed; ``"full"`` exists for verification and benchmarking.
     eval_sources:
-        Scalability knob: when set, proposals are scored with the sampled
-        estimator :func:`repro.core.metrics.h_aspl_sampled` using this many
-        BFS sources (resampled every ``eval_refresh`` accepted steps,
+        Scalability knob: when set (overriding ``evaluator``), proposals
+        are scored with the sampled estimator
+        :func:`repro.core.metrics.h_aspl_sampled` using this many BFS
+        sources (resampled every ``eval_refresh`` accepted steps,
         proportional to host counts) instead of the exact h-ASPL.  The
         returned result is always evaluated exactly.  Recommended for
         ``n`` in the many-thousands range.
@@ -174,6 +191,8 @@ def anneal(
     """
     if operation not in _OPERATIONS:
         raise ValueError(f"operation must be one of {_OPERATIONS}, got {operation!r}")
+    if evaluator not in _EVALUATORS:
+        raise ValueError(f"evaluator must be one of {_EVALUATORS}, got {evaluator!r}")
     if eval_sources is not None and eval_sources < 1:
         raise ValueError(f"eval_sources must be >= 1, got {eval_sources}")
     if schedule is None:
@@ -204,9 +223,32 @@ def anneal(
             live = sample
         return h_aspl_sampled(work, live)
 
+    # The three scoring modes behind one propose/commit/discard protocol:
+    # the incremental evaluator keeps real scratch state, the full/sampled
+    # paths re-evaluate from the (already mutated) working graph.
+    inc: IncrementalEvaluator | None = None
     if eval_sources is not None:
         resample()
-    current = evaluate()
+        current = evaluate()
+    elif evaluator == "incremental":
+        inc = IncrementalEvaluator(work)
+        current = inc.value
+    else:
+        current = evaluate()
+
+    def propose_value(moves: list) -> float:
+        if inc is not None:
+            return inc.propose(moves)
+        return evaluate()
+
+    def commit_pending() -> None:
+        if inc is not None:
+            inc.commit()
+
+    def discard_pending() -> None:
+        if inc is not None:
+            inc.rollback()
+
     if not math.isfinite(current):
         raise ValueError("initial graph has disconnected hosts (h-ASPL is inf)")
     initial = current
@@ -239,27 +281,32 @@ def anneal(
             move = propose_swap(edges.edges, rng, work)
             if move is not None:
                 move.apply(work)
-                value = evaluate()
+                value = propose_value([move])
                 if _accept(value - current, temperature, rng) and connectivity_ok():
+                    commit_pending()
                     edges.apply_swap(move)
                     committed, value_after = True, value
                 else:
+                    discard_pending()
                     move.undo(work)
 
         elif operation == "swing":
             move = propose_swing(edges.edges, rng, work)
             if move is not None:
                 move.apply(work)
-                value = evaluate()
+                value = propose_value([move])
                 if _accept(value - current, temperature, rng) and connectivity_ok():
+                    commit_pending()
                     edges.apply_swing(move)
                     committed, value_after = True, value
                 else:
+                    discard_pending()
                     move.undo(work)
 
         else:  # two-neighbor-swing (Fig. 4)
             committed, value_after = _two_neighbor_step(
-                work, edges, rng, current, temperature, connectivity_ok, evaluate
+                work, edges, rng, current, temperature, connectivity_ok,
+                propose_value, commit_pending, discard_pending,
             )
 
         if committed:
@@ -273,6 +320,11 @@ def anneal(
             history.append((step, current, best))
         if target is not None and best <= target + 1e-12:
             break
+
+    if history_every and (not history or history[-1][0] != steps_done - 1):
+        # Terminal sample: the loop may end between ticks or break on
+        # target; convergence plots must not truncate before the last step.
+        history.append((steps_done - 1, current, best))
 
     best_graph.validate()
     final_aspl, final_diam = h_aspl_and_diameter(best_graph)
@@ -296,7 +348,9 @@ def _two_neighbor_step(
     current: float,
     temperature: float,
     connectivity_ok,
-    evaluate,
+    propose_value,
+    commit_pending,
+    discard_pending,
 ) -> tuple[bool, float]:
     """One proposal of the 2-neighbor swing operation (Fig. 4).
 
@@ -306,6 +360,10 @@ def _two_neighbor_step(
     illegal only because ``s_c`` has no host, the equivalent direct swap is
     attempted instead so searches over graphs with hostless switches (the
     Fig. 8 regime) do not stall.
+
+    Proposals are scored through ``propose_value(moves)`` where ``moves``
+    is always relative to the last *committed* state — the step-3 retry
+    discards the step-1 proposal and proposes both swings as one batch.
 
     Returns ``(committed, new_value)``.
     """
@@ -332,29 +390,35 @@ def _two_neighbor_step(
             swap = SwapMove(sa, sb, sd, sc)
             if swap.is_legal(work):
                 swap.apply(work)
-                value = evaluate()
+                value = propose_value([swap])
                 if _accept(value - current, temperature, rng) and connectivity_ok():
+                    commit_pending()
                     edges.apply_swap(swap)
                     return True, value
+                discard_pending()
                 swap.undo(work)
         return False, current
 
     first.apply(work)
-    value1 = evaluate()
+    value1 = propose_value([first])
     if _accept(value1 - current, temperature, rng) and connectivity_ok():
+        commit_pending()
         edges.apply_swing(first)
         return True, value1
+    discard_pending()
 
     second = SwingMove(sd, sc, sb)
     if not second.is_legal(work):
         first.undo(work)
         return False, current
     second.apply(work)
-    value2 = evaluate()
+    value2 = propose_value([first, second])
     if _accept(value2 - current, temperature, rng) and connectivity_ok():
+        commit_pending()
         edges.apply_swing(first)
         edges.apply_swing(second)
         return True, value2
+    discard_pending()
     second.undo(work)
     first.undo(work)
     return False, current

@@ -1,0 +1,371 @@
+"""Incremental h-ASPL evaluation for the annealing hot path.
+
+The simulated-annealing search (paper Section 5) historically recomputed a
+full APSP over all host-bearing switches on *every* proposal, even though a
+swap or swing perturbs exactly two switch edges.  This module maintains the
+switch-graph distance matrix ``D`` across moves and repairs it instead:
+
+Repair algorithm
+----------------
+For each **removed** edge ``{u, v}`` (processed sequentially) only sources
+``x`` whose distance to the far endpoint is forced through the edge can
+change at all:
+
+- if ``d(x, v) == d(x, u) + 1`` and ``v`` has no *other* neighbour ``w``
+  with ``d(x, w) == d(x, v) - 1`` then ``d(x, v)`` must grow and row ``x``
+  is repaired by a fresh BFS; symmetrically for ``u``;
+- otherwise the whole row provably keeps its distances (if the far endpoint
+  keeps an alternative predecessor at the same depth, every shortest path
+  can be rerouted through it without the removed edge).
+
+The affected rows are recomputed with a **batched NumPy frontier BFS**
+(one ``(rows, m) @ (m, m)`` matmul per BFS level) and mirrored into the
+matching columns — a changed pair always has both endpoints in the affected
+set, so rows plus columns cover every stale entry.
+
+For each **added** edge ``{u, v}`` distances only shrink and the classic
+single-insertion rule is exact::
+
+    D[x, y] = min(D[x, y], D[x, u] + 1 + D[v, y], D[x, v] + 1 + D[u, y])
+
+applied as two vectorised ``np.minimum`` passes (the second is the first's
+transpose because ``D`` is symmetric).  Removals are repaired before
+insertions; mixing is still exact because every intermediate matrix is
+entry-wise sandwiched between the final and pre-insertion distances and the
+min-rule is monotone.
+
+Fallback and invariants
+-----------------------
+When the affected-row count exceeds ``fallback_fraction * m`` the repair
+would cost as much as a rebuild, so the evaluator recomputes all rows in
+one batched BFS instead (the *exact fallback* — same code path, all
+sources).  Either way the evaluator maintains these invariants after every
+``commit``/``rollback``:
+
+- ``D`` is the exact, symmetric switch-graph distance matrix (``inf`` for
+  disconnected pairs) of the bound graph;
+- ``k`` equals the graph's per-switch host counts;
+- ``value``/``weighted_sum`` equal :func:`repro.core.metrics.h_aspl` on the
+  bound graph **bit-for-bit** (every term of the weighted sum is an integer
+  exactly representable in float64, so summation order cannot matter).
+
+``D`` covers *all* switches, not only host-bearing ones, so swing moves
+that empty or populate a switch never invalidate the matrix.
+
+Oracle mode
+-----------
+``IncrementalEvaluator(graph, oracle=True)`` cross-checks every proposal
+against :func:`repro.core.metrics.h_aspl` and a from-scratch APSP, raising
+``IncrementalEvaluatorError`` on any divergence.  Tests drive hundreds of
+random accepted/rejected moves through oracle mode; production runs leave
+it off.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.hostswitch import HostSwitchGraph
+from repro.core.metrics import (
+    _weighted_host_distance_sum,
+    h_aspl,
+    switch_distance_matrix,
+)
+from repro.core.operations import SwapMove, SwingMove
+
+__all__ = ["IncrementalEvaluator", "IncrementalEvaluatorError"]
+
+Move = SwapMove | SwingMove
+_Edge = tuple[int, int]
+
+
+class IncrementalEvaluatorError(RuntimeError):
+    """Protocol misuse or an oracle-mode divergence."""
+
+
+def _batched_bfs_rows(adjacency: np.ndarray, sources: np.ndarray) -> np.ndarray:
+    """Distances from ``sources`` to every switch, one BFS level per matmul.
+
+    ``adjacency`` is a dense float32 ``(m, m)`` 0/1 matrix; the frontier of
+    all sources advances together, so the per-level cost is a single
+    ``(len(sources), m) @ (m, m)`` product regardless of how many rows are
+    being repaired.  Unreachable switches stay ``inf``.
+    """
+    m = adjacency.shape[0]
+    num = len(sources)
+    dist = np.full((num, m), np.inf)
+    if num == 0:
+        return dist
+    rows = np.arange(num)
+    dist[rows, sources] = 0.0
+    frontier = np.zeros((num, m), dtype=np.float32)
+    frontier[rows, sources] = 1.0
+    level = 0.0
+    while True:
+        level += 1.0
+        reached = frontier @ adjacency
+        fresh = (reached > 0.0) & np.isinf(dist)
+        if not fresh.any():
+            return dist
+        dist[fresh] = level
+        frontier = fresh.astype(np.float32)
+
+
+def _affected_sources(
+    dist: np.ndarray, adjacency: np.ndarray, u: int, v: int
+) -> np.ndarray:
+    """Rows whose distances can change when edge ``{u, v}`` is removed.
+
+    ``dist`` is exact for the graph *with* the edge; ``adjacency`` already
+    has it removed (so the predecessor scan below cannot see it).  Row ``x``
+    is affected iff the far endpoint sat exactly one level deeper and loses
+    its only predecessor at that depth — an exact row-level test, not a
+    superset (see the module docstring for the argument).
+    """
+    affected = np.zeros(dist.shape[0], dtype=bool)
+    for near, far in ((u, v), (v, u)):
+        through = dist[:, far] == dist[:, near] + 1.0
+        if not through.any():
+            continue
+        survivors = np.flatnonzero(adjacency[far])
+        if len(survivors):
+            alternative = (
+                dist[:, survivors] == (dist[:, far] - 1.0)[:, None]
+            ).any(axis=1)
+            through &= ~alternative
+        affected |= through
+    return np.flatnonzero(affected)
+
+
+class IncrementalEvaluator:
+    """Maintains ``D``/``k``/the weighted sum across annealing moves.
+
+    The protocol mirrors the annealer's accept/reject structure:
+
+    1. the caller applies the move(s) to the bound graph,
+    2. ``propose(moves)`` returns the candidate h-ASPL (scratch state only),
+    3. ``commit()`` adopts the scratch state, or ``rollback()`` discards it
+       (after which the caller undoes the moves on the graph).
+
+    Parameters
+    ----------
+    graph:
+        The bound (mutable) host-switch graph; the evaluator snapshots its
+        structure and thereafter trusts the move deltas.
+    fallback_fraction:
+        Repair-vs-rebuild threshold: when one proposal's affected rows
+        exceed this fraction of ``m``, every row is recomputed in one
+        batched BFS instead.  ``0.0`` forces the full rebuild on every
+        proposal (useful for testing the fallback path).
+    oracle:
+        Cross-check every proposal against the non-incremental metrics
+        (slow; testing only).
+    """
+
+    def __init__(
+        self,
+        graph: HostSwitchGraph,
+        *,
+        fallback_fraction: float = 0.5,
+        oracle: bool = False,
+    ) -> None:
+        if not 0.0 <= fallback_fraction <= 1.0:
+            raise ValueError(
+                f"fallback_fraction must be in [0, 1], got {fallback_fraction}"
+            )
+        if graph.num_hosts < 2:
+            raise ValueError(
+                f"h-ASPL needs at least 2 hosts, graph has {graph.num_hosts}"
+            )
+        self._graph = graph
+        self._oracle = oracle
+        m = graph.num_switches
+        self._row_budget = int(fallback_fraction * m)
+        self._adj = np.zeros((m, m), dtype=np.float32)
+        for a, b in graph.switch_edges():
+            self._adj[a, b] = 1.0
+            self._adj[b, a] = 1.0
+        self._dist = _batched_bfs_rows(self._adj, np.arange(m))
+        self._k = graph.host_counts().astype(np.float64)
+        self._n = graph.num_hosts
+        self._value, self._weighted = self._evaluate(self._dist, self._k)
+        self._pending: tuple[np.ndarray, np.ndarray, np.ndarray, float, float] | None
+        self._pending = None
+        self.stats = {"proposals": 0, "fallbacks": 0, "repaired_rows": 0}
+
+    # ------------------------------------------------------------------ #
+    # Value computation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def value(self) -> float:
+        """h-ASPL of the committed state (matches ``metrics.h_aspl``)."""
+        return self._value
+
+    @property
+    def weighted_sum(self) -> float:
+        """The running weighted sum ``sum k_a k_b (d(a,b) + 2)`` (or inf)."""
+        return self._weighted
+
+    def _evaluate(self, dist: np.ndarray, k: np.ndarray) -> tuple[float, float]:
+        """``(h_aspl, weighted_sum)`` from a distance matrix and counts."""
+        bearing = np.flatnonzero(k > 0)
+        kb = k[bearing]
+        if len(bearing) == dist.shape[0]:
+            sub = dist
+        else:
+            sub = dist[np.ix_(bearing, bearing)]
+        if np.isinf(sub).any():
+            return float("inf"), float("inf")
+        n = self._n
+        weighted = _weighted_host_distance_sum(sub, kb)
+        return float((0.5 * weighted - n) / (n * (n - 1) / 2.0)), weighted
+
+    # ------------------------------------------------------------------ #
+    # propose / commit / rollback
+    # ------------------------------------------------------------------ #
+
+    def propose(self, moves: Move | Sequence[Move]) -> float:
+        """Candidate h-ASPL after ``moves`` (already applied to the graph).
+
+        The committed state is untouched; call :meth:`commit` to adopt the
+        candidate or :meth:`rollback` to discard it.  A second ``propose``
+        before either is a protocol error.
+        """
+        if self._pending is not None:
+            raise IncrementalEvaluatorError(
+                "propose() called with a proposal already pending; "
+                "commit() or rollback() first"
+            )
+        removed, added, host_deltas = self._aggregate(moves)
+        self.stats["proposals"] += 1
+
+        adj = self._adj.copy()
+        dist = self._dist.copy()
+        exact = True  # False once a fallback rebuilt everything already
+        repaired = 0
+        for u, v in removed:
+            adj[u, v] = 0.0
+            adj[v, u] = 0.0
+            if not exact:
+                continue
+            rows = _affected_sources(dist, adj, u, v)
+            repaired += len(rows)
+            if repaired > self._row_budget:
+                exact = False
+                continue
+            if len(rows):
+                dist[rows, :] = _batched_bfs_rows(adj, rows)
+                dist[:, rows] = dist[rows, :].T
+        for u, v in added:
+            adj[u, v] = 1.0
+            adj[v, u] = 1.0
+            if not exact:
+                continue
+            candidate = dist[:, [u]] + dist[[v], :] + 1.0
+            np.minimum(dist, candidate, out=dist)
+            np.minimum(dist, candidate.T, out=dist)
+        if not exact:
+            self.stats["fallbacks"] += 1
+            dist = _batched_bfs_rows(adj, np.arange(adj.shape[0]))
+        else:
+            self.stats["repaired_rows"] += repaired
+
+        k = self._k
+        if host_deltas:
+            k = k.copy()
+            for switch, delta in host_deltas:
+                k[switch] += delta
+        value, weighted = self._evaluate(dist, k)
+        if self._oracle:
+            self._oracle_check(dist, k, value)
+        self._pending = (adj, dist, k, value, weighted)
+        return value
+
+    def commit(self) -> None:
+        """Adopt the pending proposal as the committed state."""
+        if self._pending is None:
+            raise IncrementalEvaluatorError("commit() without a pending proposal")
+        self._adj, self._dist, self._k, self._value, self._weighted = self._pending
+        self._pending = None
+
+    def rollback(self) -> None:
+        """Discard the pending proposal (committed state already intact)."""
+        if self._pending is None:
+            raise IncrementalEvaluatorError("rollback() without a pending proposal")
+        self._pending = None
+
+    def _aggregate(
+        self, moves: Move | Sequence[Move]
+    ) -> tuple[list[_Edge], list[_Edge], list[tuple[int, int]]]:
+        """Net ``(removed, added, host_deltas)`` over a move sequence.
+
+        Edges removed and re-added (or vice versa) within one proposal
+        cancel; host-count deltas sum per switch.
+        """
+        if isinstance(moves, (SwapMove, SwingMove)):
+            moves = [moves]
+        edge_delta: dict[_Edge, int] = {}
+        host_delta: dict[int, int] = {}
+        for move in moves:
+            removed, added = move.edge_changes()
+            for a, b in removed:
+                key = (a, b) if a < b else (b, a)
+                edge_delta[key] = edge_delta.get(key, 0) - 1
+            for a, b in added:
+                key = (a, b) if a < b else (b, a)
+                edge_delta[key] = edge_delta.get(key, 0) + 1
+            for switch, delta in move.host_count_changes():
+                host_delta[switch] = host_delta.get(switch, 0) + delta
+        removed_net = [e for e, d in edge_delta.items() if d < 0]
+        added_net = [e for e, d in edge_delta.items() if d > 0]
+        if any(abs(d) > 1 for d in edge_delta.values()):
+            raise IncrementalEvaluatorError(
+                "move sequence removes or adds the same switch edge twice"
+            )
+        deltas = [(s, d) for s, d in host_delta.items() if d != 0]
+        return removed_net, added_net, deltas
+
+    # ------------------------------------------------------------------ #
+    # Verification helpers
+    # ------------------------------------------------------------------ #
+
+    def _oracle_check(self, dist: np.ndarray, k: np.ndarray, value: float) -> None:
+        """Compare a proposal's scratch state against the full metrics."""
+        expected_dist = switch_distance_matrix(self._graph)
+        if not np.array_equal(dist, expected_dist):
+            bad = int((~np.isclose(dist, expected_dist, equal_nan=False)).sum())
+            raise IncrementalEvaluatorError(
+                f"oracle: repaired distance matrix diverges from APSP in "
+                f"{bad} entries"
+            )
+        expected_counts = self._graph.host_counts().astype(np.float64)
+        if not np.array_equal(k, expected_counts):
+            raise IncrementalEvaluatorError(
+                "oracle: host-count vector diverges from the graph"
+            )
+        expected = h_aspl(self._graph)
+        same = (
+            (math.isinf(expected) and math.isinf(value))
+            or expected == value  # repro-lint: disable=REP004 -- oracle demands bit-equality
+        )
+        if not same:
+            raise IncrementalEvaluatorError(
+                f"oracle: incremental h-ASPL {value!r} != exact {expected!r}"
+            )
+
+    def rebuild(self) -> None:
+        """Resynchronise from the bound graph (full APSP; drops pending)."""
+        m = self._graph.num_switches
+        self._pending = None
+        self._adj = np.zeros((m, m), dtype=np.float32)
+        for a, b in self._graph.switch_edges():
+            self._adj[a, b] = 1.0
+            self._adj[b, a] = 1.0
+        self._dist = _batched_bfs_rows(self._adj, np.arange(m))
+        self._k = self._graph.host_counts().astype(np.float64)
+        self._n = self._graph.num_hosts
+        self._value, self._weighted = self._evaluate(self._dist, self._k)

@@ -15,7 +15,12 @@ matrix and the per-switch host counts ``k``:
 
 We compute ``d`` with :func:`scipy.sparse.csgraph.shortest_path` (C-speed
 BFS) restricted to host-bearing switches, and evaluate the double sum with
-vectorised NumPy.  This is the hot path of the annealing search.
+vectorised NumPy.  This used to be the hot path of the annealing search;
+the annealer now repairs a persistent distance matrix per move with
+:class:`repro.core.incremental.IncrementalEvaluator` and only falls back to
+the full APSP here.  Because every quantity in the weighted sum is an
+integer exactly representable in float64, both evaluators produce
+bit-identical h-ASPL values (see :func:`_weighted_host_distance_sum`).
 """
 
 from __future__ import annotations
@@ -142,16 +147,28 @@ def h_aspl_and_diameter(graph: HostSwitchGraph) -> tuple[float, float]:
     return aspl, diam
 
 
+def _weighted_host_distance_sum(dist: np.ndarray, k: np.ndarray) -> float:
+    """``sum_{a,b} k_a k_b (d(a,b) + 2)`` — the h-ASPL numerator's core.
+
+    Shared by :func:`h_aspl_from_distances` and the incremental evaluator so
+    both compute the sum with the *same* floating-point operations: all
+    terms are integers, so the float64 result is exact and independent of
+    summation order, which is what makes the two evaluators bit-identical.
+    """
+    return float(k @ (dist + 2.0) @ k)
+
+
 def h_aspl_from_distances(dist: np.ndarray, k: np.ndarray, n: int) -> float:
     """h-ASPL from a precomputed host-bearing distance matrix.
 
-    Exposed so callers that already hold ``dist`` (e.g. incremental search
-    experiments) can recompute the average without another APSP.
+    Exposed so callers that already hold ``dist`` (e.g. the incremental
+    evaluator's repaired matrix) can recompute the average without another
+    APSP.
     """
     if np.isinf(dist).any():
         return float("inf")
     k = np.asarray(k, dtype=np.float64)
-    weighted = k @ (dist + 2.0) @ k
+    weighted = _weighted_host_distance_sum(dist, k)
     return float((0.5 * weighted - n) / (n * (n - 1) / 2.0))
 
 

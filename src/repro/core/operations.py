@@ -65,6 +65,15 @@ class SwapMove:
         graph.add_switch_edge(self.a, self.b)
         graph.add_switch_edge(self.c, self.d)
 
+    def edge_changes(self) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        """``(removed, added)`` switch-edge lists (the incremental-evaluator
+        delta protocol; see :mod:`repro.core.incremental`)."""
+        return [(self.a, self.b), (self.c, self.d)], [(self.a, self.d), (self.b, self.c)]
+
+    def host_count_changes(self) -> list[tuple[int, int]]:
+        """``(switch, delta)`` host-count changes — a swap moves no hosts."""
+        return []
+
 
 @dataclass
 class SwingMove:
@@ -115,6 +124,15 @@ class SwingMove:
     def inverse(self) -> "SwingMove":
         """A fresh swing that reverses this one's net effect on counts."""
         return SwingMove(self.sa, self.sc, self.sb)
+
+    def edge_changes(self) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        """``(removed, added)`` switch-edge lists (the incremental-evaluator
+        delta protocol; see :mod:`repro.core.incremental`)."""
+        return [(self.sa, self.sb)], [(self.sa, self.sc)]
+
+    def host_count_changes(self) -> list[tuple[int, int]]:
+        """``(switch, delta)``: one host leaves ``sc`` and lands on ``sb``."""
+        return [(self.sb, +1), (self.sc, -1)]
 
 
 def propose_swap(

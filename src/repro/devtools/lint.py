@@ -31,6 +31,12 @@ REP005
     from another ``repro`` module, touching ``HostSwitchGraph`` storage
     slots outside ``repro/core/``, or calling underscore methods on
     objects whose class lives in another ``repro`` module.
+REP006
+    Exact h-ASPL evaluation (``h_aspl`` / ``h_aspl_and_diameter``) inside
+    a loop body in ``repro.core`` modules, where the delta-repairing
+    :class:`repro.core.incremental.IncrementalEvaluator` applies.  Fires
+    instead of REP003 for those calls; hot loops must go through
+    propose/commit/rollback.
 
 Waivers
 -------
@@ -68,6 +74,8 @@ RULES: dict[str, str] = {
     "scipy.sparse.csgraph pass suffices",
     "REP004": "float ==/!= comparison on h-ASPL / latency / diameter metric values",
     "REP005": "private internals accessed across module boundaries",
+    "REP006": "exact h-ASPL evaluated in a repro.core loop where "
+    "IncrementalEvaluator (propose/commit/rollback) applies",
 }
 
 # HostSwitchGraph mutation methods (REP002) and helpers that mutate the
@@ -99,6 +107,9 @@ _DIST_FUNCS = frozenset(
         "shortest_path",
     }
 )
+
+# Exact h-ASPL entry points with an incremental alternative (REP006).
+_INCREMENTAL_FUNCS = frozenset({"h_aspl", "h_aspl_and_diameter"})
 
 # Metric-producing calls and identifier hints (REP004).
 _METRIC_FUNCS = frozenset(
@@ -446,6 +457,19 @@ class _Analyzer(ast.NodeVisitor):
     def _check_rep003_loop(self, node: ast.Call) -> None:
         tail = _call_tail(node)
         if tail in _DIST_FUNCS and self._loop_depth > 0:
+            if tail in _INCREMENTAL_FUNCS and self.ctx.module.startswith(
+                "repro.core"
+            ):
+                # The stronger rule subsumes REP003 for these calls: in core
+                # code a loop over exact h-ASPL is the annealing hot path.
+                self._report(
+                    "REP006",
+                    node,
+                    f"exact '{tail}' called inside a loop in '{self.ctx.module}'; "
+                    "score proposals with repro.core.incremental."
+                    "IncrementalEvaluator (propose/commit/rollback) instead",
+                )
+                return
             self._report(
                 "REP003",
                 node,

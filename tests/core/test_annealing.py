@@ -119,11 +119,36 @@ class TestAnneal:
         result = anneal(
             g, schedule=AnnealingSchedule(num_steps=100), seed=1, history_every=10
         )
-        assert len(result.history) == 10
+        # Ticks at 0, 10, ..., 90 plus the always-recorded terminal step 99.
+        assert len(result.history) == 11
         steps = [h[0] for h in result.history]
         assert steps == sorted(steps)
+        assert steps[-1] == result.steps - 1
         bests = [h[2] for h in result.history]
         assert all(a >= b for a, b in zip(bests, bests[1:]))
+
+    def test_history_terminal_sample_on_target_break(self):
+        g = random_host_switch_graph(10, 3, 8, seed=10)
+        bound = h_aspl_lower_bound(10, 8)
+        result = anneal(
+            g,
+            schedule=AnnealingSchedule(num_steps=5000),
+            seed=2,
+            target=bound,
+            history_every=1000,
+        )
+        assert result.history[-1][0] == result.steps - 1
+        assert result.history[-1][2] == result.h_aspl
+
+    def test_history_not_duplicated_when_last_step_is_a_tick(self):
+        g = random_host_switch_graph(20, 6, 8, seed=9)
+        # 100 steps, every 99 -> ticks at 0 and 99; terminal step 99 must
+        # not be appended twice.
+        result = anneal(
+            g, schedule=AnnealingSchedule(num_steps=100), seed=1, history_every=99
+        )
+        steps = [h[0] for h in result.history]
+        assert steps == [0, 99]
 
     def test_target_early_stop(self):
         # Clique-capable instance reaches its bound quickly.
@@ -151,3 +176,53 @@ class TestAnneal:
         assert isinstance(result, AnnealingResult)
         assert 0 <= result.improved <= result.accepted <= result.steps
         assert result.initial_h_aspl >= result.h_aspl
+
+    def test_unknown_evaluator_rejected(self):
+        g = random_host_switch_graph(10, 3, 8, seed=0)
+        with pytest.raises(ValueError, match="evaluator"):
+            anneal(g, evaluator="psychic")
+
+
+class TestEvaluatorEquivalence:
+    """The incremental and full evaluators must anneal bit-identically.
+
+    Every quantity both evaluators sum is an integer exactly representable
+    in float64, so the evaluators return *equal* floats, consume the same
+    Metropolis draws, and walk the same trajectory.
+    """
+
+    @pytest.mark.parametrize("operation", ["swap", "swing", "two-neighbor-swing"])
+    def test_bit_identical_runs(self, operation):
+        g = random_host_switch_graph(48, 14, 6, seed=4)
+        schedule = AnnealingSchedule(num_steps=500)
+        inc = anneal(
+            g, operation=operation, schedule=schedule, seed=21, history_every=13
+        )
+        full = anneal(
+            g,
+            operation=operation,
+            schedule=schedule,
+            seed=21,
+            history_every=13,
+            evaluator="full",
+        )
+        assert inc.h_aspl == full.h_aspl
+        assert inc.diameter == full.diameter
+        assert inc.accepted == full.accepted
+        assert inc.improved == full.improved
+        assert inc.graph == full.graph
+        assert inc.history == full.history
+
+    def test_bit_identical_with_hostless_switches(self):
+        # More switch capacity than hosts: hostless switches force the
+        # whole-graph connectivity check and the two-neighbor direct-swap
+        # fallback into play.
+        g = random_host_switch_graph(18, 20, 5, seed=6)
+        assert (g.host_counts() == 0).any()
+        schedule = AnnealingSchedule(num_steps=400)
+        inc = anneal(g, schedule=schedule, seed=9)
+        full = anneal(g, schedule=schedule, seed=9, evaluator="full")
+        assert inc.h_aspl == full.h_aspl
+        assert inc.diameter == full.diameter
+        assert inc.accepted == full.accepted
+        assert inc.graph == full.graph

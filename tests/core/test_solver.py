@@ -78,3 +78,34 @@ class TestSearchRegime:
         sol = solve_orp(96, 8, schedule=AnnealingSchedule(num_steps=800), seed=5)
         naive = random_host_switch_graph(96, sol.m, 8, seed=5)
         assert sol.h_aspl < h_aspl(naive)
+
+
+class TestParallelRestarts:
+    def test_parallel_matches_serial(self):
+        # Restart seeds are spawned from one master SeedSequence, so the
+        # process-pool fan-out must return the same best graph as the
+        # serial loop for the same master seed.
+        schedule = AnnealingSchedule(num_steps=150)
+        serial = solve_orp(48, 8, schedule=schedule, restarts=4, seed=3)
+        parallel = solve_orp(48, 8, schedule=schedule, restarts=4, jobs=4, seed=3)
+        assert serial.h_aspl == parallel.h_aspl
+        assert serial.diameter == parallel.diameter
+        assert serial.graph == parallel.graph
+
+    def test_jobs_capped_by_restarts(self):
+        schedule = AnnealingSchedule(num_steps=100)
+        sol = solve_orp(48, 8, schedule=schedule, restarts=2, jobs=16, seed=1)
+        serial = solve_orp(48, 8, schedule=schedule, restarts=2, seed=1)
+        assert sol.graph == serial.graph
+
+    def test_first_restart_stable_across_restart_counts(self):
+        # spawn(k)[0] is the same child for every k: adding restarts only
+        # adds candidates, it never perturbs earlier trajectories.
+        schedule = AnnealingSchedule(num_steps=120)
+        one = solve_orp(48, 8, schedule=schedule, restarts=1, seed=7)
+        three = solve_orp(48, 8, schedule=schedule, restarts=3, seed=7)
+        assert three.h_aspl <= one.h_aspl + 1e-12
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            solve_orp(48, 8, jobs=0, seed=0)

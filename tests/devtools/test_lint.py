@@ -1,4 +1,4 @@
-"""Fixture-snippet tests for the ``repro-lint`` rules (REP001–REP005).
+"""Fixture-snippet tests for the ``repro-lint`` rules (REP001–REP006).
 
 Each rule gets at least one firing and one non-firing snippet; waivers and
 the console entry point are exercised at the end.  Snippets are linted as
@@ -237,6 +237,74 @@ def test_rep005_quiet_inside_core_package():
 
 
 # --------------------------------------------------------------------- #
+# REP006 — exact h-ASPL in repro.core loops (IncrementalEvaluator applies)
+# --------------------------------------------------------------------- #
+
+
+def test_rep006_fires_instead_of_rep003_in_core():
+    src = """
+        from repro.core.metrics import h_aspl
+
+        def search(g, moves):
+            values = []
+            for move in moves:
+                values.append(h_aspl(g))
+            return values
+        """
+    found = codes(src, path=CORE_PATH)
+    assert "REP006" in found
+    assert "REP003" not in found
+
+
+def test_rep006_covers_h_aspl_and_diameter():
+    src = """
+        from repro.core.metrics import h_aspl_and_diameter
+
+        def sweep(graphs):
+            return [h_aspl_and_diameter(g) for g in graphs]
+        """
+    assert "REP006" in codes(src, path=CORE_PATH)
+
+
+def test_rep006_stays_rep003_outside_core():
+    src = """
+        from repro.core.metrics import h_aspl
+
+        def sweep(graphs):
+            return [h_aspl(g) for g in graphs]
+        """
+    found = codes(src, path=LIB_PATH)
+    assert "REP003" in found
+    assert "REP006" not in found
+
+
+def test_rep006_quiet_on_other_dist_funcs_in_core():
+    # switch_distance_matrix has no incremental alternative: still REP003.
+    src = """
+        from repro.core.metrics import switch_distance_matrix
+
+        def rows(g, sources):
+            return [switch_distance_matrix(g, s) for s in sources]
+        """
+    found = codes(src, path=CORE_PATH)
+    assert "REP003" in found
+    assert "REP006" not in found
+
+
+def test_rep006_waivable():
+    src = """
+        from repro.core.metrics import h_aspl
+
+        def search(g, moves):
+            values = []
+            for move in moves:
+                values.append(h_aspl(g))  # repro-lint: disable=REP006 -- oracle check
+            return values
+        """
+    assert codes(src, path=CORE_PATH) == []
+
+
+# --------------------------------------------------------------------- #
 # Waivers
 # --------------------------------------------------------------------- #
 
@@ -313,7 +381,7 @@ def test_main_exit_codes_and_output(tmp_path, capsys):
 def test_main_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+    for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
         assert code in out
 
 
