@@ -17,6 +17,10 @@ best of several repeats) and ``--check`` fails (exit 1) when a gated
 kernel regresses more than 1.5x against the committed baseline.  ``--full``
 additionally measures the end-to-end ``solve 1024 15`` speedup of the
 incremental evaluator over the full-APSP evaluator (default schedule).
+``--telemetry-out PATH`` records a ``repro.obs`` JSONL trace of the
+restart-fan-out kernel alongside the timing JSON (the gated kernels
+themselves always run with telemetry disabled — that *is* the gated
+configuration).
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from repro.core.incremental import IncrementalEvaluator
 from repro.core.metrics import h_aspl, h_aspl_and_diameter
 from repro.core.operations import SwapMove
 from repro.core.solver import solve_orp
+from repro.obs import JsonlSink, TelemetryRegistry
 from repro.partition import partition_host_switch
 from repro.routing import RoutingTables
 from repro.simulation.mpi import run_mpi_program
@@ -168,8 +173,15 @@ def _best_of(fn, repeat: int = 5) -> float:
     return best
 
 
-def _quick_suite() -> dict[str, dict[str, float]]:
-    """Time the gated kernels plus the restart fan-out (seconds)."""
+def _quick_suite(
+    telemetry: TelemetryRegistry | None = None,
+) -> dict[str, dict[str, float]]:
+    """Time the gated kernels plus the restart fan-out (seconds).
+
+    The gated kernels always run untraced (the disabled-telemetry path is
+    the configuration the CI gate protects); ``telemetry`` only instruments
+    the final restart fan-out so a bench run leaves a solver trace behind.
+    """
     graph = random_host_switch_graph(1024, 195, 15, seed=0)
     results: dict[str, dict[str, float]] = {}
 
@@ -203,7 +215,10 @@ def _quick_suite() -> dict[str, dict[str, float]]:
     results["bench_anneal_step_1024_full"] = {"seconds": _best_of(full_step) / 2.0}
 
     def restarts():
-        solve_orp(128, 8, schedule=AnnealingSchedule(num_steps=300), restarts=2, seed=0)
+        solve_orp(
+            128, 8, schedule=AnnealingSchedule(num_steps=300), restarts=2,
+            seed=0, telemetry=telemetry,
+        )
 
     results["bench_solver_restarts"] = {"seconds": _best_of(restarts, repeat=3)}
     return results
@@ -265,9 +280,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default=None, help="write results JSON here")
     parser.add_argument("--check", default=None,
                         help="baseline JSON to gate against (exit 1 on regression)")
+    parser.add_argument("--telemetry-out", default=None,
+                        help="record a repro.obs JSONL trace of the restart "
+                             "fan-out kernel to this path")
     args = parser.parse_args(argv)
 
-    results = _quick_suite()
+    telemetry = None
+    if args.telemetry_out:
+        telemetry = TelemetryRegistry("bench")
+        telemetry.add_sink(JsonlSink(args.telemetry_out))
+    try:
+        results = _quick_suite(telemetry=telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     payload: dict = {"schema": 1, "benchmarks": results}
     if args.full:
         payload["solve_1024_15"] = _solve_speedup(1024, 15, m=195)

@@ -15,16 +15,68 @@ Commands
     Run one NAS skeleton on a topology (built or loaded) and print Mop/s.
 ``traffic``
     Drive a synthetic pattern and print latency/throughput.
+``telemetry summarize|validate PATH``
+    Report on (or schema-check) a ``--telemetry-out`` JSONL trace.
+
+Global options (before or after the subcommand):
+
+``--telemetry-out PATH``
+    Stream a ``repro.obs`` JSONL trace of the run to ``PATH``; inspect it
+    afterwards with ``repro telemetry summarize PATH``.
+``--log-level LEVEL``
+    Diagnostics verbosity (``debug``/``info``/``warning``/``error``).
+    Diagnostics go to stderr via :mod:`logging`; command *results* go to
+    stdout, so output stays pipeable.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 from repro.analysis.report import format_table
 
 __all__ = ["main", "build_parser"]
+
+_log = logging.getLogger("repro.cli")
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _emit(*lines: object) -> None:
+    """Write result lines (the command's payload) to stdout."""
+    for line in lines:
+        print(line)
+
+
+def _configure_logging(level_name: str) -> None:
+    logging.basicConfig(
+        level=getattr(logging, level_name.upper()),
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
+
+
+def _add_global_options(parser: argparse.ArgumentParser, *, subparser: bool) -> None:
+    """Install ``--log-level`` / ``--telemetry-out`` on a parser.
+
+    Subparsers get ``default=argparse.SUPPRESS`` so a value parsed by the
+    main parser (flag *before* the subcommand) survives on the shared
+    namespace unless the user repeats the flag after the subcommand.
+    """
+    parser.add_argument(
+        "--log-level",
+        choices=_LOG_LEVELS,
+        default=argparse.SUPPRESS if subparser else "info",
+        help="diagnostics verbosity (stderr; default: info)",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        default=argparse.SUPPRESS if subparser else None,
+        help="write a repro.obs JSONL telemetry trace of the run to PATH",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,13 +84,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Order/Radix Problem toolkit (ICPP'17 reproduction)",
     )
+    _add_global_options(parser, subparser=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("bounds", help="lower bounds and m_opt for (n, r)")
+    def add_command(name: str, **kwargs) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, **kwargs)
+        _add_global_options(p, subparser=True)
+        return p
+
+    p = add_command("bounds", help="lower bounds and m_opt for (n, r)")
     p.add_argument("n", type=int)
     p.add_argument("r", type=int)
 
-    p = sub.add_parser("solve", help="solve an ORP instance")
+    p = add_command("solve", help="solve an ORP instance")
     p.add_argument("n", type=int)
     p.add_argument("r", type=int)
     p.add_argument("--m", type=int, default=None, help="override switch count")
@@ -50,14 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", type=str, default=None, help="save graph (HSG v1)")
 
-    p = sub.add_parser("odp", help="solve an Order/Degree Problem instance")
+    p = add_command("odp", help="solve an Order/Degree Problem instance")
     p.add_argument("n", type=int, help="number of vertices")
     p.add_argument("d", type=int, help="degree")
     p.add_argument("--steps", type=int, default=10_000)
     p.add_argument("--restarts", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
 
-    p = sub.add_parser("topology", help="build and measure a conventional topology")
+    p = add_command("topology", help="build and measure a conventional topology")
     p.add_argument(
         "name",
         choices=[
@@ -77,7 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--hosts", type=int, default=None)
 
-    p = sub.add_parser("simulate", help="run a NAS skeleton on a topology")
+    p = add_command("simulate", help="run a NAS skeleton on a topology")
     p.add_argument("benchmark", help="bt|cg|ep|ft|is|lu|mg|sp")
     p.add_argument("--graph", type=str, default=None, help="HSG v1 file to load")
     p.add_argument("--ranks", type=int, default=16)
@@ -90,7 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="seed for the (possibly random) rank-to-host mapping")
 
-    p = sub.add_parser("traffic", help="synthetic traffic latency/throughput")
+    p = add_command("traffic", help="synthetic traffic latency/throughput")
     p.add_argument("pattern")
     p.add_argument("--graph", type=str, default=None, help="HSG v1 file to load")
     p.add_argument("--messages", type=int, default=20)
@@ -100,7 +158,30 @@ def build_parser() -> argparse.ArgumentParser:
                    default="shortest")
     p.add_argument("--seed", type=int, default=0)
 
+    p = add_command("telemetry", help="inspect a repro.obs JSONL trace")
+    tsub = p.add_subparsers(dest="telemetry_command", required=True)
+    for tname, thelp in (
+        ("summarize", "human-readable report of a telemetry trace"),
+        ("validate", "schema-check every line of a telemetry trace"),
+    ):
+        tp = tsub.add_parser(tname, help=thelp)
+        _add_global_options(tp, subparser=True)
+        tp.add_argument("path", help="JSONL file written via --telemetry-out")
+
     return parser
+
+
+def _telemetry_from_args(args: argparse.Namespace):
+    """A JSONL-sinking registry when ``--telemetry-out`` was given, else None."""
+    path = getattr(args, "telemetry_out", None)
+    if not path:
+        return None
+    from repro.obs import JsonlSink, TelemetryRegistry
+
+    registry = TelemetryRegistry()
+    registry.add_sink(JsonlSink(path))
+    _log.debug("telemetry streaming to %s", path)
+    return registry
 
 
 def _default_graph():
@@ -110,7 +191,7 @@ def _default_graph():
     return torus(2, 4, 8, num_hosts=64, fill="round-robin")[0]
 
 
-def _cmd_bounds(args) -> int:
+def _cmd_bounds(args, telemetry) -> int:
     from repro.core.bounds import diameter_lower_bound, h_aspl_lower_bound
     from repro.core.moore import continuous_moore_bound, optimal_switch_count
 
@@ -123,29 +204,38 @@ def _cmd_bounds(args) -> int:
         ["continuous Moore bound @ 2*m_opt",
          continuous_moore_bound(args.n, 2 * m_opt, args.r)],
     ]
-    print(format_table(["quantity", "value"], rows,
+    _emit(format_table(["quantity", "value"], rows,
                        title=f"ORP bounds for n={args.n}, r={args.r}"))
     return 0
 
 
-def _cmd_solve(args) -> int:
+def _cmd_solve(args, telemetry) -> int:
     from repro.core.annealing import AnnealingSchedule
     from repro.core.serialization import save_graph
     from repro.core.solver import solve_orp
 
+    _log.info("solving ORP(n=%d, r=%d), %d restart(s), %d job(s)",
+              args.n, args.r, args.restarts, args.jobs)
     sol = solve_orp(
         args.n, args.r, m=args.m,
         schedule=AnnealingSchedule(num_steps=args.steps),
         restarts=args.restarts, jobs=args.jobs, seed=args.seed,
+        telemetry=telemetry,
     )
-    print(sol.summary())
+    _emit(sol.summary())
+    for restart in sol.restarts:
+        _log.debug(
+            "restart %d: h-ASPL %.4f -> %.4f (%d accepted, %.2fs)",
+            restart.index, restart.initial_h_aspl, restart.h_aspl,
+            restart.accepted, restart.wall_time_s,
+        )
     if args.out:
         save_graph(sol.graph, args.out)
-        print(f"saved graph to {args.out}")
+        _log.info("saved graph to %s", args.out)
     return 0
 
 
-def _cmd_odp(args) -> int:
+def _cmd_odp(args, telemetry) -> int:
     from repro.core.annealing import AnnealingSchedule
     from repro.core.odp import solve_odp
 
@@ -153,12 +243,13 @@ def _cmd_odp(args) -> int:
         args.n, args.d,
         schedule=AnnealingSchedule(num_steps=args.steps),
         restarts=args.restarts, seed=args.seed,
+        telemetry=telemetry,
     )
-    print(sol.summary())
+    _emit(sol.summary())
     return 0
 
 
-def _cmd_topology(args) -> int:
+def _cmd_topology(args, telemetry) -> int:
     from repro.core.metrics import h_aspl_and_diameter
     from repro.topologies import build_topology
 
@@ -187,13 +278,15 @@ def _cmd_topology(args) -> int:
         kwargs["num_hosts"] = args.hosts
     graph, spec = build_topology(args.name, **kwargs)
     aspl, diam = h_aspl_and_diameter(graph)
-    print(spec)
-    print(f"attached hosts: {graph.num_hosts}")
-    print(f"h-ASPL = {aspl:.4f}, diameter = {diam:.0f}")
+    _emit(
+        spec,
+        f"attached hosts: {graph.num_hosts}",
+        f"h-ASPL = {aspl:.4f}, diameter = {diam:.0f}",
+    )
     return 0
 
 
-def _cmd_simulate(args) -> int:
+def _cmd_simulate(args, telemetry) -> int:
     from repro.core.serialization import load_graph
     from repro.simulation.apps import run_nas
     from repro.simulation.mapping import rank_to_host_mapping
@@ -203,18 +296,19 @@ def _cmd_simulate(args) -> int:
     res = run_nas(
         args.benchmark, graph, args.ranks, nas_class=args.nas_class,
         iterations=args.iterations, rank_to_host=mapping, model=args.model,
+        telemetry=telemetry,
     )
-    print(
+    _emit(
         f"{res.benchmark} class {res.nas_class}, {res.num_ranks} ranks, "
-        f"{res.iterations} iteration(s):"
+        f"{res.iterations} iteration(s):",
+        f"  simulated time   : {res.time_s:.6f} s",
+        f"  performance      : {res.mops_total:.0f} Mop/s (whole job)",
+        f"  messages / bytes : {res.stats.messages} / {res.stats.bytes:.3e}",
     )
-    print(f"  simulated time   : {res.time_s:.6f} s")
-    print(f"  performance      : {res.mops_total:.0f} Mop/s (whole job)")
-    print(f"  messages / bytes : {res.stats.messages} / {res.stats.bytes:.3e}")
     return 0
 
 
-def _cmd_traffic(args) -> int:
+def _cmd_traffic(args, telemetry) -> int:
     from repro.core.serialization import load_graph
     from repro.simulation.traffic import run_traffic
 
@@ -223,11 +317,30 @@ def _cmd_traffic(args) -> int:
         graph, args.pattern, messages_per_host=args.messages,
         message_bytes=args.bytes, offered_load=args.load,
         routing=args.routing, seed=args.seed,
+        telemetry=telemetry,
     )
-    print(f"pattern {res.pattern} on {res.num_hosts} hosts @ load {res.offered_load}:")
-    print(f"  mean latency : {res.mean_latency_s * 1e6:.2f} us")
-    print(f"  p99 latency  : {res.p99_latency_s * 1e6:.2f} us")
-    print(f"  throughput   : {res.throughput_bytes_per_s / 1e9:.3f} GB/s aggregate")
+    _emit(
+        f"pattern {res.pattern} on {res.num_hosts} hosts @ load {res.offered_load}:",
+        f"  mean latency : {res.mean_latency_s * 1e6:.2f} us",
+        f"  p99 latency  : {res.p99_latency_s * 1e6:.2f} us",
+        f"  throughput   : {res.throughput_bytes_per_s / 1e9:.3f} GB/s aggregate",
+    )
+    return 0
+
+
+def _cmd_telemetry(args, telemetry) -> int:
+    from repro.obs import SCHEMA, load_jsonl, summarize_events
+
+    records, problems = load_jsonl(args.path)
+    if args.telemetry_command == "validate":
+        if problems:
+            _emit(*problems, f"{args.path}: {len(problems)} problem(s)")
+            return 1
+        _emit(f"{args.path}: {len(records)} records, schema-valid ({SCHEMA})")
+        return 0
+    for problem in problems:
+        _log.warning("%s: %s", args.path, problem)
+    _emit(summarize_events(records))
     return 0
 
 
@@ -238,13 +351,21 @@ _HANDLERS = {
     "topology": _cmd_topology,
     "simulate": _cmd_simulate,
     "traffic": _cmd_traffic,
+    "telemetry": _cmd_telemetry,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    _configure_logging(getattr(args, "log_level", "info"))
+    telemetry = _telemetry_from_args(args)
+    try:
+        return _HANDLERS[args.command](args, telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+            _log.info("telemetry written to %s", args.telemetry_out)
 
 
 if __name__ == "__main__":  # pragma: no cover

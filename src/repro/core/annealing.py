@@ -33,12 +33,23 @@ from repro.core.hostswitch import HostSwitchGraph
 from repro.core.incremental import IncrementalEvaluator
 from repro.core.metrics import h_aspl, h_aspl_and_diameter, h_aspl_sampled
 from repro.core.operations import SwapMove, SwingMove, propose_swap, propose_swing
+from repro.obs import NULL_TELEMETRY, TelemetryRegistry
+from repro.obs import clock as obs_clock
 from repro.utils.rng import as_generator
 
 __all__ = ["AnnealingSchedule", "AnnealingResult", "anneal"]
 
 _OPERATIONS = ("swap", "swing", "two-neighbor-swing")
 _EVALUATORS = ("incremental", "full")
+
+#: Telemetry phase windows per run: acceptance rate / temperature /
+#: proposals-per-second are reported once per window, so the trace stays a
+#: few dozen events regardless of num_steps.
+_TELEMETRY_PHASES = 10
+
+#: Fixed buckets for the accepted-delta histogram (h-ASPL deltas are small
+#: signed floats; the zero bound separates improving from worsening moves).
+_DELTA_BOUNDS = (-1e-1, -1e-2, -1e-3, -1e-4, 0.0, 1e-4, 1e-3, 1e-2, 1e-1)
 
 
 @dataclass(frozen=True)
@@ -88,6 +99,8 @@ class AnnealingResult:
     initial_h_aspl: float
     history: list[tuple[int, float, float]] = field(default_factory=list)
     """Optional trace of ``(step, current_value, best_value)`` samples."""
+    wall_time_s: float = 0.0
+    """Wall-clock seconds of the search loop (always measured)."""
 
 
 class _EdgeList:
@@ -145,6 +158,7 @@ def anneal(
     evaluator: str = "incremental",
     eval_sources: int | None = None,
     eval_refresh: int = 200,
+    telemetry: TelemetryRegistry | None = None,
 ) -> AnnealingResult:
     """Minimise h-ASPL by simulated annealing.
 
@@ -182,6 +196,13 @@ def anneal(
         ``n`` in the many-thousands range.
     eval_refresh:
         Steps between source resamples in sampled mode.
+    telemetry:
+        Optional :class:`repro.obs.TelemetryRegistry` receiving per-phase
+        acceptance/temperature/throughput events, the committed move-type
+        mix, an accepted-delta histogram, and the evaluator's repair
+        statistics.  ``None`` (the default) disables instrumentation; the
+        inner loop then performs no telemetry work beyond one boolean
+        check per step.
 
     Returns
     -------
@@ -198,6 +219,10 @@ def anneal(
     if schedule is None:
         schedule = AnnealingSchedule()
     rng = as_generator(seed)
+
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    instrumented = tel.enabled
+    run_t0 = obs_clock()
 
     work = graph.copy()
     edges = _EdgeList(work)
@@ -231,7 +256,7 @@ def anneal(
         resample()
         current = evaluate()
     elif evaluator == "incremental":
-        inc = IncrementalEvaluator(work)
+        inc = IncrementalEvaluator(work, telemetry=tel)
         current = inc.value
     else:
         current = evaluate()
@@ -260,6 +285,38 @@ def anneal(
     improved = 0
     history: list[tuple[int, float, float]] = []
 
+    # Telemetry state lives entirely behind `instrumented`; the disabled
+    # path touches none of it inside the loop (O(1) overhead guard).
+    if instrumented:
+        delta_hist = tel.histogram("anneal.delta_accepted", _DELTA_BOUNDS)
+        phase_every = max(1, schedule.num_steps // _TELEMETRY_PHASES)
+        phase_accepted = 0
+        phase_start_step = 0
+        phase_t0 = run_t0
+        move_counts = {"swap": 0, "swing": 0, "swing2": 0}
+
+    def emit_phase(step_after: int, temperature: float) -> None:
+        nonlocal phase_accepted, phase_start_step, phase_t0
+        proposed = step_after - phase_start_step
+        if proposed <= 0:
+            return
+        now_t = obs_clock()
+        elapsed = now_t - phase_t0
+        tel.event(
+            "anneal.phase",
+            step=step_after,
+            temperature=temperature,
+            proposed=proposed,
+            accepted=phase_accepted,
+            acceptance_rate=phase_accepted / proposed,
+            proposals_per_sec=proposed / elapsed if elapsed > 0 else 0.0,
+            current=current,
+            best=best,
+        )
+        phase_accepted = 0
+        phase_start_step = step_after
+        phase_t0 = now_t
+
     def connectivity_ok() -> bool:
         # Finite h-ASPL already certifies host-bearing connectivity; a full
         # check is only needed when hostless intermediate switches exist.
@@ -276,6 +333,7 @@ def anneal(
         temperature = schedule.temperature(step)
         committed = False
         value_after = current
+        move_kind = "swap" if operation == "swap" else "swing"
 
         if operation == "swap":
             move = propose_swap(edges.edges, rng, work)
@@ -304,18 +362,24 @@ def anneal(
                     move.undo(work)
 
         else:  # two-neighbor-swing (Fig. 4)
-            committed, value_after = _two_neighbor_step(
+            committed, value_after, move_kind = _two_neighbor_step(
                 work, edges, rng, current, temperature, connectivity_ok,
                 propose_value, commit_pending, discard_pending,
             )
 
         if committed:
             accepted += 1
+            if instrumented:
+                move_counts[move_kind] += 1
+                delta_hist.observe(value_after - current)
+                phase_accepted += 1
             current = value_after
             if current < best - 1e-12:
                 best = current
                 best_graph = work.copy()
                 improved += 1
+        if instrumented and (step + 1) % phase_every == 0:
+            emit_phase(step + 1, temperature)
         if history_every and step % history_every == 0:
             history.append((step, current, best))
         if target is not None and best <= target + 1e-12:
@@ -325,6 +389,35 @@ def anneal(
         # Terminal sample: the loop may end between ticks or break on
         # target; convergence plots must not truncate before the last step.
         history.append((steps_done - 1, current, best))
+
+    wall = obs_clock() - run_t0
+    if instrumented:
+        emit_phase(steps_done, schedule.temperature(steps_done - 1))
+        tel.counter("anneal.proposals").inc(steps_done)
+        tel.counter("anneal.accepted").inc(accepted)
+        tel.counter("anneal.improved").inc(improved)
+        for kind, count in move_counts.items():
+            if count:
+                tel.counter(f"anneal.moves.{kind}").inc(count)
+        tel.timer("anneal.wall_s").observe(wall)
+        if inc is not None:
+            stats = inc.stats
+            tel.counter("evaluator.proposals").inc(stats["proposals"])
+            tel.counter("evaluator.fallbacks").inc(stats["fallbacks"])
+            tel.counter("evaluator.repaired_rows").inc(stats["repaired_rows"])
+            tel.counter("evaluator.oracle_checks").inc(stats["oracle_checks"])
+        tel.event(
+            "anneal.done",
+            operation=operation,
+            evaluator="sampled" if eval_sources is not None else evaluator,
+            steps=steps_done,
+            accepted=accepted,
+            improved=improved,
+            initial_h_aspl=initial,
+            best_h_aspl=best,
+            wall_time_s=wall,
+            proposals_per_sec=steps_done / wall if wall > 0 else 0.0,
+        )
 
     best_graph.validate()
     final_aspl, final_diam = h_aspl_and_diameter(best_graph)
@@ -338,6 +431,7 @@ def anneal(
         improved=improved,
         initial_h_aspl=initial,
         history=history,
+        wall_time_s=wall,
     )
 
 
@@ -351,7 +445,7 @@ def _two_neighbor_step(
     propose_value,
     commit_pending,
     discard_pending,
-) -> tuple[bool, float]:
+) -> tuple[bool, float, str]:
     """One proposal of the 2-neighbor swing operation (Fig. 4).
 
     Step 1 tries ``swing(s_a, s_b, s_c)``; if its solution is rejected,
@@ -365,14 +459,17 @@ def _two_neighbor_step(
     is always relative to the last *committed* state — the step-3 retry
     discards the step-1 proposal and proposes both swings as one batch.
 
-    Returns ``(committed, new_value)``.
+    Returns ``(committed, new_value, move_kind)`` where ``move_kind`` names
+    the committed (or last attempted) primitive: ``"swing"`` for step 1,
+    ``"swing2"`` for the composite retry, ``"swap"`` for the hostless
+    fallback.
     """
     edge_list = edges.edges
     if len(edge_list) < 2:
-        return False, current
+        return False, current, "swing"
     i, j = rng.integers(0, len(edge_list), size=2)
     if i == j:
-        return False, current
+        return False, current, "swing"
     sa, sb = edge_list[int(i)]
     sc, sd = edge_list[int(j)]
     if rng.integers(0, 2):
@@ -380,7 +477,7 @@ def _two_neighbor_step(
     if rng.integers(0, 2):
         sc, sd = sd, sc
     if len({sa, sb, sc, sd}) != 4:
-        return False, current
+        return False, current, "swing"
 
     first = SwingMove(sa, sb, sc)
     if not first.is_legal(work):
@@ -394,31 +491,31 @@ def _two_neighbor_step(
                 if _accept(value - current, temperature, rng) and connectivity_ok():
                     commit_pending()
                     edges.apply_swap(swap)
-                    return True, value
+                    return True, value, "swap"
                 discard_pending()
                 swap.undo(work)
-        return False, current
+        return False, current, "swap"
 
     first.apply(work)
     value1 = propose_value([first])
     if _accept(value1 - current, temperature, rng) and connectivity_ok():
         commit_pending()
         edges.apply_swing(first)
-        return True, value1
+        return True, value1, "swing"
     discard_pending()
 
     second = SwingMove(sd, sc, sb)
     if not second.is_legal(work):
         first.undo(work)
-        return False, current
+        return False, current, "swing"
     second.apply(work)
     value2 = propose_value([first, second])
     if _accept(value2 - current, temperature, rng) and connectivity_ok():
         commit_pending()
         edges.apply_swing(first)
         edges.apply_swing(second)
-        return True, value2
+        return True, value2, "swing2"
     discard_pending()
     second.undo(work)
     first.undo(work)
-    return False, current
+    return False, current, "swing2"

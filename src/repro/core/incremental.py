@@ -75,11 +75,16 @@ from repro.core.metrics import (
     switch_distance_matrix,
 )
 from repro.core.operations import SwapMove, SwingMove
+from repro.obs import NULL_TELEMETRY, Histogram, TelemetryRegistry
 
 __all__ = ["IncrementalEvaluator", "IncrementalEvaluatorError"]
 
 Move = SwapMove | SwingMove
 _Edge = tuple[int, int]
+
+#: Buckets for the repaired-rows-per-move histogram; repairs are usually a
+#: handful of rows, the top buckets catch near-fallback proposals.
+_ROWS_BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 
 class IncrementalEvaluatorError(RuntimeError):
@@ -163,6 +168,10 @@ class IncrementalEvaluator:
     oracle:
         Cross-check every proposal against the non-incremental metrics
         (slow; testing only).
+    telemetry:
+        Optional :class:`repro.obs.TelemetryRegistry`; when enabled, the
+        evaluator feeds a repaired-rows-per-move histogram in addition to
+        the always-on ``stats`` dict.
     """
 
     def __init__(
@@ -171,6 +180,7 @@ class IncrementalEvaluator:
         *,
         fallback_fraction: float = 0.5,
         oracle: bool = False,
+        telemetry: TelemetryRegistry | None = None,
     ) -> None:
         if not 0.0 <= fallback_fraction <= 1.0:
             raise ValueError(
@@ -194,7 +204,18 @@ class IncrementalEvaluator:
         self._value, self._weighted = self._evaluate(self._dist, self._k)
         self._pending: tuple[np.ndarray, np.ndarray, np.ndarray, float, float] | None
         self._pending = None
-        self.stats = {"proposals": 0, "fallbacks": 0, "repaired_rows": 0}
+        self.stats = {
+            "proposals": 0,
+            "fallbacks": 0,
+            "repaired_rows": 0,
+            "oracle_checks": 0,
+        }
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._rows_hist: Histogram | None = (
+            tel.histogram("evaluator.repaired_rows_per_move", _ROWS_BOUNDS)
+            if tel.enabled
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # Value computation
@@ -273,6 +294,8 @@ class IncrementalEvaluator:
             dist = _batched_bfs_rows(adj, np.arange(adj.shape[0]))
         else:
             self.stats["repaired_rows"] += repaired
+            if self._rows_hist is not None:
+                self._rows_hist.observe(repaired)
 
         k = self._k
         if host_deltas:
@@ -335,6 +358,7 @@ class IncrementalEvaluator:
 
     def _oracle_check(self, dist: np.ndarray, k: np.ndarray, value: float) -> None:
         """Compare a proposal's scratch state against the full metrics."""
+        self.stats["oracle_checks"] += 1
         expected_dist = switch_distance_matrix(self._graph)
         if not np.array_equal(dist, expected_dist):
             bad = int((~np.isclose(dist, expected_dist, equal_nan=False)).sum())

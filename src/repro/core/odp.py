@@ -24,6 +24,7 @@ from repro.core.bounds import moore_aspl_lower_bound
 from repro.core.construct import random_regular_switch_topology
 from repro.core.hostswitch import HostSwitchGraph
 from repro.core.metrics import switch_distance_matrix
+from repro.obs import TelemetryRegistry
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int
 
@@ -79,6 +80,7 @@ def solve_odp(
     schedule: AnnealingSchedule | None = None,
     restarts: int = 1,
     seed: int | np.random.Generator | None = None,
+    telemetry: TelemetryRegistry | None = None,
 ) -> ODPSolution:
     """Minimise the ASPL of a ``degree``-regular graph on ``num_vertices``.
 
@@ -102,7 +104,10 @@ def solve_odp(
     for _ in range(max(1, restarts)):
         edges = random_regular_switch_topology(num_vertices, degree, seed=rng)
         start = _embed(num_vertices, degree, edges)
-        result = anneal(start, operation="swap", schedule=schedule, seed=rng)
+        result = anneal(
+            start, operation="swap", schedule=schedule, seed=rng,
+            telemetry=telemetry,
+        )
         if best is None or result.h_aspl < best.h_aspl:
             best = result
     assert best is not None

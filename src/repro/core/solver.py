@@ -12,12 +12,19 @@ Theorem-2 lower bound.  Restarts fan out over a ``ProcessPoolExecutor``
 when ``jobs > 1``; per-restart seeds are spawned deterministically from one
 master ``SeedSequence`` so serial and parallel runs return the same best
 graph.
+
+Every restart — serial or parallel — reports a :class:`RestartSummary` on
+:attr:`ORPSolution.restarts`, and when a ``telemetry`` registry is supplied
+each worker anneals under a private registry whose snapshot is merged back
+into the caller's, so a ``jobs=4`` run accounts for every restart's
+proposals exactly like a serial one.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -32,8 +39,9 @@ from repro.core.construct import (
 from repro.core.hostswitch import HostSwitchGraph
 from repro.core.metrics import h_aspl_and_diameter
 from repro.core.moore import continuous_moore_bound, optimal_switch_count
+from repro.obs import NULL_TELEMETRY, TelemetryRegistry
 
-__all__ = ["ORPSolution", "solve_orp"]
+__all__ = ["ORPSolution", "RestartSummary", "solve_orp"]
 
 
 def _restart_seed_sequences(
@@ -55,6 +63,20 @@ def _restart_seed_sequences(
     return root.spawn(restarts)
 
 
+@dataclass(frozen=True)
+class RestartSummary:
+    """Searchable record of one annealing restart inside :func:`solve_orp`."""
+
+    index: int
+    seed_spawn_key: tuple[int, ...]
+    initial_h_aspl: float
+    h_aspl: float
+    steps: int
+    accepted: int
+    rejected: int
+    wall_time_s: float
+
+
 def _run_restart(
     n: int,
     m: int,
@@ -62,16 +84,42 @@ def _run_restart(
     schedule: AnnealingSchedule | None,
     target: float,
     child: np.random.SeedSequence,
-) -> AnnealingResult:
-    """One annealing restart (module-level so process pools can pickle it)."""
+    index: int,
+    collect: bool,
+) -> tuple[AnnealingResult, dict[str, Any] | None]:
+    """One annealing restart (module-level so process pools can pickle it).
+
+    When ``collect`` is set, the restart anneals under a private sink-less
+    :class:`TelemetryRegistry` whose :meth:`~TelemetryRegistry.snapshot` is
+    returned (a plain dict, so it pickles back from pool workers) for the
+    parent to :meth:`~TelemetryRegistry.merge`.
+    """
     rng = np.random.default_rng(child)
     start = random_host_switch_graph(n, m, r, seed=rng)
-    return anneal(
+    worker_tel = TelemetryRegistry(f"restart-{index}") if collect else None
+    result = anneal(
         start,
         operation="two-neighbor-swing",
         schedule=schedule,
         seed=rng,
         target=target,
+        telemetry=worker_tel,
+    )
+    return result, (worker_tel.snapshot() if worker_tel is not None else None)
+
+
+def _restart_summary(
+    index: int, child: np.random.SeedSequence, run: AnnealingResult
+) -> RestartSummary:
+    return RestartSummary(
+        index=index,
+        seed_spawn_key=tuple(int(k) for k in child.spawn_key),
+        initial_h_aspl=run.initial_h_aspl,
+        h_aspl=run.h_aspl,
+        steps=run.steps,
+        accepted=run.accepted,
+        rejected=run.steps - run.accepted,
+        wall_time_s=run.wall_time_s,
     )
 
 
@@ -90,6 +138,9 @@ class ORPSolution:
     moore_bound_at_m: float
     m_predicted: int
     annealing: AnnealingResult | None = None
+    restarts: list[RestartSummary] = field(default_factory=list)
+    """One :class:`RestartSummary` per annealing restart (empty for the
+    trivial regimes, which perform no search)."""
 
     @property
     def gap(self) -> float:
@@ -117,6 +168,7 @@ def solve_orp(
     restarts: int = 1,
     jobs: int = 1,
     seed: int | np.random.Generator | None = None,
+    telemetry: TelemetryRegistry | None = None,
 ) -> ORPSolution:
     """Solve an Order/Radix Problem instance.
 
@@ -138,6 +190,12 @@ def solve_orp(
         ``jobs`` value returns the same best graph as the serial run.
     seed:
         Seed / generator for the whole pipeline.
+    telemetry:
+        Optional :class:`repro.obs.TelemetryRegistry`.  Each restart then
+        anneals under a private worker registry (in-process or in a pool
+        worker) whose snapshot is merged into this one, and one
+        ``"solver.restart"`` event is emitted per restart — ``jobs > 1``
+        loses no visibility.
 
     Notes
     -----
@@ -148,6 +206,7 @@ def solve_orp(
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     d_lb = diameter_lower_bound(n, r)
     a_lb = h_aspl_lower_bound(n, r)
 
@@ -193,30 +252,67 @@ def solve_orp(
     m_used = m if m is not None else m_predicted
 
     children = _restart_seed_sequences(seed, max(1, restarts))
-    if jobs > 1 and len(children) > 1:
-        workers = min(jobs, len(children))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            runs = list(
-                pool.map(
-                    _run_restart,
-                    [n] * len(children),
-                    [m_used] * len(children),
-                    [r] * len(children),
-                    [schedule] * len(children),
-                    [a_lb] * len(children),
-                    children,
+    count = len(children)
+    collect = tel.enabled
+    with tel.span("solver.anneal_restarts", n=n, r=r, m=m_used,
+                  restarts=count, jobs=jobs):
+        if jobs > 1 and count > 1:
+            workers = min(jobs, count)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(
+                    pool.map(
+                        _run_restart,
+                        [n] * count,
+                        [m_used] * count,
+                        [r] * count,
+                        [schedule] * count,
+                        [a_lb] * count,
+                        children,
+                        range(count),
+                        [collect] * count,
+                    )
                 )
+        else:
+            outcomes = [
+                _run_restart(n, m_used, r, schedule, a_lb, child, i, collect)
+                for i, child in enumerate(children)
+            ]
+
+    runs = [run for run, _ in outcomes]
+    summaries = [
+        _restart_summary(i, child, run)
+        for i, (child, run) in enumerate(zip(children, runs))
+    ]
+    if collect:
+        for (_, snap), summary in zip(outcomes, summaries):
+            if snap is not None:
+                tel.merge(snap)
+            tel.event(
+                "solver.restart",
+                index=summary.index,
+                seed_spawn_key=list(summary.seed_spawn_key),
+                initial_h_aspl=summary.initial_h_aspl,
+                h_aspl=summary.h_aspl,
+                steps=summary.steps,
+                accepted=summary.accepted,
+                rejected=summary.rejected,
+                wall_time_s=summary.wall_time_s,
             )
-    else:
-        runs = [
-            _run_restart(n, m_used, r, schedule, a_lb, child) for child in children
-        ]
 
     # Strict < in index order: parallel and serial runs pick the same winner.
     best = runs[0]
     for result in runs[1:]:
         if result.h_aspl < best.h_aspl:
             best = result
+
+    if collect:
+        tel.event(
+            "solver.done",
+            n=n, r=r, m=m_used, restarts=count, jobs=jobs,
+            best_h_aspl=best.h_aspl,
+            h_aspl_lower_bound=a_lb,
+            gap=best.h_aspl / a_lb - 1.0,
+        )
 
     return ORPSolution(
         graph=best.graph,
@@ -230,4 +326,5 @@ def solve_orp(
         moore_bound_at_m=continuous_moore_bound(n, m_used, r),
         m_predicted=m_predicted,
         annealing=best,
+        restarts=summaries,
     )

@@ -37,6 +37,14 @@ REP006
     :class:`repro.core.incremental.IncrementalEvaluator` applies.  Fires
     instead of REP003 for those calls; hot loops must go through
     propose/commit/rollback.
+REP007
+    Ad-hoc output or timing inside the instrumented packages
+    (``repro.core`` / ``repro.simulation`` / ``repro.partition``): bare
+    ``print(...)`` calls, and ``time.time()`` / ``time.perf_counter()``
+    (however imported).  Library code there reports through
+    :mod:`repro.obs` — ``repro.obs.clock()`` for intervals, registry
+    events/spans/timers for structured output — so runs stay observable
+    through one layer.
 
 Waivers
 -------
@@ -76,7 +84,15 @@ RULES: dict[str, str] = {
     "REP005": "private internals accessed across module boundaries",
     "REP006": "exact h-ASPL evaluated in a repro.core loop where "
     "IncrementalEvaluator (propose/commit/rollback) applies",
+    "REP007": "print()/time.time()/time.perf_counter() in an instrumented package "
+    "bypasses repro.obs (use clock(), spans/timers, or registry events)",
 }
+
+# Packages whose library code must report through repro.obs (REP007).
+_OBS_PACKAGES = ("repro.core", "repro.simulation", "repro.partition")
+
+# time-module functions REP007 flags (repro.obs.clock wraps perf_counter).
+_TIME_FUNCS = frozenset({"time", "perf_counter"})
 
 # HostSwitchGraph mutation methods (REP002) and helpers that mutate the
 # graph passed as their first argument.
@@ -281,6 +297,9 @@ class _FileContext:
         self.random_aliases: set[str] = set()
         self.numpy_aliases: set[str] = set()
         self.np_random_aliases: set[str] = set()
+        self.time_aliases: set[str] = set()
+        # name bound by `from time import ...` -> original time function
+        self.time_func_aliases: dict[str, str] = {}
         # name bound in this module -> repro module it was imported from
         self.repro_imports: dict[str, str] = {}
         self.line_waivers: dict[int, set[str]] = {}
@@ -297,12 +316,20 @@ class _FileContext:
                         self.random_aliases.add(bound)
                     elif alias.name in ("numpy", "numpy.random"):
                         self.numpy_aliases.add(bound)
+                    elif alias.name == "time":
+                        self.time_aliases.add(bound)
             elif isinstance(node, ast.ImportFrom):
                 mod = node.module or ""
                 if mod == "numpy":
                     for alias in node.names:
                         if alias.name == "random":
                             self.np_random_aliases.add(alias.asname or alias.name)
+                if mod == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_FUNCS:
+                            self.time_func_aliases[alias.asname or alias.name] = (
+                                alias.name
+                            )
                 if mod == "repro" or mod.startswith("repro."):
                     for alias in node.names:
                         self.repro_imports[alias.asname or alias.name] = mod
@@ -401,6 +428,7 @@ class _Analyzer(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         self._check_rep001_call(node)
         self._check_rep003_loop(node)
+        self._check_rep007_call(node)
         self.generic_visit(node)
 
     def _check_rep001_call(self, node: ast.Call) -> None:
@@ -475,6 +503,53 @@ class _Analyzer(ast.NodeVisitor):
                 node,
                 f"shortest-path routine '{tail}' called inside a loop; hoist it or "
                 "use one batched scipy.sparse.csgraph pass over all sources",
+            )
+
+    # -- REP007 (telemetry bypass in instrumented packages) --------------- #
+
+    def _in_obs_package(self) -> bool:
+        module = self.ctx.module
+        return any(
+            module == pkg or module.startswith(pkg + ".") for pkg in _OBS_PACKAGES
+        )
+
+    def _check_rep007_call(self, node: ast.Call) -> None:
+        if not self._in_obs_package():
+            return
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "print":
+                self._report(
+                    "REP007",
+                    node,
+                    f"print() in instrumented package '{self.ctx.module}' "
+                    "bypasses repro.obs; emit a registry event or log via the "
+                    "caller instead",
+                )
+                return
+            original = self.ctx.time_func_aliases.get(func.id)
+            if original is not None:
+                self._report(
+                    "REP007",
+                    node,
+                    f"'time.{original}' called in instrumented package "
+                    f"'{self.ctx.module}'; use repro.obs.clock() (or a registry "
+                    "span/timer) so timing flows through telemetry",
+                )
+            return
+        chain = _dotted(func)
+        if (
+            chain is not None
+            and len(chain) == 2
+            and chain[0] in self.ctx.time_aliases
+            and chain[1] in _TIME_FUNCS
+        ):
+            self._report(
+                "REP007",
+                node,
+                f"'time.{chain[1]}' called in instrumented package "
+                f"'{self.ctx.module}'; use repro.obs.clock() (or a registry "
+                "span/timer) so timing flows through telemetry",
             )
 
     # -- REP002 (constructed, mutated, returned unvalidated) ------------- #

@@ -1,0 +1,67 @@
+"""``repro.obs`` — zero-dependency telemetry for the ORP reproduction.
+
+The observability layer every subsystem reports through:
+
+- :class:`TelemetryRegistry` — named counters / gauges / timers /
+  fixed-bucket histograms, structured events, and nested wall-clock
+  :meth:`~TelemetryRegistry.span` tracing;
+- sinks — :class:`JsonlSink` (machine-readable event stream behind the
+  CLI's ``--telemetry-out``), :class:`MemorySink` (tests), and
+  :class:`SummarySink` (human-readable table on close);
+- :func:`clock` — the sanctioned monotonic-time source for instrumented
+  packages (lint rule REP007 keeps raw ``time.*`` calls out of
+  ``repro.core`` / ``repro.simulation`` / ``repro.partition``);
+- merge semantics — worker registries :meth:`~TelemetryRegistry.snapshot`
+  into plain dicts that the parent :meth:`~TelemetryRegistry.merge`\\ s,
+  so ``ProcessPoolExecutor`` fan-outs lose no visibility.
+
+Instrumentation contract: accept ``telemetry: TelemetryRegistry | None``,
+fall back to :data:`NULL_TELEMETRY`, and guard any per-iteration work with
+``telemetry.enabled`` so the disabled path adds no measurable overhead.
+"""
+
+from repro.obs.registry import (
+    NULL_TELEMETRY,
+    Counter,
+    Gauge,
+    Histogram,
+    NullTelemetry,
+    Span,
+    TelemetryRegistry,
+    Timer,
+    clock,
+)
+from repro.obs.schema import KINDS, SCHEMA, validate_event, validate_lines
+from repro.obs.sinks import JsonlSink, MemorySink, Sink, SummarySink
+
+
+def __getattr__(name: str):
+    # Lazy: summarize pulls in repro.analysis (which imports repro.core);
+    # loading it here eagerly would cycle with repro.core importing obs.
+    if name in ("load_jsonl", "summarize_events"):
+        from repro.obs import summarize
+
+        return getattr(summarize, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "TelemetryRegistry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "Span",
+    "clock",
+    "Sink",
+    "JsonlSink",
+    "MemorySink",
+    "SummarySink",
+    "SCHEMA",
+    "KINDS",
+    "validate_event",
+    "validate_lines",
+    "load_jsonl",
+    "summarize_events",
+]

@@ -1,0 +1,117 @@
+"""Event schema for the ``repro.obs`` JSONL stream.
+
+Every line a :class:`~repro.obs.sinks.JsonlSink` writes is one JSON object
+with the common envelope::
+
+    {"schema": "repro.obs/v1", "kind": <KIND>, "name": <str>, "ts": <float>, ...}
+
+and kind-specific payload fields:
+
+========== ==================================================================
+kind        payload
+========== ==================================================================
+event       ``fields`` (dict of JSON values)
+span        ``duration_s`` (>= 0), ``depth`` (int >= 0), ``parent``
+            (str or null), ``status`` ("ok" | "error"), ``attrs`` (dict)
+counter     ``value`` (int >= 0)
+gauge       ``value`` (number)
+timer       ``count`` (int >= 0), ``total_s``, ``min_s``, ``max_s``
+histogram   ``bounds`` (sorted numbers), ``counts``
+            (ints, ``len(bounds) + 1``), ``count``, ``sum``
+========== ==================================================================
+
+:func:`validate_event` checks one parsed object and returns a list of
+problems (empty when valid); :func:`validate_lines` drives it over a whole
+JSONL stream.  The CLI's ``repro telemetry validate`` and the CI smoke job
+are thin wrappers over these.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["SCHEMA", "KINDS", "validate_event", "validate_lines"]
+
+SCHEMA = "repro.obs/v1"
+KINDS = ("event", "span", "counter", "gauge", "timer", "histogram")
+
+_SPAN_STATUSES = ("ok", "error")
+
+
+def _is_number(x: Any) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def validate_event(obj: Any) -> list[str]:
+    """Problems with one parsed JSONL record; ``[]`` means schema-valid."""
+    if not isinstance(obj, dict):
+        return [f"record is {type(obj).__name__}, expected object"]
+    problems: list[str] = []
+    if obj.get("schema") != SCHEMA:
+        problems.append(f"schema is {obj.get('schema')!r}, expected {SCHEMA!r}")
+    kind = obj.get("kind")
+    if kind not in KINDS:
+        problems.append(f"kind is {kind!r}, expected one of {KINDS}")
+        return problems
+    name = obj.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"name is {name!r}, expected non-empty string")
+    if not _is_number(obj.get("ts")):
+        problems.append(f"ts is {obj.get('ts')!r}, expected number")
+
+    def need(field: str, ok: bool, expected: str) -> None:
+        if not ok:
+            problems.append(f"{kind}.{field} is {obj.get(field)!r}, expected {expected}")
+
+    if kind == "event":
+        need("fields", isinstance(obj.get("fields"), dict), "object")
+    elif kind == "span":
+        need("duration_s", _is_number(obj.get("duration_s"))
+             and obj.get("duration_s", -1) >= 0, "number >= 0")
+        need("depth", isinstance(obj.get("depth"), int)
+             and not isinstance(obj.get("depth"), bool)
+             and obj.get("depth", -1) >= 0, "int >= 0")
+        need("parent", obj.get("parent") is None
+             or isinstance(obj.get("parent"), str), "string or null")
+        need("status", obj.get("status") in _SPAN_STATUSES, f"one of {_SPAN_STATUSES}")
+        need("attrs", isinstance(obj.get("attrs"), dict), "object")
+    elif kind == "counter":
+        value = obj.get("value")
+        need("value", isinstance(value, int) and not isinstance(value, bool)
+             and value >= 0, "int >= 0")
+    elif kind == "gauge":
+        need("value", _is_number(obj.get("value")), "number")
+    elif kind == "timer":
+        count = obj.get("count")
+        need("count", isinstance(count, int) and not isinstance(count, bool)
+             and count >= 0, "int >= 0")
+        for field in ("total_s", "min_s", "max_s"):
+            need(field, _is_number(obj.get(field)), "number")
+    elif kind == "histogram":
+        bounds = obj.get("bounds")
+        counts = obj.get("counts")
+        bounds_ok = (
+            isinstance(bounds, list)
+            and len(bounds) > 0
+            and all(_is_number(b) for b in bounds)
+            and bounds == sorted(bounds)
+        )
+        need("bounds", bounds_ok, "non-empty sorted number array")
+        counts_ok = isinstance(counts, list) and all(
+            isinstance(c, int) and not isinstance(c, bool) and c >= 0 for c in counts
+        )
+        if counts_ok and bounds_ok and len(counts) != len(bounds) + 1:  # type: ignore[arg-type]
+            counts_ok = False
+        need("counts", counts_ok, "int array of len(bounds) + 1")
+        need("count", isinstance(obj.get("count"), int), "int")
+        need("sum", _is_number(obj.get("sum")), "number")
+    return problems
+
+
+def validate_lines(records: list[Any]) -> list[tuple[int, str]]:
+    """``(1-based line number, problem)`` pairs across parsed records."""
+    out: list[tuple[int, str]] = []
+    for lineno, record in enumerate(records, start=1):
+        for problem in validate_event(record):
+            out.append((lineno, problem))
+    return out

@@ -1,0 +1,84 @@
+"""Pluggable sinks for telemetry events.
+
+A sink receives every event/span record a
+:class:`~repro.obs.registry.TelemetryRegistry` emits (plus one record per
+metric instrument on flush) as a plain JSON-ready dict.  Three
+implementations cover the use cases:
+
+- :class:`JsonlSink` — one JSON object per line, the machine-readable run
+  trace behind ``--telemetry-out`` and ``repro telemetry summarize``;
+- :class:`MemorySink` — in-process list, for tests and programmatic use;
+- :class:`SummarySink` — buffers everything and writes a human-readable
+  summary table to a stream on close.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Protocol, TextIO
+
+__all__ = ["Sink", "JsonlSink", "MemorySink", "SummarySink"]
+
+
+class Sink(Protocol):
+    """Anything that can receive telemetry records."""
+
+    def write(self, event: dict[str, Any]) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class JsonlSink:
+    """Append telemetry records to ``path``, one JSON object per line.
+
+    The file is opened eagerly (truncating) so a crashed run still leaves
+    the events emitted before the crash on disk; every line is flushed.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: TextIO | None = self.path.open("w", encoding="utf-8")
+
+    def write(self, event: dict[str, Any]) -> None:
+        if self._fh is None:
+            raise ValueError(f"JsonlSink({self.path}) already closed")
+        self._fh.write(json.dumps(event, sort_keys=True, default=str))
+        self._fh.write("\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class MemorySink:
+    """Keep records in a list (``.events``); for tests and embedding."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+        self.closed = False
+
+    def write(self, event: dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class SummarySink:
+    """Buffer records and render a human-readable summary on close."""
+
+    def __init__(self, stream: TextIO) -> None:
+        self._stream = stream
+        self._events: list[dict[str, Any]] = []
+
+    def write(self, event: dict[str, Any]) -> None:
+        self._events.append(event)
+
+    def close(self) -> None:
+        from repro.obs.summarize import summarize_events
+
+        self._stream.write(summarize_events(self._events))
+        self._stream.write("\n")

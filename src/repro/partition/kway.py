@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.hostswitch import HostSwitchGraph
+from repro.obs import NULL_TELEMETRY, TelemetryRegistry
 from repro.partition.bisect import initial_bisection
 from repro.partition.coarsen import coarsen_to
 from repro.partition.graph import WeightedGraph
@@ -29,6 +30,7 @@ def bisect_graph(
     target0: float | None = None,
     seed: int | np.random.Generator | None = None,
     eps: float = 0.05,
+    telemetry: TelemetryRegistry | None = None,
 ) -> list[int]:
     """Multilevel 2-way partition; returns 0/1 labels.
 
@@ -42,13 +44,13 @@ def bisect_graph(
 
     levels, mappings = coarsen_to(graph, _COARSEST_SIZE, seed=rng)
     parts = initial_bisection(levels[-1], target0, seed=rng, eps=eps)
-    fm_refine(levels[-1], parts, target0, eps=eps)
+    fm_refine(levels[-1], parts, target0, eps=eps, telemetry=telemetry)
     # Project back level by level, refining at each resolution.
     for level in range(len(mappings) - 1, -1, -1):
         mapping = mappings[level]
         fine = levels[level]
         fine_parts = [parts[mapping[v]] for v in range(fine.num_vertices)]
-        fm_refine(fine, fine_parts, target0, eps=eps)
+        fm_refine(fine, fine_parts, target0, eps=eps, telemetry=telemetry)
         parts = fine_parts
     return parts
 
@@ -58,13 +60,17 @@ def partition_graph(
     nparts: int,
     seed: int | np.random.Generator | None = None,
     eps: float = 0.05,
+    telemetry: TelemetryRegistry | None = None,
 ) -> list[int]:
     """Partition into ``nparts`` parts by recursive multilevel bisection."""
     if nparts < 1:
         raise ValueError(f"nparts must be >= 1, got {nparts}")
     rng = as_generator(seed)
     parts = [0] * graph.num_vertices
-    _recurse(graph, list(range(graph.num_vertices)), nparts, 0, parts, rng, eps)
+    _recurse(
+        graph, list(range(graph.num_vertices)), nparts, 0, parts, rng, eps,
+        telemetry,
+    )
     return parts
 
 
@@ -76,6 +82,7 @@ def _recurse(
     out: list[int],
     rng: np.random.Generator,
     eps: float,
+    telemetry: TelemetryRegistry | None,
 ) -> None:
     """Assign labels ``label_base .. label_base+nparts-1`` to ``vertices``."""
     if nparts == 1:
@@ -87,12 +94,12 @@ def _recurse(
 
     sub, to_parent = _subgraph(graph, vertices)
     target0 = sub.total_weight * (left / nparts)
-    labels = bisect_graph(sub, target0, seed=rng, eps=eps)
+    labels = bisect_graph(sub, target0, seed=rng, eps=eps, telemetry=telemetry)
 
     side0 = [to_parent[i] for i, p in enumerate(labels) if p == 0]
     side1 = [to_parent[i] for i, p in enumerate(labels) if p == 1]
-    _recurse(graph, side0, left, label_base, out, rng, eps)
-    _recurse(graph, side1, right, label_base + left, out, rng, eps)
+    _recurse(graph, side0, left, label_base, out, rng, eps, telemetry)
+    _recurse(graph, side1, right, label_base + left, out, rng, eps, telemetry)
 
 
 def _subgraph(
@@ -117,6 +124,7 @@ def partition_host_switch(
     nparts: int,
     seed: int | np.random.Generator | None = None,
     trials: int = 3,
+    telemetry: TelemetryRegistry | None = None,
 ) -> tuple[list[int], int]:
     """Partition ``V = H ∪ S`` of a host-switch graph into ``nparts`` parts.
 
@@ -131,13 +139,20 @@ def partition_host_switch(
         ordering (switches first, then hosts); ``cut`` is the edge cut ``c``.
     """
     rng = as_generator(seed)
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     graph = WeightedGraph.from_host_switch(hsg)
     best_parts: list[int] | None = None
     best_cut: int | None = None
-    for _ in range(max(1, trials)):
-        parts = partition_graph(graph, nparts, seed=rng)
-        cut = cut_size(graph, parts)
-        if best_cut is None or cut < best_cut:
-            best_parts, best_cut = parts, cut
+    with tel.span("partition.host_switch", nparts=nparts, trials=max(1, trials)):
+        for trial in range(max(1, trials)):
+            parts = partition_graph(graph, nparts, seed=rng, telemetry=telemetry)
+            cut = cut_size(graph, parts)
+            if tel.enabled:
+                tel.counter("partition.trials").inc()
+                tel.event("partition.trial", trial=trial, nparts=nparts, cut=cut)
+            if best_cut is None or cut < best_cut:
+                best_parts, best_cut = parts, cut
     assert best_parts is not None and best_cut is not None
+    if tel.enabled:
+        tel.event("partition.done", nparts=nparts, best_cut=best_cut)
     return best_parts, best_cut

@@ -17,6 +17,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import MutableSequence
 
+from repro.obs import NULL_TELEMETRY, TelemetryRegistry
 from repro.partition.graph import WeightedGraph
 from repro.partition.metrics import cut_size
 
@@ -42,6 +43,7 @@ def fm_refine(
     *,
     eps: float = 0.05,
     max_passes: int = 10,
+    telemetry: TelemetryRegistry | None = None,
 ) -> int:
     """Refine ``parts`` (0/1 labels) in place; returns the final cut.
 
@@ -58,6 +60,9 @@ def fm_refine(
         so single heavy vertices can always cross).
     max_passes:
         Upper bound on full FM passes.
+    telemetry:
+        Optional :class:`repro.obs.TelemetryRegistry`; executed FM passes
+        accumulate into the ``partition.fm_passes`` counter.
     """
     total = graph.total_weight
     target1 = total - target0
@@ -65,10 +70,15 @@ def fm_refine(
     hi = [target0 * (1 + eps) + max_vw, target1 * (1 + eps) + max_vw]
 
     _rebalance(graph, parts, hi)
+    passes = 0
     for _ in range(max_passes):
+        passes += 1
         improved = _fm_pass(graph, parts, hi)
         if not improved:
             break
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    if tel.enabled:
+        tel.counter("partition.fm_passes").inc(passes)
     return cut_size(graph, parts)
 
 

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Generator
 
 from repro.core.hostswitch import HostSwitchGraph
+from repro.obs import TelemetryRegistry
 from repro.simulation.mpi import MPIWorld
 from repro.simulation.network import NetworkParams
 from repro.simulation.trace import SimulationStats
@@ -171,6 +172,7 @@ def run_nas(
     params: NetworkParams | None = None,
     routing: str = "shortest",
     routing_seed: int | None = None,
+    telemetry: TelemetryRegistry | None = None,
 ) -> NASResult:
     """Simulate one NPB skeleton on a host-switch graph.
 
@@ -187,7 +189,7 @@ def run_nas(
     bench.validate_ranks(num_ranks)
     world = MPIWorld(
         graph, num_ranks, rank_to_host=rank_to_host, model=model, params=params,
-        routing=routing, routing_seed=routing_seed,
+        routing=routing, routing_seed=routing_seed, telemetry=telemetry,
     )
     stats = world.run(bench.factory())
     return NASResult(

@@ -113,6 +113,8 @@ class Kernel:
         self._heap: list[tuple[float, int, Callable, tuple]] = []
         self._seq = 0
         self._processes: list[Process] = []
+        self.events_fired = 0
+        """Dispatched heap entries over the kernel's lifetime (telemetry)."""
 
     def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
         """Schedule ``fn(*args)`` after ``delay`` simulated seconds."""
@@ -150,6 +152,7 @@ class Kernel:
                 return self.now
             heapq.heappop(self._heap)
             self.now = when
+            self.events_fired += 1
             fn(*args)
         return self.now
 

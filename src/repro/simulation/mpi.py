@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from typing import Callable, Generator
 
 from repro.core.hostswitch import HostSwitchGraph
+from repro.obs import NULL_TELEMETRY, TelemetryRegistry
+from repro.obs import clock as obs_clock
 from repro.simulation import collectives as coll
 from repro.simulation.engine import Event, Kernel
 from repro.simulation.network import NetworkParams, build_network
@@ -79,6 +81,7 @@ class RankContext:
         self._pending: list[tuple[int | None, int | None, Event]] = []
         self._coll_seq = 0
         self.compute_time = 0.0
+        self.recv_wait_time = 0.0
         self.timeline: RankTimeline | None = (
             RankTimeline(rank) if world.trace else None
         )
@@ -121,6 +124,7 @@ class RankContext:
             event = Event()
             self._pending.append((src, tag, event))
             msg = yield event
+            self.recv_wait_time += self.world.kernel.now - start
             self._record("recv-wait", start, detail=f"src={msg.src}")
         return msg
 
@@ -259,6 +263,7 @@ class MPIWorld:
         routing: str = "shortest",
         routing_seed: int | None = None,
         trace: bool = False,
+        telemetry: TelemetryRegistry | None = None,
     ) -> None:
         if num_ranks > graph.num_hosts:
             raise ValueError(
@@ -266,6 +271,7 @@ class MPIWorld:
             )
         self.num_ranks = num_ranks
         self.trace = trace
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.kernel = Kernel()
         self.network = build_network(
             graph, self.kernel, model=model, params=params,
@@ -304,6 +310,9 @@ class MPIWorld:
             If the event heap drains while some rank is still blocked
             (e.g. a receive with no matching send).
         """
+        tel = self.telemetry
+        wall_t0 = obs_clock() if tel.enabled else 0.0
+        fired_before = self.kernel.events_fired
         procs = [
             self.kernel.spawn(program_factory(ctx), name=f"rank{ctx.rank}")
             for ctx in self.contexts
@@ -312,6 +321,27 @@ class MPIWorld:
         stuck = [p.name for p in procs if not p.done]
         if stuck:
             raise DeadlockError(f"ranks blocked at end of simulation: {stuck}")
+        if tel.enabled:
+            wall = obs_clock() - wall_t0
+            tel.counter("sim.events_fired").inc(
+                self.kernel.events_fired - fired_before
+            )
+            tel.gauge("sim.time_s").set(end)
+            tel.timer("sim.wall_s").observe(wall)
+            compute_timer = tel.timer("sim.rank_compute_s")
+            wait_timer = tel.timer("sim.rank_recv_wait_s")
+            for ctx in self.contexts:
+                compute_timer.observe(ctx.compute_time)
+                wait_timer.observe(ctx.recv_wait_time)
+            tel.event(
+                "sim.done",
+                num_ranks=self.num_ranks,
+                time_s=end,
+                wall_s=wall,
+                events_fired=self.kernel.events_fired - fired_before,
+                messages=self.network.messages_sent,
+                bytes=self.network.bytes_sent,
+            )
         return SimulationStats(
             time_s=end,
             num_ranks=self.num_ranks,
@@ -332,10 +362,11 @@ def run_mpi_program(
     params: NetworkParams | None = None,
     routing: str = "shortest",
     routing_seed: int | None = None,
+    telemetry: TelemetryRegistry | None = None,
 ) -> SimulationStats:
     """One-shot convenience: build an :class:`MPIWorld` and run a program."""
     world = MPIWorld(
         graph, num_ranks, rank_to_host=rank_to_host, model=model, params=params,
-        routing=routing, routing_seed=routing_seed,
+        routing=routing, routing_seed=routing_seed, telemetry=telemetry,
     )
     return world.run(program_factory)

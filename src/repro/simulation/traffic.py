@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.hostswitch import HostSwitchGraph
+from repro.obs import NULL_TELEMETRY, TelemetryRegistry
+from repro.obs import clock as obs_clock
 from repro.simulation.engine import Event, Kernel
 from repro.simulation.network import NetworkParams, build_network
 from repro.utils.rng import as_generator
@@ -126,6 +128,7 @@ def run_traffic(
     routing: str = "shortest",
     hotspot_fraction: float = 0.2,
     seed: int | np.random.Generator | None = None,
+    telemetry: TelemetryRegistry | None = None,
 ) -> TrafficResult:
     """Drive a synthetic pattern through the network and measure latency.
 
@@ -175,10 +178,27 @@ def run_traffic(
             t = phase + i * interarrival
             kernel.call_at(t, inject, src, t)
 
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    wall_t0 = obs_clock() if tel.enabled else 0.0
     result.duration_s = kernel.run()
     expected = n * messages_per_host
     if len(result.latencies_s) != expected:
         raise RuntimeError(
             f"lost messages: {len(result.latencies_s)}/{expected} delivered"
+        )
+    if tel.enabled:
+        wall = obs_clock() - wall_t0
+        tel.counter("sim.events_fired").inc(kernel.events_fired)
+        tel.gauge("sim.time_s").set(result.duration_s)
+        tel.timer("sim.wall_s").observe(wall)
+        tel.event(
+            "traffic.done",
+            pattern=pattern,
+            num_hosts=n,
+            offered_load=offered_load,
+            messages=expected,
+            mean_latency_s=result.mean_latency_s,
+            p99_latency_s=result.p99_latency_s,
+            throughput_bytes_per_s=result.throughput_bytes_per_s,
         )
     return result

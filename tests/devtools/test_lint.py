@@ -1,4 +1,4 @@
-"""Fixture-snippet tests for the ``repro-lint`` rules (REP001–REP006).
+"""Fixture-snippet tests for the ``repro-lint`` rules (REP001–REP007).
 
 Each rule gets at least one firing and one non-firing snippet; waivers and
 the console entry point are exercised at the end.  Snippets are linted as
@@ -305,6 +305,84 @@ def test_rep006_waivable():
 
 
 # --------------------------------------------------------------------- #
+# REP007 — print()/time.*() bypassing repro.obs in instrumented packages
+# --------------------------------------------------------------------- #
+
+
+def test_rep007_fires_on_print_in_core():
+    src = """
+        def report(value):
+            print(f"h-ASPL is {value}")
+        """
+    assert "REP007" in codes(src, path=CORE_PATH)
+
+
+def test_rep007_fires_on_time_time_in_simulation():
+    src = """
+        import time
+
+        def measure():
+            t0 = time.time()
+            return time.time() - t0
+        """
+    found = codes(src, path="src/repro/simulation/fake_module.py")
+    assert found.count("REP007") == 2
+
+
+def test_rep007_fires_on_perf_counter_from_import_alias():
+    src = """
+        from time import perf_counter as pc
+
+        def measure():
+            return pc()
+        """
+    assert "REP007" in codes(src, path="src/repro/partition/fake_module.py")
+
+
+def test_rep007_fires_on_aliased_time_module():
+    src = """
+        import time as t
+
+        def measure():
+            return t.perf_counter()
+        """
+    assert "REP007" in codes(src, path=CORE_PATH)
+
+
+def test_rep007_silent_outside_instrumented_packages():
+    src = """
+        import time
+
+        def measure():
+            print("timing...")
+            return time.perf_counter()
+        """
+    assert codes(src, path=LIB_PATH) == []
+    assert codes(src, path="src/repro/devtools/fake_module.py") == []
+
+
+def test_rep007_allows_obs_clock_and_other_time_functions():
+    src = """
+        import time
+        from repro.obs import clock
+
+        def measure():
+            time.sleep(0.1)
+            return clock()
+        """
+    assert codes(src, path=CORE_PATH) == []
+
+
+def test_rep007_waivable():
+    src = """
+        def debug_dump(rows):
+            for row in rows:
+                print(row)  # repro-lint: disable=REP007 -- debugging helper
+        """
+    assert codes(src, path=CORE_PATH) == []
+
+
+# --------------------------------------------------------------------- #
 # Waivers
 # --------------------------------------------------------------------- #
 
@@ -381,7 +459,9 @@ def test_main_exit_codes_and_output(tmp_path, capsys):
 def test_main_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+    for code in (
+        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+    ):
         assert code in out
 
 

@@ -1,0 +1,96 @@
+"""CLI --telemetry-out / telemetry summarize|validate end-to-end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import SCHEMA, validate_event
+
+
+def _solve_with_trace(tmp_path, flag_position: str = "after"):
+    trace = tmp_path / "run.jsonl"
+    argv = ["solve", "24", "8", "--steps", "150", "--seed", "1",
+            "--telemetry-out", str(trace)]
+    if flag_position == "before":
+        argv = ["--telemetry-out", str(trace)] + argv[:-2]
+    assert main(argv) == 0
+    return trace
+
+
+class TestTelemetryOut:
+    def test_solve_writes_schema_valid_jsonl(self, tmp_path, capsys):
+        trace = _solve_with_trace(tmp_path)
+        out = capsys.readouterr().out
+        assert "ORP(n=24, r=8)" in out  # result still lands on stdout
+        lines = trace.read_text().splitlines()
+        assert lines
+        for line in lines:
+            assert validate_event(json.loads(line)) == []
+        names = {json.loads(line)["name"] for line in lines}
+        assert "anneal.proposals" in names
+        assert "solver.restart" in {json.loads(l).get("name") for l in lines}
+
+    def test_global_flag_accepted_before_subcommand(self, tmp_path):
+        trace = _solve_with_trace(tmp_path, flag_position="before")
+        assert trace.exists() and trace.read_text().strip()
+
+    def test_no_flag_no_trace(self, tmp_path, capsys):
+        assert main(["solve", "24", "8", "--steps", "100", "--seed", "1"]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestTelemetrySubcommand:
+    def test_validate_clean_trace(self, tmp_path, capsys):
+        trace = _solve_with_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["telemetry", "validate", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "schema-valid" in out and SCHEMA in out
+
+    def test_validate_corrupt_trace_fails(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('{"schema": "wrong", "kind": "event"}\nnot json\n')
+        assert main(["telemetry", "validate", str(trace)]) == 1
+        out = capsys.readouterr().out
+        assert "problem(s)" in out
+
+    def test_summarize_reports_run(self, tmp_path, capsys):
+        trace = _solve_with_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "acceptance rate" in out
+        assert "per-restart summaries" in out
+
+    def test_summarize_tolerates_bad_lines(self, tmp_path, capsys):
+        trace = _solve_with_trace(tmp_path)
+        with trace.open("a") as fh:
+            fh.write("garbage\n")
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", str(trace)]) == 0
+        assert "telemetry summary" in capsys.readouterr().out
+
+    def test_missing_path_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["telemetry", "validate", str(tmp_path / "absent.jsonl")])
+
+
+class TestJobsMerge:
+    def test_parallel_solve_trace_accounts_for_all_restarts(self, tmp_path, capsys):
+        trace = tmp_path / "par.jsonl"
+        assert main(["solve", "40", "6", "--m", "10", "--steps", "100",
+                     "--seed", "3", "--restarts", "4", "--jobs", "4",
+                     "--telemetry-out", str(trace)]) == 0
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        for record in records:
+            assert validate_event(record) == []
+        restarts = [r for r in records
+                    if r["kind"] == "event" and r["name"] == "solver.restart"]
+        assert sorted(r["fields"]["index"] for r in restarts) == [0, 1, 2, 3]
+        proposals = next(r for r in records if r["kind"] == "counter"
+                         and r["name"] == "anneal.proposals")
+        assert proposals["value"] == 4 * 100

@@ -1,0 +1,160 @@
+"""JSONL schema validation and the three sink implementations."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    KINDS,
+    SCHEMA,
+    JsonlSink,
+    MemorySink,
+    SummarySink,
+    TelemetryRegistry,
+    load_jsonl,
+    validate_event,
+    validate_lines,
+)
+
+
+def _envelope(kind: str, **payload) -> dict:
+    base = {"schema": SCHEMA, "kind": kind, "name": "x", "ts": 1.0}
+    base.update(payload)
+    return base
+
+
+class TestValidateEvent:
+    def test_valid_records_of_every_kind(self):
+        records = [
+            _envelope("event", fields={"a": 1}),
+            _envelope("span", duration_s=0.5, depth=0, parent=None,
+                      status="ok", attrs={}),
+            _envelope("counter", value=3),
+            _envelope("gauge", value=-1.5),
+            _envelope("timer", count=2, total_s=1.0, min_s=0.25, max_s=0.75),
+            _envelope("histogram", bounds=[0.0, 1.0], counts=[1, 2, 0],
+                      count=3, sum=1.5),
+        ]
+        assert sorted({r["kind"] for r in records}) == sorted(KINDS)
+        for record in records:
+            assert validate_event(record) == []
+
+    def test_non_object_rejected(self):
+        assert validate_event([1, 2]) == ["record is list, expected object"]
+
+    def test_wrong_schema_flagged(self):
+        problems = validate_event(_envelope("counter", value=1) | {"schema": "v0"})
+        assert any("schema" in p for p in problems)
+
+    def test_unknown_kind_short_circuits(self):
+        problems = validate_event(_envelope("mystery"))
+        assert len(problems) == 1 and "kind" in problems[0]
+
+    def test_missing_name_and_ts(self):
+        record = _envelope("gauge", value=1.0)
+        del record["name"], record["ts"]
+        problems = validate_event(record)
+        assert any("name" in p for p in problems)
+        assert any("ts" in p for p in problems)
+
+    def test_bool_is_not_a_count(self):
+        # bool is an int subclass; the schema must not accept it.
+        assert validate_event(_envelope("counter", value=True))
+        assert validate_event(_envelope("gauge", value=False))
+
+    def test_negative_counter_rejected(self):
+        assert validate_event(_envelope("counter", value=-1))
+
+    def test_span_field_checks(self):
+        bad = _envelope("span", duration_s=-0.1, depth=-1, parent=7,
+                        status="maybe", attrs=None)
+        problems = validate_event(bad)
+        for field in ("duration_s", "depth", "parent", "status", "attrs"):
+            assert any(f"span.{field}" in p for p in problems), field
+
+    def test_histogram_counts_length_must_match(self):
+        bad = _envelope("histogram", bounds=[0.0, 1.0], counts=[1, 2],
+                        count=3, sum=1.5)
+        assert any("counts" in p for p in validate_event(bad))
+
+    def test_histogram_unsorted_bounds_rejected(self):
+        bad = _envelope("histogram", bounds=[1.0, 0.0], counts=[0, 0, 0],
+                        count=0, sum=0.0)
+        assert any("bounds" in p for p in validate_event(bad))
+
+    def test_validate_lines_reports_line_numbers(self):
+        records = [_envelope("counter", value=1), _envelope("counter", value=-1)]
+        out = validate_lines(records)
+        assert out and all(lineno == 2 for lineno, _ in out)
+
+
+class TestJsonlSink:
+    def test_registry_trace_round_trips_schema_valid(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        reg = TelemetryRegistry()
+        reg.add_sink(JsonlSink(path))
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.timer("t").observe(0.5)
+        reg.histogram("h", (0.0, 1.0)).observe(0.5)
+        reg.event("ev", a=1, b="s")
+        with reg.span("sp", k=1):
+            pass
+        reg.close()
+
+        records, problems = load_jsonl(path)
+        assert problems == []
+        # event + span + 4 metric flush records
+        assert len(records) == 6
+        assert {r["kind"] for r in records} == set(KINDS)
+        counter = next(r for r in records if r["kind"] == "counter")
+        assert (counter["name"], counter["value"]) == ("c", 2)
+
+    def test_eager_open_leaves_partial_trace_on_crash(self, tmp_path):
+        path = tmp_path / "crash.jsonl"
+        reg = TelemetryRegistry()
+        reg.add_sink(JsonlSink(path))
+        reg.event("before-crash")
+        # No close(): every line is flushed as written.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "before-crash"
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            sink.write({"schema": SCHEMA})
+
+    def test_non_json_values_stringified(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.write({"schema": SCHEMA, "obj": object()})
+        sink.close()
+        assert "obj" in json.loads(path.read_text())
+
+
+class TestMemorySink:
+    def test_records_and_close_flag(self):
+        sink = MemorySink()
+        sink.write({"a": 1})
+        assert sink.events == [{"a": 1}] and not sink.closed
+        sink.close()
+        assert sink.closed
+
+
+class TestSummarySink:
+    def test_writes_report_on_close(self):
+        stream = io.StringIO()
+        reg = TelemetryRegistry()
+        reg.add_sink(SummarySink(stream))
+        reg.counter("anneal.proposals").inc(100)
+        reg.counter("anneal.accepted").inc(25)
+        reg.close()
+        out = stream.getvalue()
+        assert "telemetry summary" in out
+        assert "0.250" in out  # acceptance rate

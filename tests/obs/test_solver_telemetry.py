@@ -1,0 +1,101 @@
+"""Restart summaries and the jobs>1 worker-registry merge in solve_orp."""
+
+from __future__ import annotations
+
+from repro.core.solver import ORPSolution, RestartSummary, solve_orp
+from repro.obs import MemorySink, TelemetryRegistry
+
+# Small non-trivial instance: n > r and no clique regime, so the annealer
+# actually runs.  Kept tiny so the pool fan-out test stays fast.
+N, R = 40, 6
+KW = dict(m=10, restarts=3, seed=11)
+
+
+def _solve(**overrides):
+    from repro.core.annealing import AnnealingSchedule
+
+    kwargs = dict(KW, schedule=AnnealingSchedule(num_steps=120), **overrides)
+    return solve_orp(N, R, **kwargs)
+
+
+class TestRestartSummaries:
+    def test_populated_without_telemetry(self):
+        sol = _solve()
+        assert len(sol.restarts) == 3
+        for i, summary in enumerate(sol.restarts):
+            assert isinstance(summary, RestartSummary)
+            assert summary.index == i
+            assert summary.steps == 120
+            assert summary.rejected == summary.steps - summary.accepted
+            assert summary.h_aspl <= summary.initial_h_aspl
+            assert summary.wall_time_s > 0
+            assert isinstance(summary.seed_spawn_key, tuple)
+        assert sol.h_aspl == min(s.h_aspl for s in sol.restarts)
+
+    def test_serial_and_parallel_summaries_match(self):
+        serial = _solve()
+        parallel = _solve(jobs=3)
+        assert serial.h_aspl == parallel.h_aspl
+        assert serial.graph == parallel.graph
+        # wall_time_s is run-dependent; everything else is deterministic.
+        for a, b in zip(serial.restarts, parallel.restarts):
+            assert (a.index, a.seed_spawn_key, a.initial_h_aspl, a.h_aspl,
+                    a.steps, a.accepted, a.rejected) == \
+                   (b.index, b.seed_spawn_key, b.initial_h_aspl, b.h_aspl,
+                    b.steps, b.accepted, b.rejected)
+
+    def test_trivial_regimes_have_no_restarts(self):
+        star = solve_orp(4, 8)  # n <= r: single switch, no search
+        assert star.restarts == [] and star.annealing is None
+
+    def test_solution_dataclass_default(self):
+        assert ORPSolution.__dataclass_fields__["restarts"].default_factory is not None
+
+
+class TestTelemetryMerge:
+    @staticmethod
+    def _traced(jobs: int):
+        reg = TelemetryRegistry()
+        sink = MemorySink()
+        reg.add_sink(sink)
+        sol = _solve(jobs=jobs, telemetry=reg)
+        return sol, reg, sink
+
+    def test_serial_accounts_for_every_restart(self):
+        sol, reg, sink = self._traced(jobs=1)
+        assert reg.counter("anneal.proposals").value == 3 * 120
+        restarts = [e for e in sink.events if e.get("name") == "solver.restart"]
+        assert [e["fields"]["index"] for e in restarts] == [0, 1, 2]
+        (done,) = [e for e in sink.events if e.get("name") == "solver.done"]
+        assert done["fields"]["best_h_aspl"] == sol.h_aspl
+
+    def test_parallel_merge_matches_serial_totals(self):
+        _, serial_reg, _ = self._traced(jobs=1)
+        _, parallel_reg, psink = self._traced(jobs=3)
+        for name in ("anneal.proposals", "anneal.accepted", "anneal.improved",
+                     "evaluator.proposals", "evaluator.repaired_rows"):
+            assert parallel_reg.counter(name).value == \
+                serial_reg.counter(name).value, name
+        s_hist = serial_reg._histograms["anneal.delta_accepted"]
+        p_hist = parallel_reg._histograms["anneal.delta_accepted"]
+        assert p_hist.counts == s_hist.counts
+        restarts = [e for e in psink.events if e.get("name") == "solver.restart"]
+        assert len(restarts) == 3
+
+    def test_restart_events_mirror_summaries(self):
+        sol, _, sink = self._traced(jobs=2)
+        events = sorted(
+            (e["fields"] for e in sink.events
+             if e.get("name") == "solver.restart"),
+            key=lambda f: f["index"],
+        )
+        for f, summary in zip(events, sol.restarts):
+            assert f["h_aspl"] == summary.h_aspl
+            assert f["accepted"] == summary.accepted
+            assert f["rejected"] == summary.rejected
+
+    def test_span_wraps_the_fan_out(self):
+        _, _, sink = self._traced(jobs=1)
+        spans = [e for e in sink.events if e.get("kind") == "span"]
+        assert [s["name"] for s in spans] == ["solver.anneal_restarts"]
+        assert spans[0]["attrs"]["restarts"] == 3
