@@ -9,8 +9,12 @@ correspondingly longer.  Every bench prints which scale it ran and writes
 its table to ``benchmarks/results/<name>.txt`` so regenerated figures are
 inspectable after the run.
 
-Heavy artefacts (annealed ORP graphs) are cached per-process so several
-benches can share one solve.
+Heavy artefacts (annealed ORP graphs) are cached per-process *and* served
+from the campaign result store (:mod:`repro.campaign.store`): each solve is
+keyed by the content digest of its normalized point spec, so re-running any
+figure script — or a ``repro campaign run`` that covered the same points —
+skips the annealing entirely.  ``REPRO_STORE`` overrides the store root
+(default ``benchmarks/results/campaigns``).
 """
 
 from __future__ import annotations
@@ -19,10 +23,16 @@ import os
 from functools import lru_cache
 from pathlib import Path
 
+from repro.campaign import CampaignStore, normalize_point, point_digest
 from repro.core.annealing import AnnealingSchedule
 from repro.core.solver import ORPSolution, solve_orp
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Campaign store shared by the figure scripts (warm after any campaign
+#: run covering the same points).
+STORE_ROOT = Path(os.environ.get("REPRO_STORE", RESULTS_DIR / "campaigns"))
+STORE_NAME = "bench"
 
 SCALE = os.environ.get("REPRO_SCALE", "small")
 if SCALE not in ("small", "paper"):
@@ -45,14 +55,58 @@ def emit(name: str, text: str) -> None:
 
 
 @lru_cache(maxsize=None)
+def orp_point(
+    n: int,
+    r: int,
+    *,
+    m: int | None = None,
+    operation: str = "two-neighbor-swing",
+    construction: str = "random",
+    seed: int = 11,
+    steps: int | None = None,
+) -> ORPSolution:
+    """Solve (or fetch) one ORP point through the campaign result store.
+
+    The point is normalized and content-addressed exactly like a campaign
+    point, so figure scripts and ``repro campaign`` share one cache: a
+    warm store serves the solution with zero solver work, a cold one
+    solves and persists it.  Also cached per-process via ``lru_cache``.
+    """
+    point = normalize_point(
+        {
+            "n": n,
+            "r": r,
+            "m": m,
+            "operation": operation,
+            "construction": construction,
+            "seed": seed,
+            "steps": steps if steps is not None else SA_STEPS,
+        }
+    )
+    digest = point_digest(point)
+    store = CampaignStore(STORE_ROOT, STORE_NAME)
+    if store.has_result(digest):
+        return store.load_result(digest)
+    solution = solve_orp(
+        point["n"],
+        point["r"],
+        m=point["m"],
+        schedule=AnnealingSchedule(num_steps=point["steps"]),
+        seed=point["seed"],
+        operation=point["operation"],
+        construction=point["construction"],
+    )
+    store.save_result(digest, point, solution)
+    return solution
+
+
 def proposed(n: int, r: int, seed: int = 11, steps: int | None = None) -> ORPSolution:
     """The paper's proposed topology for (n, r): m_opt + annealed search.
 
-    Cached per-process so the performance/bandwidth/power benches of one
-    figure share a single solve.
+    Store-backed (see :func:`orp_point`) so the performance/bandwidth/
+    power benches of one figure — and repeat runs — share a single solve.
     """
-    schedule = AnnealingSchedule(num_steps=steps if steps is not None else SA_STEPS)
-    return solve_orp(n, r, schedule=schedule, seed=seed)
+    return orp_point(n, r, seed=seed, steps=steps)
 
 
 def geometric_mean(values: list[float]) -> float:

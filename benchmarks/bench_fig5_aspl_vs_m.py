@@ -16,6 +16,11 @@ general search bottoms out at ~m_opt and degrades only mildly off-optimum,
 while the regular search degrades sharply; the minimum sits above the
 Theorem-2 line.
 
+Both SA curves run through the campaign result store (one content-
+addressed point per (m, operation, construction)), so a warm store — from
+an earlier run or a ``repro campaign run`` covering the sweep — serves the
+whole figure with zero annealing.
+
 Scale: small = (n, r) = (128, 12); paper = (1024, 24).
 """
 
@@ -23,14 +28,11 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._common import SA_STEPS, SCALE, emit
+from benchmarks._common import SCALE, emit, orp_point
 from repro.analysis.report import format_table
 from repro.core.annealing import AnnealingSchedule, anneal
 from repro.core.bounds import h_aspl_lower_bound
-from repro.core.construct import (
-    random_host_switch_graph,
-    random_regular_host_switch_graph,
-)
+from repro.core.construct import random_host_switch_graph
 from repro.core.metrics import h_aspl
 from repro.core.moore import continuous_moore_bound, optimal_switch_count
 
@@ -51,7 +53,6 @@ def sweep_values(n: int, r: int) -> list[int]:
 
 def run_sweep() -> tuple[list[dict], int]:
     m_opt, _ = optimal_switch_count(N, R)
-    schedule = AnnealingSchedule(num_steps=SA_STEPS)
     rows = []
     for m in sweep_values(N, R):
         row: dict = {
@@ -62,18 +63,14 @@ def run_sweep() -> tuple[list[dict], int]:
         # Regular search (swap) — only where a regular graph exists.
         hosts_per = N // m if N % m == 0 else None
         if hosts_per is not None and 1 <= R - hosts_per <= m - 1 and (m * (R - hosts_per)) % 2 == 0:
-            g = random_regular_host_switch_graph(N, m, R, seed=SEED)
-            row["swap"] = anneal(
-                g, operation="swap", schedule=schedule, seed=SEED
+            row["swap"] = orp_point(
+                N, R, m=m, operation="swap", construction="regular", seed=SEED
             ).h_aspl
         else:
             row["swap"] = None
         # General search (2-neighbor swing).
         try:
-            g = random_host_switch_graph(N, m, R, seed=SEED)
-            row["swing"] = anneal(
-                g, operation="two-neighbor-swing", schedule=schedule, seed=SEED
-            ).h_aspl
+            row["swing"] = orp_point(N, R, m=m, seed=SEED).h_aspl
         except ValueError:
             row["swing"] = None
         rows.append(row)

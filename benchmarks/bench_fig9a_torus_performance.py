@@ -7,6 +7,11 @@ the largest gains on IS / FT / MG.
 
 Scale: small = 3-D 3-ary torus (r=10, m=27) vs proposed (n=64, r=10),
 64 ranks, class A, 1 iteration; paper = the full instance (slow!).
+
+The proposed topology is fetched through the campaign result store
+(``proposed`` in :mod:`benchmarks._common`): a warm store — e.g. from an
+earlier figure run or a ``repro campaign run`` over the same point —
+serves the annealed graph without re-solving.
 """
 
 from __future__ import annotations

@@ -1,0 +1,59 @@
+"""Durable, resumable experiment campaigns over ORP sweeps.
+
+The orchestration layer for reproducing the paper's evaluation at scale:
+
+- :mod:`repro.campaign.spec` — declarative JSON sweep specs expanded into
+  normalized points, each content-addressed by a canonical SHA-256 digest;
+- :mod:`repro.campaign.store` — the content-addressed artifact store (the
+  package's *only* file-write path, enforced by repro-lint REP008);
+- :mod:`repro.campaign.checkpoint` — per-point annealer checkpointing so a
+  killed campaign resumes bit-identically;
+- :mod:`repro.campaign.executor` — worker-pool execution with retries,
+  checkpoint-boundary timeouts, crash isolation, and graceful SIGINT drain;
+- :mod:`repro.campaign.report` — status/report views over the store.
+
+CLI: ``repro campaign run|resume|status|report SPEC.json``.
+"""
+
+from repro.campaign.checkpoint import (
+    CampaignInterrupted,
+    PointCheckpointer,
+    PointTimeout,
+)
+from repro.campaign.executor import CampaignRunResult, PointOutcome, run_campaign
+from repro.campaign.report import campaign_status, format_report, format_status
+from repro.campaign.spec import (
+    CAMPAIGN_SPEC_FORMAT,
+    CampaignSpec,
+    ExecutorConfig,
+    SpecError,
+    canonical_json,
+    expand_grid,
+    load_spec,
+    normalize_point,
+    point_digest,
+)
+from repro.campaign.store import CampaignStore, StoreError
+
+__all__ = [
+    "CAMPAIGN_SPEC_FORMAT",
+    "CampaignInterrupted",
+    "CampaignRunResult",
+    "CampaignSpec",
+    "CampaignStore",
+    "ExecutorConfig",
+    "PointCheckpointer",
+    "PointOutcome",
+    "PointTimeout",
+    "SpecError",
+    "StoreError",
+    "campaign_status",
+    "canonical_json",
+    "expand_grid",
+    "format_report",
+    "format_status",
+    "load_spec",
+    "normalize_point",
+    "point_digest",
+    "run_campaign",
+]

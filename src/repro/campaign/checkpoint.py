@@ -1,0 +1,105 @@
+"""Point-level checkpointing: the bridge between solver and store.
+
+:class:`PointCheckpointer` implements the duck-typed ``checkpointer``
+protocol of :func:`repro.core.solver.solve_orp` on top of a
+:class:`~repro.campaign.store.CampaignStore`.  One checkpoint document
+(format :data:`POINT_CHECKPOINT_FORMAT`) per point tracks
+
+- ``completed`` — finished restarts, each a ``repro.result/v1``
+  AnnealingResult dict served back verbatim on resume (zero re-annealing);
+- ``active`` — the latest :data:`~repro.core.annealing.ANNEAL_CHECKPOINT_FORMAT`
+  snapshot of the restart currently annealing, from which
+  :func:`~repro.core.annealing.anneal` resumes bit-identically.
+
+The checkpointer builds dicts only; all file I/O goes through the store
+(rule REP008).  The ``on_checkpoint`` hook runs after every persisted
+snapshot — the executor uses it to raise :class:`CampaignInterrupted` /
+:class:`PointTimeout` at a checkpoint boundary, which is what makes a kill
+resumable with nothing lost but the tail of the current segment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.campaign.store import CampaignStore
+from repro.core.serialization import (
+    annealing_result_from_dict,
+    annealing_result_to_dict,
+)
+
+__all__ = [
+    "POINT_CHECKPOINT_FORMAT",
+    "CampaignInterrupted",
+    "PointTimeout",
+    "PointCheckpointer",
+]
+
+POINT_CHECKPOINT_FORMAT = "repro.campaign.checkpoint/v1"
+
+
+class CampaignInterrupted(Exception):
+    """Raised at a checkpoint boundary to drain a campaign gracefully."""
+
+
+class PointTimeout(Exception):
+    """A point exceeded its deadline (checked at checkpoint boundaries)."""
+
+
+class PointCheckpointer:
+    """``solve_orp`` checkpointer persisting restart state for one point."""
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        digest: str,
+        checkpoint_every: int,
+        on_checkpoint: Callable[[], None] | None = None,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        self.checkpoint_every = checkpoint_every
+        self._store = store
+        self._digest = digest
+        self._on_checkpoint = on_checkpoint
+        state = store.load_checkpoint(digest)
+        if state is not None and state.get("format") != POINT_CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"point {digest} has a checkpoint with unsupported format "
+                f"{state.get('format')!r}"
+            )
+        self._state: dict[str, Any] = state or {
+            "format": POINT_CHECKPOINT_FORMAT,
+            "completed": {},
+            "active": {},
+        }
+
+    # --- solve_orp checkpointer protocol ---------------------------------
+
+    def restart_result(self, index: int) -> Any:
+        """Cached AnnealingResult for a finished restart, else ``None``."""
+        data = self._state["completed"].get(str(index))
+        return None if data is None else annealing_result_from_dict(data)
+
+    def resume_state(self, index: int) -> dict[str, Any] | None:
+        """Last annealer snapshot for an interrupted restart, else ``None``."""
+        return self._state["active"].get(str(index))
+
+    def save_checkpoint(self, index: int, state: dict[str, Any]) -> None:
+        """Persist an annealer snapshot, then run the executor hook."""
+        self._state["active"][str(index)] = state
+        self._store.save_checkpoint(self._digest, self._state)
+        if self._on_checkpoint is not None:
+            self._on_checkpoint()
+
+    def restart_done(self, index: int, result: Any) -> None:
+        """Promote a finished restart from ``active`` to ``completed``."""
+        self._state["completed"][str(index)] = annealing_result_to_dict(result)
+        self._state["active"].pop(str(index), None)
+        self._store.save_checkpoint(self._digest, self._state)
+
+    # --- introspection ----------------------------------------------------
+
+    @property
+    def completed_restarts(self) -> list[int]:
+        return sorted(int(i) for i in self._state["completed"])

@@ -1,0 +1,92 @@
+"""Campaign status and report generation (read-only views of the store)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.report import format_table
+from repro.campaign.spec import CampaignSpec, point_digest
+from repro.campaign.store import CampaignStore
+
+__all__ = ["campaign_status", "format_status", "format_report"]
+
+
+def campaign_status(
+    spec: CampaignSpec, store_root: str | Path
+) -> list[dict[str, Any]]:
+    """Per-point state rows for ``spec``'s points, in spec order."""
+    store = CampaignStore(store_root, spec.name)
+    rows = []
+    for point in spec.points:
+        digest = point_digest(point)
+        rows.append(
+            {
+                "digest": digest,
+                "point": point,
+                "state": store.point_state(digest),
+            }
+        )
+    return rows
+
+
+def _point_label(point: dict[str, Any]) -> str:
+    m = point["m"] if point["m"] is not None else "auto"
+    return (
+        f"n={point['n']} r={point['r']} m={m} seed={point['seed']} "
+        f"steps={point['steps']}x{point['restarts']}"
+    )
+
+
+def format_status(spec: CampaignSpec, store_root: str | Path) -> str:
+    """Human-readable campaign status table + state counts."""
+    rows = campaign_status(spec, store_root)
+    counts: dict[str, int] = {}
+    table_rows = []
+    for row in rows:
+        counts[row["state"]] = counts.get(row["state"], 0) + 1
+        table_rows.append(
+            [row["digest"][:12], _point_label(row["point"]), row["state"]]
+        )
+    table = format_table(
+        ["digest", "point", "state"],
+        table_rows,
+        title=f"campaign {spec.name} ({len(rows)} points)",
+    )
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    return f"{table}\n{summary}"
+
+
+def format_report(spec: CampaignSpec, store_root: str | Path) -> str:
+    """Result report: per-point h-ASPL against the Theorem-2 bound.
+
+    Unsolved points appear with their state instead of numbers, so a
+    partially-run campaign still reports coherently.
+    """
+    store = CampaignStore(store_root, spec.name)
+    table_rows = []
+    solved = 0
+    for point in spec.points:
+        digest = point_digest(point)
+        state = store.point_state(digest)
+        if state == "solved":
+            solution = store.load_result(digest)
+            solved += 1
+            table_rows.append(
+                [
+                    _point_label(point),
+                    solution.m,
+                    f"{solution.h_aspl:.4f}",
+                    f"{solution.h_aspl_lower_bound:.4f}",
+                    f"{100 * solution.gap:.2f}%",
+                    f"{solution.diameter:.0f}",
+                ]
+            )
+        else:
+            table_rows.append([_point_label(point), "-", state, "-", "-", "-"])
+    table = format_table(
+        ["point", "m", "h-ASPL", "bound", "gap", "diam"],
+        table_rows,
+        title=f"campaign {spec.name} report",
+    )
+    return f"{table}\n{solved}/{len(spec.points)} points solved"

@@ -1,0 +1,200 @@
+"""Content-addressed campaign result store — the package's only write path.
+
+Layout under ``<root>/<campaign-name>/``:
+
+.. code-block:: text
+
+    spec.json                      # the spec document as submitted
+    points/<digest>/point.json     # normalized point parameters
+    points/<digest>/result.json    # repro.result/v1 ORPSolution dict
+    points/<digest>/best.hsg       # winning graph (HSG v1 text)
+    points/<digest>/checkpoint.json# in-progress restart checkpoints
+    points/<digest>/failure.json   # failure artifact (crash / timeout)
+
+``<digest>`` is :func:`repro.campaign.spec.point_digest` — the SHA-256 of
+the point's canonical JSON — so results are keyed by *content*, not by
+position in a sweep: re-running any spec that expands to the same point
+finds the cached solution, and two campaigns sharing a store never solve
+the same point twice.
+
+Every write lands via temp-file + :func:`os.replace`, so readers (and a
+resumed campaign after a kill ``-9``) never observe a torn file.  Keeping
+all artifact I/O in this module is enforced by repro-lint rule REP008.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.spec import CampaignSpec, canonical_json, load_spec
+from repro.core.serialization import (
+    graph_to_text,
+    orp_solution_from_dict,
+    orp_solution_to_dict,
+)
+
+__all__ = ["CampaignStore", "StoreError", "POINT_STATES"]
+
+POINT_STATES = ("solved", "failed", "checkpointed", "pending")
+
+_RESULT_FILE = "result.json"
+_POINT_FILE = "point.json"
+_GRAPH_FILE = "best.hsg"
+_CHECKPOINT_FILE = "checkpoint.json"
+_FAILURE_FILE = "failure.json"
+
+
+class StoreError(RuntimeError):
+    """A campaign store operation failed (corrupt or conflicting artifacts)."""
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp + rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _atomic_write_json(path: Path, obj: Any) -> None:
+    _atomic_write_text(path, json.dumps(obj, sort_keys=True, indent=1) + "\n")
+
+
+def _read_json(path: Path) -> Any:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StoreError(f"cannot read store artifact {path}: {exc}") from exc
+
+
+class CampaignStore:
+    """Artifact store for one campaign under ``<root>/<name>/``."""
+
+    def __init__(self, root: str | Path, name: str) -> None:
+        self.root = Path(root)
+        self.name = name
+        self.dir = self.root / name
+        self.points_dir = self.dir / "points"
+
+    # ------------------------------------------------------------- spec --
+
+    @property
+    def spec_path(self) -> Path:
+        return self.dir / "spec.json"
+
+    def save_spec(self, spec: CampaignSpec) -> None:
+        """Persist the spec document; reject conflicts with an existing one.
+
+        A campaign directory is bound to exactly one spec: resubmitting the
+        identical document is a no-op, a different one is an error (use a
+        new campaign name instead of silently reinterpreting old results).
+        """
+        document = dict(spec.raw) if spec.raw else {"name": spec.name}
+        if self.spec_path.exists():
+            existing = _read_json(self.spec_path)
+            if canonical_json(existing) != canonical_json(document):
+                raise StoreError(
+                    f"campaign {self.name!r} at {self.dir} already has a "
+                    "different spec; pick a new campaign name"
+                )
+            return
+        _atomic_write_json(self.spec_path, document)
+
+    def load_spec(self) -> CampaignSpec:
+        """Load and re-validate the persisted spec."""
+        if not self.spec_path.exists():
+            raise StoreError(f"no campaign named {self.name!r} under {self.root}")
+        return load_spec(_read_json(self.spec_path))
+
+    # ------------------------------------------------------ point paths --
+
+    def point_dir(self, digest: str) -> Path:
+        return self.points_dir / digest
+
+    def graph_path(self, digest: str) -> Path:
+        return self.point_dir(digest) / _GRAPH_FILE
+
+    # ---------------------------------------------------------- results --
+
+    def has_result(self, digest: str) -> bool:
+        return (self.point_dir(digest) / _RESULT_FILE).exists()
+
+    def save_result(self, digest: str, point: dict[str, Any], solution: Any) -> None:
+        """Persist a solved point: graph artifact, solution JSON, point spec.
+
+        The graph lands first and ``result.json`` last, so a result file's
+        existence certifies the whole artifact set; the now-obsolete
+        checkpoint is dropped afterwards.
+        """
+        pdir = self.point_dir(digest)
+        _atomic_write_text(pdir / _GRAPH_FILE, graph_to_text(solution.graph))
+        _atomic_write_json(pdir / _POINT_FILE, point)
+        _atomic_write_json(pdir / _RESULT_FILE, orp_solution_to_dict(solution))
+        self.clear_checkpoint(digest)
+        self.clear_failure(digest)
+
+    def load_result(self, digest: str) -> Any:
+        """Rebuild the stored :class:`~repro.core.solver.ORPSolution`."""
+        return orp_solution_from_dict(
+            _read_json(self.point_dir(digest) / _RESULT_FILE)
+        )
+
+    def load_point(self, digest: str) -> dict[str, Any]:
+        return _read_json(self.point_dir(digest) / _POINT_FILE)
+
+    def result_graph_digest(self, digest: str) -> str:
+        """SHA-256 of the stored graph artifact (for identity assertions)."""
+        data = self.graph_path(digest).read_bytes()
+        return hashlib.sha256(data).hexdigest()
+
+    # ------------------------------------------------------ checkpoints --
+
+    def has_checkpoint(self, digest: str) -> bool:
+        return (self.point_dir(digest) / _CHECKPOINT_FILE).exists()
+
+    def save_checkpoint(self, digest: str, state: dict[str, Any]) -> None:
+        _atomic_write_json(self.point_dir(digest) / _CHECKPOINT_FILE, state)
+
+    def load_checkpoint(self, digest: str) -> dict[str, Any] | None:
+        path = self.point_dir(digest) / _CHECKPOINT_FILE
+        return _read_json(path) if path.exists() else None
+
+    def clear_checkpoint(self, digest: str) -> None:
+        (self.point_dir(digest) / _CHECKPOINT_FILE).unlink(missing_ok=True)
+
+    # ---------------------------------------------------------- failures --
+
+    def has_failure(self, digest: str) -> bool:
+        return (self.point_dir(digest) / _FAILURE_FILE).exists()
+
+    def save_failure(self, digest: str, record: dict[str, Any]) -> None:
+        """Record a failure artifact (point kept pending for future resume)."""
+        _atomic_write_json(self.point_dir(digest) / _FAILURE_FILE, record)
+
+    def load_failure(self, digest: str) -> dict[str, Any]:
+        return _read_json(self.point_dir(digest) / _FAILURE_FILE)
+
+    def clear_failure(self, digest: str) -> None:
+        (self.point_dir(digest) / _FAILURE_FILE).unlink(missing_ok=True)
+
+    # ------------------------------------------------------------ status --
+
+    def digests(self) -> list[str]:
+        """Digests with any on-disk artifact, sorted."""
+        if not self.points_dir.exists():
+            return []
+        return sorted(p.name for p in self.points_dir.iterdir() if p.is_dir())
+
+    def point_state(self, digest: str) -> str:
+        """One of :data:`POINT_STATES` for ``digest``."""
+        if self.has_result(digest):
+            return "solved"
+        if self.has_failure(digest):
+            return "failed"
+        if self.has_checkpoint(digest):
+            return "checkpointed"
+        return "pending"

@@ -10,7 +10,11 @@ Commands
 ``odp n d``
     Solve the classic Order/Degree Problem (Graph Golf objective).
 ``topology name [params...]``
-    Build a conventional topology and print its spec and metrics.
+    Build a conventional topology and print its spec and metrics; the
+    per-family flags are declared in :mod:`repro.topologies.registry`.
+``campaign run|resume|status|report SPEC``
+    Durable experiment sweeps over a content-addressed result store
+    (:mod:`repro.campaign`); killed runs resume bit-identically.
 ``simulate``
     Run one NAS skeleton on a topology (built or loaded) and print Mop/s.
 ``traffic``
@@ -116,24 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
 
     p = add_command("topology", help="build and measure a conventional topology")
-    p.add_argument(
-        "name",
-        choices=[
-            "torus", "dragonfly", "fat-tree", "hypercube", "mesh",
-            "slim-fly", "jellyfish", "random-shortcut-ring",
-        ],
-    )
-    p.add_argument("--dimension", type=int, default=3)
-    p.add_argument("--base", type=int, default=3)
-    p.add_argument("--radix", type=int, default=10)
-    p.add_argument("--a", type=int, default=8, help="dragonfly group size")
-    p.add_argument("--k", type=int, default=8, help="fat-tree arity")
-    p.add_argument("--q", type=int, default=5, help="slim-fly field size (prime, 1 mod 4)")
-    p.add_argument("--switches", type=int, default=32, help="jellyfish/ring switch count")
-    p.add_argument("--hosts-per-switch", type=int, default=4, help="jellyfish concentration")
-    p.add_argument("--matchings", type=int, default=2, help="shortcut-ring matchings")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--hosts", type=int, default=None)
+    from repro.topologies import available_topologies, topology_cli_flags
+
+    p.add_argument("name", choices=available_topologies())
+    # Flags come from each family's declaration in topologies/registry.py;
+    # adding a topology never requires editing this file.
+    for param in topology_cli_flags():
+        p.add_argument(param.flag, type=int, default=param.default, help=param.help)
+    p.add_argument("--hosts", type=int, default=None,
+                   help="attached host count (families with a num_hosts knob)")
+    p.add_argument("--out", type=str, default=None, help="save graph (HSG v1)")
 
     p = add_command("simulate", help="run a NAS skeleton on a topology")
     p.add_argument("benchmark", help="bt|cg|ep|ft|is|lu|mg|sp")
@@ -157,6 +153,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--routing", choices=["shortest", "ecmp", "valiant"],
                    default="shortest")
     p.add_argument("--seed", type=int, default=0)
+
+    p = add_command("campaign", help="run durable, resumable experiment sweeps")
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+    for cname, chelp in (
+        ("run", "execute a campaign spec (skips already-solved points)"),
+        ("resume", "continue an existing campaign from its store"),
+        ("status", "per-point state of a campaign"),
+        ("report", "result table of a campaign"),
+    ):
+        cp = csub.add_parser(cname, help=chelp)
+        _add_global_options(cp, subparser=True)
+        cp.add_argument("spec", help="campaign spec (JSON file)")
+        cp.add_argument("--store", default="campaigns",
+                        help="campaign store root directory (default: campaigns)")
+        if cname in ("run", "resume"):
+            cp.add_argument("--jobs", type=int, default=None,
+                            help="override executor.jobs from the spec")
+            cp.add_argument("--stop-after-checkpoints", type=int, default=None,
+                            help="drain after N annealer checkpoints "
+                                 "(deterministic interrupt for tests/CI)")
 
     p = add_command("telemetry", help="inspect a repro.obs JSONL trace")
     tsub = p.add_subparsers(dest="telemetry_command", required=True)
@@ -251,31 +267,10 @@ def _cmd_odp(args, telemetry) -> int:
 
 def _cmd_topology(args, telemetry) -> int:
     from repro.core.metrics import h_aspl_and_diameter
-    from repro.topologies import build_topology
+    from repro.core.serialization import save_graph
+    from repro.topologies import build_topology, topology_cli_kwargs
 
-    kwargs: dict = {}
-    if args.name in ("torus", "mesh"):
-        kwargs = dict(dimension=args.dimension, base=args.base, radix=args.radix)
-    elif args.name == "dragonfly":
-        kwargs = dict(a=args.a)
-    elif args.name == "fat-tree":
-        kwargs = dict(k=args.k)
-    elif args.name == "hypercube":
-        kwargs = dict(dim=args.dimension, radix=args.radix)
-    elif args.name == "slim-fly":
-        kwargs = dict(q=args.q)
-    elif args.name == "jellyfish":
-        kwargs = dict(
-            num_switches=args.switches, radix=args.radix,
-            hosts_per_switch=args.hosts_per_switch, seed=args.seed,
-        )
-    elif args.name == "random-shortcut-ring":
-        kwargs = dict(
-            num_switches=args.switches, radix=args.radix,
-            num_matchings=args.matchings, seed=args.seed,
-        )
-    if args.hosts is not None and args.name != "jellyfish":
-        kwargs["num_hosts"] = args.hosts
+    kwargs = topology_cli_kwargs(args.name, vars(args))
     graph, spec = build_topology(args.name, **kwargs)
     aspl, diam = h_aspl_and_diameter(graph)
     _emit(
@@ -283,6 +278,9 @@ def _cmd_topology(args, telemetry) -> int:
         f"attached hosts: {graph.num_hosts}",
         f"h-ASPL = {aspl:.4f}, diameter = {diam:.0f}",
     )
+    if args.out:
+        save_graph(graph, args.out)
+        _log.info("saved graph to %s", args.out)
     return 0
 
 
@@ -328,6 +326,54 @@ def _cmd_traffic(args, telemetry) -> int:
     return 0
 
 
+def _cmd_campaign(args, telemetry) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.campaign import (
+        CampaignStore,
+        StoreError,
+        format_report,
+        format_status,
+        load_spec,
+        run_campaign,
+    )
+
+    spec = load_spec(json.loads(Path(args.spec).read_text()))
+
+    if args.campaign_command == "status":
+        _emit(format_status(spec, args.store))
+        return 0
+    if args.campaign_command == "report":
+        _emit(format_report(spec, args.store))
+        return 0
+
+    if args.campaign_command == "resume":
+        # Resume continues a campaign that already has a store on disk.
+        try:
+            CampaignStore(args.store, spec.name).load_spec()
+        except StoreError as exc:
+            _log.error("%s", exc)
+            return 1
+    _log.info(
+        "campaign %s: %d point(s), store %s", spec.name, len(spec.points), args.store
+    )
+    result = run_campaign(
+        spec,
+        args.store,
+        telemetry=telemetry,
+        jobs=args.jobs,
+        stop_after_checkpoints=args.stop_after_checkpoints,
+    )
+    _emit(result.summary())
+    for outcome in result.outcomes:
+        if outcome.status == "failed":
+            _log.warning("point %s failed: %s", outcome.digest[:12], outcome.error)
+    if result.interrupted:
+        return 130
+    return 1 if result.count("failed") else 0
+
+
 def _cmd_telemetry(args, telemetry) -> int:
     from repro.obs import SCHEMA, load_jsonl, summarize_events
 
@@ -349,6 +395,7 @@ _HANDLERS = {
     "solve": _cmd_solve,
     "odp": _cmd_odp,
     "topology": _cmd_topology,
+    "campaign": _cmd_campaign,
     "simulate": _cmd_simulate,
     "traffic": _cmd_traffic,
     "telemetry": _cmd_telemetry,

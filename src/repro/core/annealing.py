@@ -25,7 +25,9 @@ assumption is preserved.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -33,11 +35,21 @@ from repro.core.hostswitch import HostSwitchGraph
 from repro.core.incremental import IncrementalEvaluator
 from repro.core.metrics import h_aspl, h_aspl_and_diameter, h_aspl_sampled
 from repro.core.operations import SwapMove, SwingMove, propose_swap, propose_swing
+from repro.core.serialization import graph_from_text, graph_to_text
 from repro.obs import NULL_TELEMETRY, TelemetryRegistry
 from repro.obs import clock as obs_clock
 from repro.utils.rng import as_generator
 
-__all__ = ["AnnealingSchedule", "AnnealingResult", "anneal"]
+__all__ = [
+    "ANNEAL_CHECKPOINT_FORMAT",
+    "AnnealingSchedule",
+    "AnnealingResult",
+    "anneal",
+]
+
+#: Format tag carried by every checkpoint dict :func:`anneal` emits; resume
+#: refuses dicts with a different tag so stale formats fail loudly.
+ANNEAL_CHECKPOINT_FORMAT = "repro.anneal.checkpoint/v1"
 
 _OPERATIONS = ("swap", "swing", "two-neighbor-swing")
 _EVALUATORS = ("incremental", "full")
@@ -137,6 +149,23 @@ class _EdgeList:
         self.remove(move.sa, move.sb)
         self.add(move.sa, move.sc)
 
+    def restore_order(self, order: list[tuple[int, int]]) -> None:
+        """Adopt a saved edge ordering (checkpoint resume).
+
+        Proposal sampling indexes into :attr:`edges`, so bit-identical
+        resume requires the *order* of the list — not just its contents —
+        to match the checkpointed run.  The saved order must be a
+        permutation of the current edge set.
+        """
+        saved = [self._key(a, b) for a, b in order]
+        if sorted(saved) != sorted(self.edges):
+            raise ValueError(
+                "checkpointed edge order is not a permutation of the "
+                "graph's switch edges"
+            )
+        self.edges = saved
+        self._pos = {e: i for i, e in enumerate(saved)}
+
 
 def _accept(delta: float, temperature: float, rng: np.random.Generator) -> bool:
     """Metropolis criterion; ``inf`` deltas always reject."""
@@ -159,6 +188,9 @@ def anneal(
     eval_sources: int | None = None,
     eval_refresh: int = 200,
     telemetry: TelemetryRegistry | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_callback: Callable[[dict[str, Any]], None] | None = None,
+    resume_state: dict[str, Any] | None = None,
 ) -> AnnealingResult:
     """Minimise h-ASPL by simulated annealing.
 
@@ -203,6 +235,25 @@ def anneal(
         statistics.  ``None`` (the default) disables instrumentation; the
         inner loop then performs no telemetry work beyond one boolean
         check per step.
+    checkpoint_every:
+        When > 0 and ``checkpoint_callback`` is given, every that many
+        steps the full search state — working and best graph, edge-list
+        order, RNG bit-generator state, current/best values, accounting,
+        history — is captured as a JSON-ready dict (format
+        :data:`ANNEAL_CHECKPOINT_FORMAT`) and handed to the callback.
+        The callback may raise to abort the search; the exception
+        propagates and the last persisted checkpoint allows resume.
+    checkpoint_callback:
+        Receiver for checkpoint dicts (e.g. the campaign store's
+        checkpointer).
+    resume_state:
+        A checkpoint dict from a previous (killed) run of the *same*
+        search.  The run continues from the checkpointed step and is
+        bit-identical to an uninterrupted run: the RNG stream, graph
+        state, and proposal-sampling edge order are all restored exactly.
+        ``graph`` is ignored when resuming (the checkpoint carries the
+        working graph); the sampled estimator (``eval_sources``) does not
+        support checkpointing.
 
     Returns
     -------
@@ -216,6 +267,10 @@ def anneal(
         raise ValueError(f"evaluator must be one of {_EVALUATORS}, got {evaluator!r}")
     if eval_sources is not None and eval_sources < 1:
         raise ValueError(f"eval_sources must be >= 1, got {eval_sources}")
+    if checkpoint_every < 0:
+        raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+    if eval_sources is not None and (checkpoint_every or resume_state is not None):
+        raise ValueError("checkpoint/resume is not supported with eval_sources")
     if schedule is None:
         schedule = AnnealingSchedule()
     rng = as_generator(seed)
@@ -224,8 +279,19 @@ def anneal(
     instrumented = tel.enabled
     run_t0 = obs_clock()
 
-    work = graph.copy()
-    edges = _EdgeList(work)
+    start_step = 0
+    wall_offset = 0.0
+    if resume_state is not None:
+        _validate_resume_state(resume_state, operation, schedule, rng)
+        work = graph_from_text(resume_state["work_graph"])
+        edges = _EdgeList(work)
+        edges.restore_order([(int(a), int(b)) for a, b in resume_state["edge_order"]])
+        rng.bit_generator.state = resume_state["rng_state"]
+        start_step = int(resume_state["step"])
+        wall_offset = float(resume_state["wall_time_s"])
+    else:
+        work = graph.copy()
+        edges = _EdgeList(work)
 
     sample: np.ndarray | None = None
 
@@ -276,14 +342,33 @@ def anneal(
 
     if not math.isfinite(current):
         raise ValueError("initial graph has disconnected hosts (h-ASPL is inf)")
-    initial = current
-    best = current
-    best_graph = work.copy()
+    if resume_state is not None:
+        # The evaluator was rebuilt from the restored graph; its value is
+        # bit-identical to the checkpointed one (integer-valued distance
+        # terms), so the restored `current` continues the exact trajectory.
+        restored = float(resume_state["current"])
+        if restored != current:  # repro-lint: disable=REP004 -- bit-identity is the resume contract
+            raise ValueError(
+                f"checkpoint is inconsistent with its graph: stored current "
+                f"h-ASPL {restored!r} != recomputed {current!r}"
+            )
+        initial = float(resume_state["initial_h_aspl"])
+        best = float(resume_state["best"])
+        best_graph = graph_from_text(resume_state["best_graph"])
+        accepted = int(resume_state["accepted"])
+        improved = int(resume_state["improved"])
+        history = [
+            (int(s), float(c), float(b)) for s, c, b in resume_state["history"]
+        ]
+    else:
+        initial = current
+        best = current
+        best_graph = work.copy()
+        accepted = 0
+        improved = 0
+        history = []
     hostless = int(np.count_nonzero(work.host_counts() == 0))
-
-    accepted = 0
-    improved = 0
-    history: list[tuple[int, float, float]] = []
+    segment_accepted0, segment_improved0 = accepted, improved
 
     # Telemetry state lives entirely behind `instrumented`; the disabled
     # path touches none of it inside the loop (O(1) overhead guard).
@@ -291,7 +376,7 @@ def anneal(
         delta_hist = tel.histogram("anneal.delta_accepted", _DELTA_BOUNDS)
         phase_every = max(1, schedule.num_steps // _TELEMETRY_PHASES)
         phase_accepted = 0
-        phase_start_step = 0
+        phase_start_step = start_step
         phase_t0 = run_t0
         move_counts = {"swap": 0, "swing": 0, "swing2": 0}
 
@@ -322,8 +407,28 @@ def anneal(
         # check is only needed when hostless intermediate switches exist.
         return hostless == 0 or work.is_switch_graph_connected()
 
-    steps_done = 0
-    for step in range(schedule.num_steps):
+    def capture_checkpoint(step_after: int) -> dict[str, Any]:
+        return {
+            "format": ANNEAL_CHECKPOINT_FORMAT,
+            "operation": operation,
+            "num_steps": schedule.num_steps,
+            "rng_kind": type(rng.bit_generator).__name__,
+            "step": step_after,
+            "rng_state": rng.bit_generator.state,
+            "work_graph": graph_to_text(work),
+            "best_graph": graph_to_text(best_graph),
+            "edge_order": [list(e) for e in edges.edges],
+            "current": current,
+            "best": best,
+            "initial_h_aspl": initial,
+            "accepted": accepted,
+            "improved": improved,
+            "history": [list(h) for h in history],
+            "wall_time_s": wall_offset + (obs_clock() - run_t0),
+        }
+
+    steps_done = start_step
+    for step in range(start_step, schedule.num_steps):
         steps_done = step + 1
         if eval_sources is not None and step > 0 and step % eval_refresh == 0:
             # Fresh estimator sample; re-anchor the current value so deltas
@@ -382,6 +487,12 @@ def anneal(
             emit_phase(step + 1, temperature)
         if history_every and step % history_every == 0:
             history.append((step, current, best))
+        if (
+            checkpoint_every
+            and checkpoint_callback is not None
+            and (step + 1) % checkpoint_every == 0
+        ):
+            checkpoint_callback(capture_checkpoint(step + 1))
         if target is not None and best <= target + 1e-12:
             break
 
@@ -390,12 +501,12 @@ def anneal(
         # target; convergence plots must not truncate before the last step.
         history.append((steps_done - 1, current, best))
 
-    wall = obs_clock() - run_t0
+    wall = wall_offset + (obs_clock() - run_t0)
     if instrumented:
-        emit_phase(steps_done, schedule.temperature(steps_done - 1))
-        tel.counter("anneal.proposals").inc(steps_done)
-        tel.counter("anneal.accepted").inc(accepted)
-        tel.counter("anneal.improved").inc(improved)
+        emit_phase(steps_done, schedule.temperature(max(steps_done - 1, 0)))
+        tel.counter("anneal.proposals").inc(steps_done - start_step)
+        tel.counter("anneal.accepted").inc(accepted - segment_accepted0)
+        tel.counter("anneal.improved").inc(improved - segment_improved0)
         for kind, count in move_counts.items():
             if count:
                 tel.counter(f"anneal.moves.{kind}").inc(count)
@@ -433,6 +544,41 @@ def anneal(
         history=history,
         wall_time_s=wall,
     )
+
+
+def _validate_resume_state(
+    state: dict[str, Any],
+    operation: str,
+    schedule: AnnealingSchedule,
+    rng: np.random.Generator,
+) -> None:
+    """Reject checkpoints that cannot resume this search bit-identically."""
+    fmt = state.get("format")
+    if fmt != ANNEAL_CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"not a {ANNEAL_CHECKPOINT_FORMAT} checkpoint (format={fmt!r})"
+        )
+    if state["operation"] != operation:
+        raise ValueError(
+            f"checkpoint was taken with operation {state['operation']!r}, "
+            f"cannot resume with {operation!r}"
+        )
+    if int(state["num_steps"]) != schedule.num_steps:
+        raise ValueError(
+            f"checkpoint schedule has num_steps={state['num_steps']}, "
+            f"cannot resume with num_steps={schedule.num_steps}"
+        )
+    kind = type(rng.bit_generator).__name__
+    if state["rng_kind"] != kind:
+        raise ValueError(
+            f"checkpoint RNG is {state['rng_kind']!r}, cannot restore its "
+            f"state into a {kind!r} bit generator"
+        )
+    step = int(state["step"])
+    if not 0 <= step <= schedule.num_steps:
+        raise ValueError(
+            f"checkpoint step {step} outside [0, {schedule.num_steps}]"
+        )
 
 
 def _two_neighbor_step(

@@ -34,6 +34,7 @@ from repro.core.construct import (
     clique_host_switch_graph,
     minimum_clique_switch_count,
     random_host_switch_graph,
+    random_regular_host_switch_graph,
     star_host_switch_graph,
 )
 from repro.core.hostswitch import HostSwitchGraph
@@ -42,6 +43,8 @@ from repro.core.moore import continuous_moore_bound, optimal_switch_count
 from repro.obs import NULL_TELEMETRY, TelemetryRegistry
 
 __all__ = ["ORPSolution", "RestartSummary", "solve_orp"]
+
+_CONSTRUCTIONS = ("random", "regular")
 
 
 def _restart_seed_sequences(
@@ -86,6 +89,12 @@ def _run_restart(
     child: np.random.SeedSequence,
     index: int,
     collect: bool,
+    operation: str = "two-neighbor-swing",
+    construction: str = "random",
+    *,
+    checkpoint_every: int = 0,
+    checkpoint_callback: Any = None,
+    resume_state: dict[str, Any] | None = None,
 ) -> tuple[AnnealingResult, dict[str, Any] | None]:
     """One annealing restart (module-level so process pools can pickle it).
 
@@ -93,17 +102,28 @@ def _run_restart(
     :class:`TelemetryRegistry` whose :meth:`~TelemetryRegistry.snapshot` is
     returned (a plain dict, so it pickles back from pool workers) for the
     parent to :meth:`~TelemetryRegistry.merge`.
+
+    On resume the starting graph is rebuilt (consuming the same RNG draws
+    as the original run) and then :func:`anneal` overwrites both the graph
+    and the RNG state from the checkpoint, so the trajectory continues
+    bit-identically.
     """
     rng = np.random.default_rng(child)
-    start = random_host_switch_graph(n, m, r, seed=rng)
+    if construction == "regular":
+        start = random_regular_host_switch_graph(n, m, r, seed=rng)
+    else:
+        start = random_host_switch_graph(n, m, r, seed=rng)
     worker_tel = TelemetryRegistry(f"restart-{index}") if collect else None
     result = anneal(
         start,
-        operation="two-neighbor-swing",
+        operation=operation,
         schedule=schedule,
         seed=rng,
         target=target,
         telemetry=worker_tel,
+        checkpoint_every=checkpoint_every,
+        checkpoint_callback=checkpoint_callback,
+        resume_state=resume_state,
     )
     return result, (worker_tel.snapshot() if worker_tel is not None else None)
 
@@ -168,7 +188,10 @@ def solve_orp(
     restarts: int = 1,
     jobs: int = 1,
     seed: int | np.random.Generator | None = None,
+    operation: str = "two-neighbor-swing",
+    construction: str = "random",
     telemetry: TelemetryRegistry | None = None,
+    checkpointer: Any = None,
 ) -> ORPSolution:
     """Solve an Order/Radix Problem instance.
 
@@ -190,12 +213,30 @@ def solve_orp(
         ``jobs`` value returns the same best graph as the serial run.
     seed:
         Seed / generator for the whole pipeline.
+    operation:
+        Neighbourhood operation forwarded to :func:`~repro.core.annealing.anneal`
+        (default the paper's ``"two-neighbor-swing"``; ``"swap"`` pairs with
+        ``construction="regular"`` for the Fig. 5 baseline curve).
+    construction:
+        Starting-point builder: ``"random"`` (default, the paper's proposed
+        pipeline) or ``"regular"`` (``m | n`` hosts per switch with a random
+        k-regular core).
     telemetry:
         Optional :class:`repro.obs.TelemetryRegistry`.  Each restart then
         anneals under a private worker registry (in-process or in a pool
         worker) whose snapshot is merged into this one, and one
         ``"solver.restart"`` event is emitted per restart — ``jobs > 1``
         loses no visibility.
+    checkpointer:
+        Optional checkpoint/resume driver (duck-typed; see
+        :class:`repro.campaign.checkpoint.PointCheckpointer`).  Needs an
+        int attribute ``checkpoint_every`` and methods ``restart_result(i)``
+        (a cached :class:`AnnealingResult` or ``None``), ``resume_state(i)``
+        (a checkpoint dict or ``None``), ``save_checkpoint(i, state)``, and
+        ``restart_done(i, result)``.  Completed restarts are served from
+        the cache without annealing; interrupted ones resume
+        bit-identically from their last checkpoint.  Restarts run serially
+        (``jobs`` must stay 1) — campaign parallelism is across points.
 
     Notes
     -----
@@ -206,6 +247,15 @@ def solve_orp(
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if construction not in _CONSTRUCTIONS:
+        raise ValueError(
+            f"construction must be one of {_CONSTRUCTIONS}, got {construction!r}"
+        )
+    if checkpointer is not None and jobs > 1:
+        raise ValueError(
+            "checkpointer requires jobs=1 (restarts run serially; "
+            "parallelise across campaign points instead)"
+        )
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     d_lb = diameter_lower_bound(n, r)
     a_lb = h_aspl_lower_bound(n, r)
@@ -270,11 +320,34 @@ def solve_orp(
                         children,
                         range(count),
                         [collect] * count,
+                        [operation] * count,
+                        [construction] * count,
                     )
                 )
+        elif checkpointer is not None:
+            outcomes = []
+            for i, child in enumerate(children):
+                cached = checkpointer.restart_result(i)
+                if cached is not None:
+                    outcomes.append((cached, None))
+                    continue
+                run, snap = _run_restart(
+                    n, m_used, r, schedule, a_lb, child, i, collect,
+                    operation, construction,
+                    checkpoint_every=int(checkpointer.checkpoint_every),
+                    checkpoint_callback=(
+                        lambda state, i=i: checkpointer.save_checkpoint(i, state)
+                    ),
+                    resume_state=checkpointer.resume_state(i),
+                )
+                checkpointer.restart_done(i, run)
+                outcomes.append((run, snap))
         else:
             outcomes = [
-                _run_restart(n, m_used, r, schedule, a_lb, child, i, collect)
+                _run_restart(
+                    n, m_used, r, schedule, a_lb, child, i, collect,
+                    operation, construction,
+                )
                 for i, child in enumerate(children)
             ]
 

@@ -45,6 +45,13 @@ REP007
     :mod:`repro.obs` — ``repro.obs.clock()`` for intervals, registry
     events/spans/timers for structured output — so runs stay observable
     through one layer.
+REP008
+    Direct artifact writes inside :mod:`repro.campaign` outside
+    ``store.py``: ``open(...)``, ``json.dump(...)``, and
+    ``write_text``/``write_bytes`` calls.  The content-addressed store is
+    the package's single write path — bypassing it breaks atomicity
+    (temp-file + rename) and digest bookkeeping, which kill/resume
+    correctness depends on.
 
 Waivers
 -------
@@ -86,7 +93,13 @@ RULES: dict[str, str] = {
     "IncrementalEvaluator (propose/commit/rollback) applies",
     "REP007": "print()/time.time()/time.perf_counter() in an instrumented package "
     "bypasses repro.obs (use clock(), spans/timers, or registry events)",
+    "REP008": "direct file write in repro.campaign outside store.py bypasses the "
+    "content-addressed store (the package's single atomic write path)",
 }
+
+# The one repro.campaign module allowed to write artifact files (REP008).
+_CAMPAIGN_WRITE_MODULE = "repro.campaign.store"
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
 
 # Packages whose library code must report through repro.obs (REP007).
 _OBS_PACKAGES = ("repro.core", "repro.simulation", "repro.partition")
@@ -429,6 +442,7 @@ class _Analyzer(ast.NodeVisitor):
         self._check_rep001_call(node)
         self._check_rep003_loop(node)
         self._check_rep007_call(node)
+        self._check_rep008_call(node)
         self.generic_visit(node)
 
     def _check_rep001_call(self, node: ast.Call) -> None:
@@ -551,6 +565,39 @@ class _Analyzer(ast.NodeVisitor):
                 f"'{self.ctx.module}'; use repro.obs.clock() (or a registry "
                 "span/timer) so timing flows through telemetry",
             )
+
+    # -- REP008 (artifact writes in repro.campaign outside the store) ----- #
+
+    def _check_rep008_call(self, node: ast.Call) -> None:
+        module = self.ctx.module
+        if not module.startswith("repro.campaign") or module == _CAMPAIGN_WRITE_MODULE:
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            self._report(
+                "REP008",
+                node,
+                f"open() in '{module}' bypasses the campaign store; route all "
+                "artifact I/O through repro.campaign.store (the atomic write path)",
+            )
+            return
+        if isinstance(func, ast.Attribute):
+            if func.attr in _WRITE_METHODS:
+                self._report(
+                    "REP008",
+                    node,
+                    f"'.{func.attr}(...)' in '{module}' bypasses the campaign "
+                    "store; route all artifact I/O through repro.campaign.store",
+                )
+                return
+            chain = _dotted(func)
+            if chain is not None and len(chain) == 2 and chain == ("json", "dump"):
+                self._report(
+                    "REP008",
+                    node,
+                    f"json.dump() in '{module}' bypasses the campaign store; "
+                    "build dicts and hand them to repro.campaign.store instead",
+                )
 
     # -- REP002 (constructed, mutated, returned unvalidated) ------------- #
 

@@ -19,10 +19,19 @@ from repro.topologies.random_shortcut import (
     random_shortcut_ring,
     random_shortcut_spec,
 )
-from repro.topologies.registry import build_topology, available_topologies
+from repro.topologies.registry import (
+    CLIParam,
+    available_topologies,
+    build_topology,
+    topology_cli_flags,
+    topology_cli_kwargs,
+)
 
 __all__ = [
+    "CLIParam",
     "TopologySpec",
+    "topology_cli_flags",
+    "topology_cli_kwargs",
     "torus",
     "torus_spec",
     "dragonfly",

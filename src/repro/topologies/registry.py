@@ -1,11 +1,19 @@
-"""Name-based topology construction for harnesses and examples.
+"""Name-based topology construction for harnesses, CLI, and examples.
 
 ``build_topology("torus", dimension=5, base=3, radix=15, num_hosts=1024)``
 keeps benchmark configuration declarative (strings + kwargs) instead of
 importing each builder.
+
+Each family also *declares* its CLI parameters here (:data:`_CLI_PARAMS`):
+the ``repro topology`` command builds its flags from these declarations
+and maps parsed values back to builder kwargs via
+:func:`topology_cli_kwargs`, so registering a new topology never requires
+touching ``cli.py``.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.core.hostswitch import HostSwitchGraph
 from repro.topologies.base import TopologySpec
@@ -18,7 +26,13 @@ from repro.topologies.random_shortcut import random_shortcut_ring
 from repro.topologies.slimfly import slim_fly
 from repro.topologies.torus import torus
 
-__all__ = ["available_topologies", "build_topology"]
+__all__ = [
+    "CLIParam",
+    "available_topologies",
+    "build_topology",
+    "topology_cli_flags",
+    "topology_cli_kwargs",
+]
 
 _BUILDERS = {
     "torus": torus,
@@ -32,6 +46,122 @@ _BUILDERS = {
     "jellyfish": jellyfish,
     "random-shortcut-ring": random_shortcut_ring,
 }
+
+
+@dataclass(frozen=True)
+class CLIParam:
+    """One CLI flag of a topology family.
+
+    ``flag`` is the user-facing option (e.g. ``"--dimension"``); ``dest``
+    is the *builder* kwarg it feeds (e.g. ``dim`` for hypercube), which may
+    differ from the argparse attribute derived from the flag.
+    """
+
+    flag: str
+    dest: str
+    default: object
+    help: str = ""
+
+    @property
+    def attr(self) -> str:
+        """The argparse namespace attribute for :attr:`flag`."""
+        return self.flag.lstrip("-").replace("-", "_")
+
+
+#: Per-family CLI parameter declarations.  Families sharing a flag (e.g.
+#: ``--radix``) must declare it with the same default — enforced by
+#: :func:`topology_cli_flags` — since the CLI exposes one flag namespace.
+_CLI_PARAMS: dict[str, tuple[CLIParam, ...]] = {
+    "torus": (
+        CLIParam("--dimension", "dimension", 3, "torus/mesh dimensionality"),
+        CLIParam("--base", "base", 3, "switches per torus/mesh dimension"),
+        CLIParam("--radix", "radix", 10, "switch radix"),
+    ),
+    "mesh": (
+        CLIParam("--dimension", "dimension", 3, "torus/mesh dimensionality"),
+        CLIParam("--base", "base", 3, "switches per torus/mesh dimension"),
+        CLIParam("--radix", "radix", 10, "switch radix"),
+    ),
+    "dragonfly": (
+        CLIParam("--a", "a", 8, "dragonfly group size"),
+    ),
+    "fat-tree": (
+        CLIParam("--k", "k", 8, "fat-tree arity"),
+    ),
+    "hypercube": (
+        CLIParam("--dimension", "dim", 3, "torus/mesh dimensionality"),
+        CLIParam("--radix", "radix", 10, "switch radix"),
+    ),
+    "slim-fly": (
+        CLIParam("--q", "q", 5, "slim-fly field size (prime, 1 mod 4)"),
+    ),
+    "jellyfish": (
+        CLIParam("--switches", "num_switches", 32, "jellyfish/ring switch count"),
+        CLIParam("--radix", "radix", 10, "switch radix"),
+        CLIParam("--hosts-per-switch", "hosts_per_switch", 4,
+                 "jellyfish concentration"),
+        CLIParam("--seed", "seed", 0, "seed for randomised topologies"),
+    ),
+    "random-shortcut-ring": (
+        CLIParam("--switches", "num_switches", 32, "jellyfish/ring switch count"),
+        CLIParam("--radix", "radix", 10, "switch radix"),
+        CLIParam("--matchings", "num_matchings", 2, "shortcut-ring matchings"),
+        CLIParam("--seed", "seed", 0, "seed for randomised topologies"),
+    ),
+}
+
+#: Families whose builder takes ``num_hosts`` (the CLI's ``--hosts``).
+_ACCEPTS_NUM_HOSTS = frozenset(
+    name for name in _CLI_PARAMS if name != "jellyfish"
+)
+
+
+def topology_cli_flags() -> list[CLIParam]:
+    """The union of all families' CLI flags, deduplicated and validated.
+
+    Families sharing a flag must agree on its default/help (one flag
+    namespace); a conflicting declaration is a registry bug and raises.
+    Order follows first declaration, so ``--help`` output stays stable.
+    """
+    merged: dict[str, CLIParam] = {}
+    for name, params in _CLI_PARAMS.items():
+        for param in params:
+            existing = merged.get(param.flag)
+            if existing is None:
+                merged[param.flag] = param
+            elif (existing.default, existing.help) != (param.default, param.help):
+                raise ValueError(
+                    f"topology {name!r} declares {param.flag} with "
+                    f"default={param.default!r} but another family uses "
+                    f"default={existing.default!r}"
+                )
+    return list(merged.values())
+
+
+def topology_cli_kwargs(name: str, values: dict[str, object]) -> dict[str, object]:
+    """Builder kwargs for ``name`` from parsed CLI ``values`` (by attr).
+
+    ``values`` maps argparse attributes (e.g. ``vars(args)``) to parsed
+    values; only the flags this family declares are consulted, and
+    ``hosts`` becomes ``num_hosts`` for families that accept it.
+    """
+    canonical = name.lower().replace("fattree", "fat-tree").replace(
+        "slimfly", "slim-fly"
+    )
+    try:
+        params = _CLI_PARAMS[canonical]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; available: {available_topologies()}"
+        ) from None
+    kwargs: dict[str, object] = {}
+    for param in params:
+        if param.attr in values:
+            kwargs[param.dest] = values[param.attr]
+    hosts = values.get("hosts")
+    if hosts is not None and canonical in _ACCEPTS_NUM_HOSTS:
+        kwargs["num_hosts"] = hosts
+    return kwargs
 
 
 def available_topologies() -> list[str]:

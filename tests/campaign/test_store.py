@@ -1,0 +1,136 @@
+"""Tests for the content-addressed campaign store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.spec import load_spec, normalize_point, point_digest
+from repro.campaign.store import CampaignStore, StoreError
+from repro.core.annealing import AnnealingSchedule
+from repro.core.solver import solve_orp
+
+POINT = normalize_point({"n": 24, "r": 6, "steps": 200, "restarts": 2})
+DIGEST = point_digest(POINT)
+
+
+@pytest.fixture(scope="module")
+def solution():
+    return solve_orp(
+        POINT["n"], POINT["r"],
+        schedule=AnnealingSchedule(num_steps=POINT["steps"]),
+        restarts=POINT["restarts"], seed=POINT["seed"],
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CampaignStore(tmp_path, "unit")
+
+
+class TestResults:
+    def test_result_round_trip(self, store, solution):
+        assert not store.has_result(DIGEST)
+        assert store.point_state(DIGEST) == "pending"
+        store.save_result(DIGEST, POINT, solution)
+        assert store.has_result(DIGEST)
+        assert store.point_state(DIGEST) == "solved"
+        back = store.load_result(DIGEST)
+        assert back.graph == solution.graph
+        assert back.h_aspl == solution.h_aspl
+        assert back.diameter == solution.diameter
+        assert len(back.restarts) == len(solution.restarts)
+        assert store.load_point(DIGEST) == POINT
+
+    def test_graph_digest_matches_artifact(self, store, solution):
+        store.save_result(DIGEST, POINT, solution)
+        import hashlib
+
+        expected = hashlib.sha256(store.graph_path(DIGEST).read_bytes()).hexdigest()
+        assert store.result_graph_digest(DIGEST) == expected
+
+    def test_save_result_clears_checkpoint_and_failure(self, store, solution):
+        store.save_checkpoint(DIGEST, {"format": "x", "completed": {}, "active": {}})
+        store.save_failure(DIGEST, {"kind": "error"})
+        store.save_result(DIGEST, POINT, solution)
+        assert not store.has_checkpoint(DIGEST)
+        assert not store.has_failure(DIGEST)
+        assert store.point_state(DIGEST) == "solved"
+
+    def test_no_temp_files_left_behind(self, store, solution):
+        store.save_result(DIGEST, POINT, solution)
+        leftovers = list(store.dir.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_corrupt_result_raises_store_error(self, store, solution):
+        store.save_result(DIGEST, POINT, solution)
+        (store.point_dir(DIGEST) / "result.json").write_text("{ torn")
+        with pytest.raises(StoreError, match="cannot read"):
+            store.load_result(DIGEST)
+
+
+class TestCheckpointsAndFailures:
+    def test_checkpoint_round_trip(self, store):
+        assert store.load_checkpoint(DIGEST) is None
+        state = {"format": "repro.campaign.checkpoint/v1",
+                 "completed": {"0": {"x": 1}}, "active": {}}
+        store.save_checkpoint(DIGEST, state)
+        assert store.point_state(DIGEST) == "checkpointed"
+        assert store.load_checkpoint(DIGEST) == state
+        store.clear_checkpoint(DIGEST)
+        assert store.load_checkpoint(DIGEST) is None
+        store.clear_checkpoint(DIGEST)  # idempotent
+
+    def test_failure_round_trip(self, store):
+        record = {"kind": "timeout", "error": "too slow"}
+        store.save_failure(DIGEST, record)
+        assert store.point_state(DIGEST) == "failed"
+        assert store.load_failure(DIGEST) == record
+        store.clear_failure(DIGEST)
+        assert not store.has_failure(DIGEST)
+
+    def test_failure_outranks_checkpoint_in_state(self, store):
+        store.save_checkpoint(DIGEST, {"format": "x"})
+        store.save_failure(DIGEST, {"kind": "error"})
+        assert store.point_state(DIGEST) == "failed"
+
+
+class TestSpecBinding:
+    DOC = {"name": "unit", "grid": {"n": [24], "r": [6]},
+           "defaults": {"steps": 100}}
+
+    def test_save_and_load_spec(self, store):
+        spec = load_spec(self.DOC)
+        store.save_spec(spec)
+        assert store.load_spec().digests() == spec.digests()
+        store.save_spec(spec)  # identical resubmission is a no-op
+
+    def test_conflicting_spec_rejected(self, store):
+        store.save_spec(load_spec(self.DOC))
+        other = dict(self.DOC, defaults={"steps": 999})
+        with pytest.raises(StoreError, match="different spec"):
+            store.save_spec(load_spec(other))
+
+    def test_key_order_is_not_a_conflict(self, store):
+        store.save_spec(load_spec(self.DOC))
+        reordered = json.loads(json.dumps(
+            {"defaults": self.DOC["defaults"], "grid": self.DOC["grid"],
+             "name": self.DOC["name"]}
+        ))
+        store.save_spec(load_spec(reordered))  # canonical compare: no error
+
+    def test_load_missing_spec(self, store):
+        with pytest.raises(StoreError, match="no campaign"):
+            store.load_spec()
+
+
+class TestDigestListing:
+    def test_digests_sorted(self, store, solution):
+        assert store.digests() == []
+        other_point = normalize_point({"n": 24, "r": 6, "steps": 200,
+                                       "restarts": 2, "seed": 1})
+        other = point_digest(other_point)
+        store.save_result(DIGEST, POINT, solution)
+        store.save_checkpoint(other, {"format": "x"})
+        assert store.digests() == sorted([DIGEST, other])

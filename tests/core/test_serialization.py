@@ -1,6 +1,9 @@
-"""Tests for HSG text (de)serialization."""
+"""Tests for HSG text (de)serialization and solver-result round trips."""
 
 from __future__ import annotations
+
+import json
+from dataclasses import asdict
 
 import pytest
 from hypothesis import given, settings
@@ -8,9 +11,15 @@ from hypothesis import strategies as st
 
 from repro.core.construct import random_host_switch_graph
 from repro.core.serialization import (
+    annealing_result_from_dict,
+    annealing_result_to_dict,
     graph_from_text,
     graph_to_text,
     load_graph,
+    orp_solution_from_dict,
+    orp_solution_to_dict,
+    restart_summary_from_dict,
+    restart_summary_to_dict,
     save_graph,
 )
 
@@ -68,3 +77,65 @@ class TestFormatErrors:
 
     def test_deterministic_output(self, fig1_graph):
         assert graph_to_text(fig1_graph) == graph_to_text(fig1_graph.copy())
+
+
+@pytest.fixture(scope="module")
+def solution():
+    """A small solved ORP whose nested records exercise every code path."""
+    from repro.core.annealing import AnnealingSchedule
+    from repro.core.solver import solve_orp
+
+    return solve_orp(
+        24, 6, schedule=AnnealingSchedule(num_steps=200), restarts=2, seed=3
+    )
+
+
+class TestResultRoundTrips:
+    def test_restart_summary(self, solution):
+        original = solution.restarts[0]
+        data = json.loads(json.dumps(restart_summary_to_dict(original)))
+        assert restart_summary_from_dict(data) == original
+
+    def test_annealing_result(self, solution):
+        original = solution.annealing
+        data = json.loads(json.dumps(annealing_result_to_dict(original)))
+        back = annealing_result_from_dict(data)
+        assert back.graph == original.graph
+        fields = asdict(back)
+        fields.pop("graph")
+        expected = asdict(original)
+        expected.pop("graph")
+        assert fields == expected
+
+    def test_orp_solution(self, solution):
+        data = json.loads(json.dumps(orp_solution_to_dict(solution)))
+        back = orp_solution_from_dict(data)
+        assert back.graph == solution.graph
+        assert back.annealing.graph == solution.annealing.graph
+        assert back.restarts == solution.restarts
+        for field in ("n", "r", "m", "h_aspl", "diameter",
+                      "h_aspl_lower_bound", "diameter_lower_bound",
+                      "moore_bound_at_m", "m_predicted"):
+            assert getattr(back, field) == getattr(solution, field), field
+        # Derived quantities survive too.
+        assert back.gap == solution.gap
+        assert back.summary() == solution.summary()
+
+    def test_orp_solution_without_annealing(self, solution):
+        data = orp_solution_to_dict(solution)
+        data["annealing"] = None
+        data["restarts"] = []
+        back = orp_solution_from_dict(json.loads(json.dumps(data)))
+        assert back.annealing is None
+        assert back.restarts == []
+
+    def test_wrong_kind_rejected(self, solution):
+        data = orp_solution_to_dict(solution)
+        with pytest.raises(ValueError, match="kind"):
+            annealing_result_from_dict(data)
+
+    def test_wrong_format_rejected(self, solution):
+        data = dict(restart_summary_to_dict(solution.restarts[0]),
+                    format="repro.result/v99")
+        with pytest.raises(ValueError, match="repro.result/v1"):
+            restart_summary_from_dict(data)

@@ -1,4 +1,4 @@
-"""Fixture-snippet tests for the ``repro-lint`` rules (REP001–REP007).
+"""Fixture-snippet tests for the ``repro-lint`` rules (REP001–REP008).
 
 Each rule gets at least one firing and one non-firing snippet; waivers and
 the console entry point are exercised at the end.  Snippets are linted as
@@ -383,6 +383,91 @@ def test_rep007_waivable():
 
 
 # --------------------------------------------------------------------- #
+# REP008 — artifact writes in repro.campaign outside the store
+# --------------------------------------------------------------------- #
+
+CAMPAIGN_PATH = "src/repro/campaign/executor.py"
+CAMPAIGN_STORE_PATH = "src/repro/campaign/store.py"
+
+
+def test_rep008_fires_on_open_in_campaign_module():
+    src = """
+        def dump(path, rows):
+            with open(path, "w") as fh:
+                fh.write(str(rows))
+        """
+    assert "REP008" in codes(src, path=CAMPAIGN_PATH)
+
+
+def test_rep008_fires_on_path_write_text():
+    src = """
+        from pathlib import Path
+
+        def dump(path, text):
+            Path(path).write_text(text)
+        """
+    assert "REP008" in codes(src, path=CAMPAIGN_PATH)
+
+
+def test_rep008_fires_on_write_bytes():
+    src = """
+        def dump(path, blob):
+            path.write_bytes(blob)
+        """
+    assert "REP008" in codes(src, path=CAMPAIGN_PATH)
+
+
+def test_rep008_fires_on_json_dump():
+    src = """
+        import json
+
+        def dump(fh, record):
+            json.dump(record, fh)
+        """
+    assert "REP008" in codes(src, path=CAMPAIGN_PATH)
+
+
+def test_rep008_silent_in_the_store_module():
+    src = """
+        import json
+
+        def persist(path, record):
+            with open(path, "w") as fh:
+                json.dump(record, fh)
+            path.write_text("done")
+        """
+    assert codes(src, path=CAMPAIGN_STORE_PATH) == []
+
+
+def test_rep008_silent_outside_repro_campaign():
+    src = """
+        def dump(path, text):
+            with open(path, "w") as fh:
+                fh.write(text)
+        """
+    assert codes(src, path=LIB_PATH) == []
+    assert codes(src, path=CORE_PATH) == []
+
+
+def test_rep008_allows_reads_and_json_dumps():
+    src = """
+        import json
+
+        def load(path):
+            text = path.read_text()
+            return json.loads(text), json.dumps({"ok": True})
+        """
+    assert codes(src, path=CAMPAIGN_PATH) == []
+
+
+def test_rep008_waivable():
+    src = """
+        def dump(path, text):
+            path.write_text(text)  # repro-lint: disable=REP008 -- scratch file
+        """
+    assert codes(src, path=CAMPAIGN_PATH) == []
+
+# --------------------------------------------------------------------- #
 # Waivers
 # --------------------------------------------------------------------- #
 
@@ -461,6 +546,7 @@ def test_main_list_rules(capsys):
     out = capsys.readouterr().out
     for code in (
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+        "REP008",
     ):
         assert code in out
 

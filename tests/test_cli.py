@@ -65,6 +65,27 @@ class TestTopology:
         with pytest.raises(SystemExit):
             main(["topology", "klein-bottle"])
 
+    def test_out_saves_graph(self, capsys, tmp_path):
+        path = tmp_path / "torus.hsg"
+        code = main(["topology", "torus", "--dimension", "2", "--base", "3",
+                     "--radix", "8", "--out", str(path)])
+        assert code == 0
+        from repro import load_graph
+
+        g = load_graph(path)
+        assert g.num_switches == 9
+
+    def test_hypercube_dimension_flag_maps_to_dim(self, capsys):
+        assert main(["topology", "hypercube", "--dimension", "4",
+                     "--radix", "10"]) == 0
+        assert "hypercube" in capsys.readouterr().out
+
+    def test_jellyfish_flags(self, capsys):
+        code = main(["topology", "jellyfish", "--switches", "12", "--radix",
+                     "8", "--hosts-per-switch", "3", "--seed", "2"])
+        assert code == 0
+        assert "attached hosts: 36" in capsys.readouterr().out
+
 
 class TestSimulate:
     def test_default_network(self, capsys):
@@ -97,6 +118,63 @@ class TestTraffic:
     def test_valiant_routing(self, capsys):
         assert main(["traffic", "uniform", "--messages", "2",
                      "--routing", "valiant"]) == 0
+
+
+class TestCampaign:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "cli-unit",
+            "grid": {"n": [24], "r": [6], "seed": [0, 1]},
+            "defaults": {"steps": 300, "restarts": 2},
+            "executor": {"checkpoint_every": 100},
+        }))
+        return path
+
+    def test_run_status_report_cycle(self, capsys, tmp_path, spec_file):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", str(spec_file), "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 point(s)" in out and "2 solved" in out
+
+        # Warm re-run: everything served from the store.
+        assert main(["campaign", "run", str(spec_file), "--store", store]) == 0
+        assert "2 cached" in capsys.readouterr().out
+
+        assert main(["campaign", "status", str(spec_file), "--store", store]) == 0
+        assert "2 solved" in capsys.readouterr().out
+
+        assert main(["campaign", "report", str(spec_file), "--store", store]) == 0
+        assert "2/2 points solved" in capsys.readouterr().out
+
+    def test_interrupted_run_exits_130_then_resumes(self, capsys, tmp_path,
+                                                    spec_file):
+        store = str(tmp_path / "store")
+        code = main(["campaign", "run", str(spec_file), "--store", store,
+                     "--stop-after-checkpoints", "2"])
+        assert code == 130
+        assert "resume to continue" in capsys.readouterr().out
+
+        assert main(["campaign", "resume", str(spec_file), "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", str(spec_file), "--store", store]) == 0
+        assert "2 solved" in capsys.readouterr().out
+
+    def test_resume_without_a_store_fails(self, tmp_path, spec_file):
+        store = str(tmp_path / "missing")
+        assert main(["campaign", "resume", str(spec_file),
+                     "--store", store]) == 1
+
+    def test_invalid_spec_exits_via_spec_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "grid": {"n": [8]}}')  # r missing
+        from repro.campaign import SpecError
+
+        with pytest.raises(SpecError):
+            main(["campaign", "run", str(path)])
 
 
 class TestParser:

@@ -1,0 +1,81 @@
+"""Tests for the declarative per-topology CLI parameter registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topologies import CLIParam, topology_cli_flags, topology_cli_kwargs
+from repro.topologies.registry import _CLI_PARAMS, available_topologies
+
+
+class TestCLIParam:
+    def test_attr_derived_from_flag(self):
+        assert CLIParam("--hosts-per-switch", "hosts_per_switch", 4).attr == (
+            "hosts_per_switch"
+        )
+        assert CLIParam("--a", "a", 8).attr == "a"
+
+
+class TestFlagUnion:
+    def test_every_family_declares_params(self):
+        assert set(_CLI_PARAMS) == set(available_topologies())
+
+    def test_flags_deduplicated(self):
+        flags = [p.flag for p in topology_cli_flags()]
+        assert len(flags) == len(set(flags))
+        assert "--dimension" in flags and "--radix" in flags
+
+    def test_shared_flags_agree(self):
+        # The registry invariant topology_cli_flags enforces: families that
+        # reuse a flag share its default and help text.
+        merged: dict[str, CLIParam] = {}
+        for params in _CLI_PARAMS.values():
+            for param in params:
+                if param.flag in merged:
+                    seen = merged[param.flag]
+                    assert (seen.default, seen.help) == (param.default, param.help)
+                merged[param.flag] = param
+
+
+class TestKwargsMapping:
+    def test_dest_differs_from_flag(self):
+        # hypercube: the user types --dimension, the builder takes dim=.
+        kwargs = topology_cli_kwargs("hypercube", {"dimension": 4, "radix": 12})
+        assert kwargs == {"dim": 4, "radix": 12}
+
+    def test_only_declared_flags_consulted(self):
+        kwargs = topology_cli_kwargs(
+            "fat-tree", {"k": 4, "dimension": 99, "radix": 99}
+        )
+        assert kwargs == {"k": 4}
+
+    def test_hosts_becomes_num_hosts(self):
+        kwargs = topology_cli_kwargs("dragonfly", {"a": 4, "hosts": 32})
+        assert kwargs == {"a": 4, "num_hosts": 32}
+
+    def test_jellyfish_does_not_accept_hosts(self):
+        kwargs = topology_cli_kwargs(
+            "jellyfish",
+            {"switches": 16, "radix": 8, "hosts_per_switch": 3, "seed": 1,
+             "hosts": 32},
+        )
+        assert kwargs == {
+            "num_switches": 16, "radix": 8, "hosts_per_switch": 3, "seed": 1
+        }
+
+    def test_aliases_canonicalised(self):
+        assert topology_cli_kwargs("fattree", {"k": 4}) == {"k": 4}
+        assert topology_cli_kwargs("slimfly", {"q": 5}) == {"q": 5}
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            topology_cli_kwargs("klein-bottle", {})
+
+    def test_every_family_builds_from_its_defaults(self):
+        from repro.topologies import build_topology
+
+        for name, params in _CLI_PARAMS.items():
+            values = {p.attr: p.default for p in params}
+            kwargs = topology_cli_kwargs(name, values)
+            graph, spec = build_topology(name, **kwargs)
+            assert graph.num_switches > 0, name
