@@ -14,13 +14,17 @@ from repro.analysis.paths import (
 from repro.analysis.report import format_table, format_series
 from repro.analysis.resilience import (
     FailureImpact,
+    ResilienceSweepResult,
     edge_failure_impact,
+    failure_sweep,
     switch_failure_impact,
 )
 
 __all__ = [
     "FailureImpact",
+    "ResilienceSweepResult",
     "edge_failure_impact",
+    "failure_sweep",
     "switch_failure_impact",
     "host_distribution",
     "host_distribution_summary",

@@ -123,6 +123,21 @@ def _ignore_sigint() -> None:  # pragma: no cover - runs in pool workers
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
+def _build_point_graph(point: dict[str, Any]) -> Any:
+    """The seeded graph a non-solver point (e.g. resilience) runs against."""
+    from repro.core.construct import (
+        random_host_switch_graph,
+        random_regular_host_switch_graph,
+    )
+    from repro.core.moore import optimal_switch_count
+
+    n, r = point["n"], point["r"]
+    m = point["m"] if point["m"] is not None else optimal_switch_count(n, r)[0]
+    if point["construction"] == "regular":
+        return random_regular_host_switch_graph(n, m, r, seed=point["graph_seed"])
+    return random_host_switch_graph(n, m, r, seed=point["graph_seed"])
+
+
 def _solve_point(
     store: CampaignStore,
     digest: str,
@@ -144,6 +159,22 @@ def _solve_point(
             raise PointTimeout(
                 f"point {digest[:12]} exceeded timeout_s={cfg.timeout_s}"
             )
+
+    if point.get("kind") == "resilience":
+        from repro.analysis.resilience import failure_sweep
+
+        # Trials are cheap and independent, so there is no annealer-style
+        # checkpoint state to persist; trial boundaries still honor the
+        # interrupt flag and the timeout budget via the same hook.
+        return failure_sweep(
+            _build_point_graph(point),
+            mode=point["mode"],
+            failures=point["failures"],
+            trials=point["trials"],
+            seed=point["seed"],
+            telemetry=telemetry,
+            on_trial=lambda _trial: hook(),
+        )
 
     checkpointer = PointCheckpointer(
         store, digest, cfg.checkpoint_every, on_checkpoint=hook

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 from typing import Any
 
@@ -32,6 +33,12 @@ def campaign_status(
 
 def _point_label(point: dict[str, Any]) -> str:
     m = point["m"] if point["m"] is not None else "auto"
+    if point.get("kind") == "resilience":
+        return (
+            f"n={point['n']} r={point['r']} m={m} gseed={point['graph_seed']} "
+            f"{point['mode']}x{point['failures']} trials={point['trials']} "
+            f"seed={point['seed']}"
+        )
     return (
         f"n={point['n']} r={point['r']} m={m} seed={point['seed']} "
         f"steps={point['steps']}x{point['restarts']}"
@@ -60,6 +67,8 @@ def format_status(spec: CampaignSpec, store_root: str | Path) -> str:
 def format_report(spec: CampaignSpec, store_root: str | Path) -> str:
     """Result report: per-point h-ASPL against the Theorem-2 bound.
 
+    Resilience points report degraded-operation numbers instead (mean
+    reachable-pair h-ASPL, disconnection probability, reachable fraction).
     Unsolved points appear with their state instead of numbers, so a
     partially-run campaign still reports coherently.
     """
@@ -69,9 +78,24 @@ def format_report(spec: CampaignSpec, store_root: str | Path) -> str:
     for point in spec.points:
         digest = point_digest(point)
         state = store.point_state(digest)
-        if state == "solved":
-            solution = store.load_result(digest)
-            solved += 1
+        if state != "solved":
+            table_rows.append([_point_label(point), "-", state, "-", "-", "-"])
+            continue
+        solution = store.load_result(digest)
+        solved += 1
+        if point.get("kind") == "resilience":
+            pct = solution.percentiles()
+            table_rows.append(
+                [
+                    _point_label(point),
+                    f"{solution.baseline_h_aspl:.4f}",
+                    f"{solution.h_aspl:.4f}",
+                    "inf" if math.isinf(pct["p99"]) else f"{pct['p99']:.4f}",
+                    f"{100 * solution.disconnection_probability:.1f}%",
+                    f"{solution.mean_reachable_fraction:.4f}",
+                ]
+            )
+        else:
             table_rows.append(
                 [
                     _point_label(point),
@@ -82,10 +106,12 @@ def format_report(spec: CampaignSpec, store_root: str | Path) -> str:
                     f"{solution.diameter:.0f}",
                 ]
             )
-        else:
-            table_rows.append([_point_label(point), "-", state, "-", "-", "-"])
+    if any(p.get("kind") == "resilience" for p in spec.points):
+        headers = ["point", "baseline", "degraded", "p99", "disc", "reach"]
+    else:
+        headers = ["point", "m", "h-ASPL", "bound", "gap", "diam"]
     table = format_table(
-        ["point", "m", "h-ASPL", "bound", "gap", "diam"],
+        headers,
         table_rows,
         title=f"campaign {spec.name} report",
     )

@@ -22,6 +22,13 @@ with the same defaults :func:`repro.core.solver.solve_orp` and
 SHA-256 digest of its canonical JSON form.  The digest is the point's key
 in the result store: same parameters, same key, regardless of dict
 ordering, spec file formatting, or which campaign asked for it.
+
+Points come in two kinds.  The default, ``"orp"``, anneals an ORP solution
+as above; its normalized form carries **no** ``kind`` key, so every digest
+ever computed stays valid.  ``"kind": "resilience"`` points instead build a
+seeded graph and run :func:`repro.analysis.resilience.failure_sweep` over
+it (``mode``/``failures``/``trials``/``seed`` fields); a top-level
+``"kind"`` in the spec applies to every point.
 """
 
 from __future__ import annotations
@@ -36,6 +43,8 @@ from typing import Any
 __all__ = [
     "CAMPAIGN_SPEC_FORMAT",
     "POINT_FIELDS",
+    "POINT_KINDS",
+    "RESILIENCE_POINT_FIELDS",
     "CampaignSpec",
     "ExecutorConfig",
     "SpecError",
@@ -70,6 +79,29 @@ POINT_FIELDS: dict[str, tuple[type | tuple[type, ...], Any]] = {
 _REQUIRED = ("n", "r")
 _OPERATIONS = ("swap", "swing", "two-neighbor-swing")
 _CONSTRUCTIONS = ("random", "regular")
+
+#: Recognized point kinds.  ``orp`` is the historical default and digests
+#: without a ``kind`` key for backward compatibility.
+POINT_KINDS = ("orp", "resilience")
+
+#: Fields of a ``kind="resilience"`` point: a seeded graph plus the
+#: :func:`repro.analysis.resilience.failure_sweep` parameters.  Defaults
+#: mirror ``failure_sweep`` exactly, for the same digest-stability reason
+#: as :data:`POINT_FIELDS`.
+RESILIENCE_POINT_FIELDS: dict[str, tuple[type | tuple[type, ...], Any]] = {
+    "kind": (str, "resilience"),
+    "n": (int, None),  # required
+    "r": (int, None),  # required
+    "m": ((int, type(None)), None),
+    "construction": (str, "random"),
+    "graph_seed": (int, 0),
+    "mode": (str, "link"),
+    "failures": (int, 1),
+    "trials": (int, 50),
+    "seed": (int, 0),
+}
+
+_MODES = ("link", "switch")
 
 _EXECUTOR_FIELDS: dict[str, tuple[type | tuple[type, ...], Any]] = {
     "jobs": (int, 1),
@@ -132,10 +164,19 @@ def canonical_json(obj: Any) -> str:
 def normalize_point(point: dict[str, Any]) -> dict[str, Any]:
     """Validate one point and make every solver-relevant field explicit.
 
-    Returns a new dict with exactly the :data:`POINT_FIELDS` keys (floats
-    coerced, ints kept exact).  Raises :class:`SpecError` on unknown keys,
-    missing required keys, wrong types, or out-of-range values.
+    Dispatches on the point's ``kind`` (default ``"orp"``).  ORP points
+    return a new dict with exactly the :data:`POINT_FIELDS` keys — no
+    ``kind`` key, so pre-kind digests are unchanged; resilience points keep
+    ``kind="resilience"`` plus the :data:`RESILIENCE_POINT_FIELDS` keys.
+    Raises :class:`SpecError` on unknown keys, missing required keys, wrong
+    types, or out-of-range values.
     """
+    kind = point.get("kind", "orp")
+    if kind not in POINT_KINDS:
+        raise SpecError(f"point kind must be one of {POINT_KINDS}, got {kind!r}")
+    if kind == "resilience":
+        return _normalize_resilience_point(point)
+    point = {key: value for key, value in point.items() if key != "kind"}
     unknown = set(point) - set(POINT_FIELDS)
     if unknown:
         raise SpecError(
@@ -176,6 +217,42 @@ def normalize_point(point: dict[str, Any]) -> dict[str, Any]:
             "need 0 < final_temperature <= initial_temperature, got "
             f"{out['final_temperature']}, {out['initial_temperature']}"
         )
+    return out
+
+
+def _normalize_resilience_point(point: dict[str, Any]) -> dict[str, Any]:
+    """Normalize a ``kind="resilience"`` point (see :func:`normalize_point`)."""
+    unknown = set(point) - set(RESILIENCE_POINT_FIELDS)
+    if unknown:
+        raise SpecError(
+            f"unknown resilience point field(s) {sorted(unknown)}; "
+            f"allowed: {sorted(RESILIENCE_POINT_FIELDS)}"
+        )
+    out: dict[str, Any] = {}
+    for key, (types, default) in RESILIENCE_POINT_FIELDS.items():
+        if key in point:
+            value = point[key]
+        elif key in _REQUIRED:
+            raise SpecError(f"point is missing required field {key!r}: {point!r}")
+        else:
+            value = default
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise SpecError(f"point field {key!r} must be {types}, got {value!r}")
+        out[key] = value
+    for key in ("r", "failures", "trials"):
+        if out[key] < 1:
+            raise SpecError(f"point field {key!r} must be >= 1, got {out[key]}")
+    if out["n"] < 2:
+        raise SpecError(f"resilience needs n >= 2 hosts, got {out['n']}")
+    if out["m"] is not None and out["m"] < 1:
+        raise SpecError(f"point field 'm' must be >= 1, got {out['m']}")
+    if out["construction"] not in _CONSTRUCTIONS:
+        raise SpecError(
+            f"point construction must be one of {_CONSTRUCTIONS}, "
+            f"got {out['construction']!r}"
+        )
+    if out["mode"] not in _MODES:
+        raise SpecError(f"point mode must be one of {_MODES}, got {out['mode']!r}")
     return out
 
 
@@ -232,7 +309,7 @@ def load_spec(document: dict[str, Any]) -> CampaignSpec:
         raise SpecError(
             f"unsupported spec format {fmt!r} (expected {CAMPAIGN_SPEC_FORMAT})"
         )
-    allowed = {"format", "name", "grid", "defaults", "executor"}
+    allowed = {"format", "name", "kind", "grid", "defaults", "executor"}
     unknown = set(document) - allowed
     if unknown:
         raise SpecError(
@@ -243,7 +320,17 @@ def load_spec(document: dict[str, Any]) -> CampaignSpec:
         raise SpecError(
             f"spec needs a 'name' matching {_NAME_RE.pattern!r}, got {name!r}"
         )
-    points = expand_grid(document.get("grid", {}), document.get("defaults"))
+    defaults = dict(document.get("defaults") or {})
+    kind = document.get("kind")
+    if kind is not None:
+        if kind not in POINT_KINDS:
+            raise SpecError(f"spec kind must be one of {POINT_KINDS}, got {kind!r}")
+        if "kind" in defaults or "kind" in (document.get("grid") or {}):
+            raise SpecError(
+                "give 'kind' either at the spec top level or in grid/defaults, not both"
+            )
+        defaults["kind"] = kind
+    points = expand_grid(document.get("grid", {}), defaults)
 
     executor_doc = document.get("executor", {})
     if not isinstance(executor_doc, dict):

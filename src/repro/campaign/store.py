@@ -30,6 +30,10 @@ import os
 from pathlib import Path
 from typing import Any
 
+from repro.analysis.resilience import (
+    RESILIENCE_RESULT_FORMAT,
+    ResilienceSweepResult,
+)
 from repro.campaign.spec import CampaignSpec, canonical_json, load_spec
 from repro.core.serialization import (
     graph_to_text,
@@ -126,22 +130,33 @@ class CampaignStore:
     def save_result(self, digest: str, point: dict[str, Any], solution: Any) -> None:
         """Persist a solved point: graph artifact, solution JSON, point spec.
 
-        The graph lands first and ``result.json`` last, so a result file's
-        existence certifies the whole artifact set; the now-obsolete
-        checkpoint is dropped afterwards.
+        ORP solutions write their graph first and ``result.json`` last, so
+        a result file's existence certifies the whole artifact set;
+        resilience sweep results are a single JSON document (the swept
+        graph is reproducible from the point's ``graph_seed``).  The
+        now-obsolete checkpoint is dropped afterwards.
         """
         pdir = self.point_dir(digest)
-        _atomic_write_text(pdir / _GRAPH_FILE, graph_to_text(solution.graph))
-        _atomic_write_json(pdir / _POINT_FILE, point)
-        _atomic_write_json(pdir / _RESULT_FILE, orp_solution_to_dict(solution))
+        if isinstance(solution, ResilienceSweepResult):
+            _atomic_write_json(pdir / _POINT_FILE, point)
+            _atomic_write_json(pdir / _RESULT_FILE, solution.to_dict())
+        else:
+            _atomic_write_text(pdir / _GRAPH_FILE, graph_to_text(solution.graph))
+            _atomic_write_json(pdir / _POINT_FILE, point)
+            _atomic_write_json(pdir / _RESULT_FILE, orp_solution_to_dict(solution))
         self.clear_checkpoint(digest)
         self.clear_failure(digest)
 
     def load_result(self, digest: str) -> Any:
-        """Rebuild the stored :class:`~repro.core.solver.ORPSolution`."""
-        return orp_solution_from_dict(
-            _read_json(self.point_dir(digest) / _RESULT_FILE)
-        )
+        """Rebuild the stored result, dispatching on its ``format`` field.
+
+        Returns an :class:`~repro.core.solver.ORPSolution` or a
+        :class:`~repro.analysis.resilience.ResilienceSweepResult`.
+        """
+        document = _read_json(self.point_dir(digest) / _RESULT_FILE)
+        if isinstance(document, dict) and document.get("format") == RESILIENCE_RESULT_FORMAT:
+            return ResilienceSweepResult.from_dict(document)
+        return orp_solution_from_dict(document)
 
     def load_point(self, digest: str) -> dict[str, Any]:
         return _read_json(self.point_dir(digest) / _POINT_FILE)

@@ -18,7 +18,11 @@ Commands
 ``simulate``
     Run one NAS skeleton on a topology (built or loaded) and print Mop/s.
 ``traffic``
-    Drive a synthetic pattern and print latency/throughput.
+    Drive a synthetic pattern and print latency/throughput; ``--faults``
+    injects a seeded failure schedule mid-run.
+``resilience``
+    k-simultaneous-failure sweep with degraded (reachability-aware)
+    metrics and percentile reporting (:mod:`repro.analysis.resilience`).
 ``telemetry summarize|validate PATH``
     Report on (or schema-check) a ``--telemetry-out`` JSONL trace.
 
@@ -153,6 +157,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--routing", choices=["shortest", "ecmp", "valiant"],
                    default="shortest")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fail-links", type=int, default=0,
+                   help="inject N seeded random link failures at t=0")
+    p.add_argument("--fail-switches", type=int, default=0,
+                   help="inject N seeded random switch failures at t=0")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the injected failure schedule")
+
+    p = add_command("resilience", help="failure sweep with degraded metrics")
+    p.add_argument("--graph", type=str, default=None, help="HSG v1 file to load")
+    p.add_argument("--n", type=int, default=None,
+                   help="build a random (n, r) graph instead of loading one")
+    p.add_argument("--r", type=int, default=None)
+    p.add_argument("--m", type=int, default=None, help="override switch count")
+    p.add_argument("--graph-seed", type=int, default=0,
+                   help="seed for the built graph (with --n/--r)")
+    p.add_argument("--mode", choices=["link", "switch"], default="link")
+    p.add_argument("--failures", type=int, default=1,
+                   help="simultaneous failures per trial")
+    p.add_argument("--trials", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw sweep result as JSON instead of a table")
 
     p = add_command("campaign", help="run durable, resumable experiment sweeps")
     csub = p.add_subparsers(dest="campaign_command", required=True)
@@ -311,18 +337,89 @@ def _cmd_traffic(args, telemetry) -> int:
     from repro.simulation.traffic import run_traffic
 
     graph = load_graph(args.graph) if args.graph else _default_graph()
+    faults = None
+    if args.fail_links or args.fail_switches:
+        from repro.faults import FaultSchedule
+
+        events = []
+        if args.fail_links:
+            events.extend(
+                FaultSchedule.random_link_failures(
+                    graph, args.fail_links, seed=args.fault_seed
+                )
+            )
+        if args.fail_switches:
+            events.extend(
+                FaultSchedule.random_switch_failures(
+                    graph, args.fail_switches, seed=args.fault_seed + 1
+                )
+            )
+        faults = FaultSchedule(events)
     res = run_traffic(
         graph, args.pattern, messages_per_host=args.messages,
         message_bytes=args.bytes, offered_load=args.load,
         routing=args.routing, seed=args.seed,
-        telemetry=telemetry,
+        faults=faults, telemetry=telemetry,
     )
-    _emit(
+    lines = [
         f"pattern {res.pattern} on {res.num_hosts} hosts @ load {res.offered_load}:",
         f"  mean latency : {res.mean_latency_s * 1e6:.2f} us",
         f"  p99 latency  : {res.p99_latency_s * 1e6:.2f} us",
         f"  throughput   : {res.throughput_bytes_per_s / 1e9:.3f} GB/s aggregate",
+    ]
+    if faults is not None:
+        lines.append(
+            f"  faults       : {faults.num_down_events} injected, "
+            f"{res.messages_dropped} message(s) dropped"
+        )
+    _emit(*lines)
+    return 0
+
+
+def _cmd_resilience(args, telemetry) -> int:
+    from repro.analysis.resilience import failure_sweep
+    from repro.core.construct import random_host_switch_graph
+    from repro.core.serialization import load_graph
+
+    if args.graph:
+        graph = load_graph(args.graph)
+    elif args.n is not None and args.r is not None:
+        from repro.core.moore import optimal_switch_count
+
+        m = args.m if args.m is not None else optimal_switch_count(args.n, args.r)[0]
+        graph = random_host_switch_graph(args.n, m, args.r, seed=args.graph_seed)
+    else:
+        _log.error("resilience needs either --graph or both --n and --r")
+        return 2
+    result = failure_sweep(
+        graph,
+        mode=args.mode,
+        failures=args.failures,
+        trials=args.trials,
+        seed=args.seed,
+        telemetry=telemetry,
     )
+    if args.json:
+        import json
+
+        _emit(json.dumps(result.to_dict(), sort_keys=True))
+        return 0
+    pct = result.percentiles()
+    rows = [
+        ["baseline h-ASPL", f"{result.baseline_h_aspl:.4f}"],
+        ["degraded h-ASPL (mean)", f"{result.h_aspl:.4f}"],
+        ["degraded h-ASPL p50/p90/p99",
+         f"{pct['p50']:.4f} / {pct['p90']:.4f} / {pct['p99']:.4f}"],
+        ["disconnection probability",
+         f"{100 * result.disconnection_probability:.1f}%"],
+        ["reachable pairs (mean/min)",
+         f"{result.mean_reachable_fraction:.4f} / {result.min_reachable_fraction:.4f}"],
+    ]
+    _emit(format_table(
+        ["quantity", "value"], rows,
+        title=(f"{args.mode} failure sweep: {args.failures} simultaneous, "
+               f"{args.trials} trials"),
+    ))
     return 0
 
 
@@ -398,6 +495,7 @@ _HANDLERS = {
     "campaign": _cmd_campaign,
     "simulate": _cmd_simulate,
     "traffic": _cmd_traffic,
+    "resilience": _cmd_resilience,
     "telemetry": _cmd_telemetry,
 }
 

@@ -14,7 +14,11 @@ This subpackage implements the paper's primary contribution:
 """
 
 from repro.core.hostswitch import HostSwitchGraph
+from repro.core.incremental import DynamicDistanceMatrix
 from repro.core.metrics import (
+    DegradedMetrics,
+    degraded_metrics,
+    degraded_metrics_from_distances,
     diameter,
     h_aspl,
     h_aspl_and_diameter,
@@ -43,6 +47,10 @@ from repro.core.serialization import graph_from_text, graph_to_text, load_graph,
 
 __all__ = [
     "HostSwitchGraph",
+    "DynamicDistanceMatrix",
+    "DegradedMetrics",
+    "degraded_metrics",
+    "degraded_metrics_from_distances",
     "ODPSolution",
     "solve_odp",
     "diameter",

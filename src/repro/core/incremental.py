@@ -77,7 +77,11 @@ from repro.core.metrics import (
 from repro.core.operations import SwapMove, SwingMove
 from repro.obs import NULL_TELEMETRY, Histogram, TelemetryRegistry
 
-__all__ = ["IncrementalEvaluator", "IncrementalEvaluatorError"]
+__all__ = [
+    "DynamicDistanceMatrix",
+    "IncrementalEvaluator",
+    "IncrementalEvaluatorError",
+]
 
 Move = SwapMove | SwingMove
 _Edge = tuple[int, int]
@@ -143,6 +147,109 @@ def _affected_sources(
             through &= ~alternative
         affected |= through
     return np.flatnonzero(affected)
+
+
+class DynamicDistanceMatrix:
+    """Exact switch-graph APSP maintained across edge removals/insertions.
+
+    The public face of the dynamic-BFS repair machinery above, for consumers
+    outside the annealing loop: degraded :class:`repro.routing.RoutingTables`
+    and the :mod:`repro.analysis.resilience` sweeps both keep one of these
+    alive and repair it per fault/repair instead of re-running a full APSP.
+
+    Unlike :class:`IncrementalEvaluator` there is no propose/commit protocol
+    and no fallback threshold — every mutation is applied immediately and
+    exactly, and the matrix keeps ``inf`` entries while the graph is
+    partitioned (both the affected-row test and the insertion min-rule stay
+    exact in the presence of ``inf``: ``inf == inf + 1`` only flags rows for
+    a safe BFS recompute, and ``inf`` never wins a ``minimum``).  After any
+    sequence of ``remove_edge``/``add_edge`` calls, :attr:`dist` is
+    bit-identical to a from-scratch rebuild on the resulting graph.
+    """
+
+    def __init__(self, graph: HostSwitchGraph) -> None:
+        m = graph.num_switches
+        self._m = m
+        self._adj = np.zeros((m, m), dtype=np.float32)
+        for a, b in graph.switch_edges():
+            self._adj[a, b] = 1.0
+            self._adj[b, a] = 1.0
+        self._dist = _batched_bfs_rows(self._adj, np.arange(m))
+        #: Cumulative rows repaired by :meth:`remove_edge` (speedup accounting:
+        #: a from-scratch APSP would have recomputed ``m`` rows per change).
+        self.repaired_rows = 0
+
+    @property
+    def num_switches(self) -> int:
+        return self._m
+
+    @property
+    def dist(self) -> np.ndarray:
+        """Live ``(m, m)`` float64 distance matrix, ``inf`` for unreachable.
+
+        This is the evaluator's working array, not a copy — treat it as
+        read-only and re-read it after each mutation.
+        """
+        return self._dist
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_pair(u, v)
+        return bool(self._adj[u, v])
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Switch ids adjacent to ``u``, ascending."""
+        if not 0 <= u < self._m:
+            raise ValueError(f"switch id {u} out of range [0, {self._m})")
+        return np.flatnonzero(self._adj[u])
+
+    def is_connected(self) -> bool:
+        return not np.isinf(self._dist).any()
+
+    def remove_edge(self, u: int, v: int) -> int:
+        """Remove switch edge ``{u, v}``; returns the repaired row count."""
+        self._check_pair(u, v)
+        if not self._adj[u, v]:
+            raise ValueError(f"no switch edge {{{u}, {v}}} to remove")
+        self._adj[u, v] = 0.0
+        self._adj[v, u] = 0.0
+        rows = _affected_sources(self._dist, self._adj, u, v)
+        if len(rows):
+            self._dist[rows, :] = _batched_bfs_rows(self._adj, rows)
+            self._dist[:, rows] = self._dist[rows, :].T
+        self.repaired_rows += len(rows)
+        return len(rows)
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert switch edge ``{u, v}`` (exact single-insertion min-rule)."""
+        self._check_pair(u, v)
+        if self._adj[u, v]:
+            raise ValueError(f"switch edge {{{u}, {v}}} already present")
+        self._adj[u, v] = 1.0
+        self._adj[v, u] = 1.0
+        candidate = self._dist[:, [u]] + self._dist[[v], :] + 1.0
+        np.minimum(self._dist, candidate, out=self._dist)
+        np.minimum(self._dist, candidate.T, out=self._dist)
+
+    def remove_switch(self, s: int) -> tuple[tuple[int, int], ...]:
+        """Remove every edge incident to ``s`` (isolating it).
+
+        Returns the removed edges as sorted ``(a, b)`` pairs with ``a < b``,
+        in the order they were taken down — re-adding them in any order via
+        :meth:`add_edge` restores the exact pre-removal matrix.
+        """
+        removed = []
+        for t in self.neighbors(s):
+            edge = (min(s, int(t)), max(s, int(t)))
+            self.remove_edge(*edge)
+            removed.append(edge)
+        return tuple(removed)
+
+    def _check_pair(self, u: int, v: int) -> None:
+        for s in (u, v):
+            if not 0 <= s < self._m:
+                raise ValueError(f"switch id {s} out of range [0, {self._m})")
+        if u == v:
+            raise ValueError(f"self-loop {{{u}, {v}}} is not a switch edge")
 
 
 class IncrementalEvaluator:

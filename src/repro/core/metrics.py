@@ -25,6 +25,8 @@ bit-identical h-ASPL values (see :func:`_weighted_host_distance_sum`).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 from scipy.sparse import csgraph
 
@@ -41,6 +43,9 @@ __all__ = [
     "single_source_host_distances",
     "h_aspl_from_distances",
     "h_aspl_sampled",
+    "DegradedMetrics",
+    "degraded_metrics",
+    "degraded_metrics_from_distances",
 ]
 
 
@@ -206,6 +211,107 @@ def h_aspl_sampled(
     weighted = (dist + 2.0) @ counts  # per-source sums over all hosts
     per_source = (weighted - 2.0) / (n - 1)  # exclude the source host itself
     return float(np.average(per_source, weights=k_src))
+
+
+@dataclass(frozen=True)
+class DegradedMetrics:
+    """Reachability-aware metrics for a (possibly partitioned) fabric.
+
+    On a connected fabric ``connected_h_aspl`` equals :func:`h_aspl`
+    bit-for-bit and ``reachable_pair_fraction`` is exactly 1.0, so consumers
+    can use these fields unconditionally.  On a partitioned fabric every
+    field stays finite except ``connected_h_aspl``, which is ``inf`` only in
+    the degenerate case of *zero* reachable host pairs.
+    """
+
+    #: Mean host-to-host distance over *reachable* pairs only (``inf`` when
+    #: no pair is reachable).  Same-switch pairs count at distance 2.
+    connected_h_aspl: float
+    #: Reachable unordered host pairs divided by ``C(n, 2)``.
+    reachable_pair_fraction: float
+    #: Number of switch-graph components carrying at least one host.
+    num_components: int
+    #: Host population of each such component, descending.
+    component_hosts: tuple[int, ...]
+    #: Total hosts considered (``n``).
+    num_hosts: int
+
+    @property
+    def largest_component_hosts(self) -> int:
+        return self.component_hosts[0] if self.component_hosts else 0
+
+    @property
+    def is_partitioned(self) -> bool:
+        return self.num_components > 1
+
+
+def degraded_metrics(graph: HostSwitchGraph) -> DegradedMetrics:
+    """Degraded-operation metrics of ``graph`` (one APSP pass).
+
+    Unlike :func:`h_aspl` this never collapses to a single ``inf`` on a
+    disconnected fabric: the average is taken over reachable host pairs and
+    the lost connectivity is reported separately as the reachable-pair
+    fraction and per-component host counts.
+    """
+    n = graph.num_hosts
+    if n < 2:
+        raise ValueError(f"degraded metrics need at least 2 hosts, graph has {n}")
+    dist, k, _ = _host_weighted_sums(graph)
+    return degraded_metrics_from_distances(dist, k, n)
+
+
+def degraded_metrics_from_distances(
+    dist: np.ndarray, k: np.ndarray, n: int
+) -> DegradedMetrics:
+    """:class:`DegradedMetrics` from a precomputed host-bearing distance matrix.
+
+    ``dist`` is the pairwise switch-distance matrix restricted to
+    host-bearing switches (``inf`` for unreachable pairs) and ``k`` their
+    host counts — the same inputs as :func:`h_aspl_from_distances`, so
+    callers holding an incrementally repaired matrix (resilience sweeps,
+    degraded routing) get degraded metrics without another APSP.
+    """
+    if n < 2:
+        raise ValueError(f"degraded metrics need at least 2 hosts, got n={n}")
+    k = np.asarray(k, dtype=np.float64)
+    finite = np.isfinite(dist)
+    total_pairs = n * (n - 1) / 2.0
+    if finite.all():
+        # Connected fast path: identical float ops to h_aspl_from_distances,
+        # hence bit-identical values (integer terms are exact in float64).
+        weighted = _weighted_host_distance_sum(dist, k)
+        aspl = float((0.5 * weighted - n) / total_pairs)
+        return DegradedMetrics(
+            connected_h_aspl=aspl,
+            reachable_pair_fraction=1.0 if len(k) else 0.0,
+            num_components=1 if len(k) else 0,
+            component_hosts=(int(k.sum()),) if len(k) else (),
+            num_hosts=n,
+        )
+    # Masked double sum: unreachable entries contribute 0; the reachable
+    # ordered-pair weight includes the n same-host self terms, corrected the
+    # same way as in h_aspl (0.5 * weighted - n over (ordered - n) / 2).
+    masked = np.where(finite, dist + 2.0, 0.0)
+    weighted = float(k @ masked @ k)
+    reach_ordered = float(k @ finite.astype(np.float64) @ k)
+    reachable_pairs = 0.5 * (reach_ordered - n)
+    if reachable_pairs > 0:
+        aspl = float((0.5 * weighted - n) / reachable_pairs)
+    else:
+        aspl = float("inf")
+    # Component representative per row: index of the first reachable switch
+    # (the diagonal is always finite, so every row has one).
+    reps, inverse = np.unique(np.argmax(finite, axis=1), return_inverse=True)
+    hosts_per = np.zeros(len(reps))
+    np.add.at(hosts_per, inverse, k)
+    component_hosts = tuple(sorted((int(h) for h in hosts_per), reverse=True))
+    return DegradedMetrics(
+        connected_h_aspl=aspl,
+        reachable_pair_fraction=float(reachable_pairs / total_pairs),
+        num_components=len(reps),
+        component_hosts=component_hosts,
+        num_hosts=n,
+    )
 
 
 def host_distance_matrix(graph: HostSwitchGraph) -> np.ndarray:

@@ -52,6 +52,15 @@ REP008
     the package's single write path — bypassing it breaks atomicity
     (temp-file + rename) and digest bookkeeping, which kill/resume
     correctness depends on.
+REP009
+    Unsafe mutate-measure-restore loops in :mod:`repro.analysis`: a loop
+    body that both removes graph state (``remove_switch_edge`` /
+    ``remove_edge`` / ``remove_switch`` / ``fail_link`` / ``fail_switch``)
+    and restores it (``add_switch_edge`` / ``add_edge`` / ``repair_link``
+    / ``repair_switch``) must run the restore in a ``finally`` block — a
+    raising measurement otherwise leaves the shared graph (or distance
+    matrix) corrupted for every later trial and for the caller.
+    Construction-only loops (adds without removals) are exempt.
 
 Waivers
 -------
@@ -95,6 +104,8 @@ RULES: dict[str, str] = {
     "bypasses repro.obs (use clock(), spans/timers, or registry events)",
     "REP008": "direct file write in repro.campaign outside store.py bypasses the "
     "content-addressed store (the package's single atomic write path)",
+    "REP009": "mutate-measure-restore loop in repro.analysis restores graph state "
+    "outside a try/finally (a raising measurement corrupts later trials)",
 }
 
 # The one repro.campaign module allowed to write artifact files (REP008).
@@ -171,11 +182,22 @@ _STOCHASTIC_FUNCS = frozenset(
         "optimize_placement",
         "edge_failure_impact",
         "switch_failure_impact",
+        "failure_sweep",
         "partition_host_switch",
         "valiant_switch_route",
     }
 )
 _SEED_KEYWORDS = frozenset({"seed", "rng"})
+
+# Mutate-measure-restore loop calls (REP009): removal-type calls take
+# graph/matrix state down for a trial; restore-type calls bring it back and
+# must therefore run in a ``finally`` block.
+_REP009_REMOVERS = frozenset(
+    {"remove_switch_edge", "remove_edge", "remove_switch", "fail_link", "fail_switch"}
+)
+_REP009_RESTORERS = frozenset(
+    {"add_switch_edge", "add_edge", "repair_link", "repair_switch"}
+)
 
 # numpy.random attributes that are fine to reference (they construct or
 # name generator machinery rather than draw from hidden global state).
@@ -377,6 +399,7 @@ class _Analyzer(ast.NodeVisitor):
         self.ctx = ctx
         self.diags: list[Diagnostic] = []
         self._loop_depth = 0
+        self._rep009_reported: set[int] = set()
         self._class_stack: list[str] = []
         # name -> repro module of its (annotated or constructed) class,
         # scoped per function; only simple Name receivers are tracked.
@@ -430,11 +453,51 @@ class _Analyzer(ast.NodeVisitor):
 
     def _loop_visit(self, node: ast.AST) -> None:
         self._loop_depth += 1
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            self._check_rep009(node)
         self.generic_visit(node)
         self._loop_depth -= 1
 
     visit_For = visit_AsyncFor = visit_While = _loop_visit
     visit_ListComp = visit_SetComp = visit_DictComp = visit_GeneratorExp = _loop_visit
+
+    # -- REP009 (mutate-measure-restore loops in repro.analysis) ---------- #
+
+    def _check_rep009(self, loop: ast.For | ast.AsyncFor | ast.While) -> None:
+        if not self.ctx.module.startswith("repro.analysis"):
+            return
+        removals: list[ast.Call] = []
+        restores: list[ast.Call] = []
+        safe_restores: set[int] = set()
+        for child in _scope_walk(loop):
+            if isinstance(child, ast.Try) and child.finalbody:
+                for stmt in child.finalbody:
+                    for sub in ast.walk(stmt):
+                        if isinstance(sub, ast.Call):
+                            safe_restores.add(id(sub))
+            elif isinstance(child, ast.Call):
+                tail = _call_tail(child)
+                if tail in _REP009_REMOVERS:
+                    removals.append(child)
+                elif tail in _REP009_RESTORERS:
+                    restores.append(child)
+        # Construction-only loops (adds with no removals) and pure teardown
+        # loops (removals with no restore) are not trial loops.
+        if not removals or not restores:
+            return
+        if all(id(call) in safe_restores for call in restores):
+            return
+        anchor = removals[0]
+        if id(anchor) in self._rep009_reported:
+            return
+        self._rep009_reported.add(id(anchor))
+        self._report(
+            "REP009",
+            anchor,
+            "loop removes graph state and restores it outside a try/finally; "
+            "a raising measurement between the two corrupts the shared graph "
+            "for every later trial (move the restore into a finally block)",
+        )
 
     # -- REP001 + REP003 (call sites) ----------------------------------- #
 

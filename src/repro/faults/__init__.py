@@ -1,0 +1,37 @@
+"""Deterministic, seeded fault models for host-switch fabrics.
+
+The paper's graphs are argued to *degrade gracefully* under component
+failures; this package is the layer that lets the rest of the stack test
+that claim instead of raising.  It provides
+
+- :class:`FaultEvent` / :class:`FaultSchedule` — validated, serialisable
+  timelines of link/switch down/up transitions with seeded random builders
+  (single failures, whole-switch failures, transient link flaps);
+- :class:`FaultInjector` — glue that registers a schedule's events on a
+  simulation :class:`~repro.simulation.engine.Kernel` and drives them into
+  a network model mid-run.
+
+Consumers: degraded :class:`repro.routing.RoutingTables` (``apply_fault``/
+``repair``), the simulation network models (``faults=`` parameter), and the
+:mod:`repro.analysis.resilience` sweeps.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    link_down,
+    link_up,
+    switch_down,
+    switch_up,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "link_down",
+    "link_up",
+    "switch_down",
+    "switch_up",
+]

@@ -1,0 +1,41 @@
+"""Wire a fault schedule into a running simulation.
+
+The injector is deliberately thin: it validates the schedule against the
+network's graph and registers one kernel timer per event, each of which
+calls the network model's ``apply_fault``.  Everything stateful — degraded
+routing-table repair, in-flight flow cancellation, retry/drop accounting,
+``faults.*`` telemetry — lives in the network model, which owns that state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.faults.schedule import FaultSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.network import BaseNetworkModel
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Registers a :class:`FaultSchedule`'s events on a network's kernel."""
+
+    def __init__(self, network: BaseNetworkModel, schedule: FaultSchedule) -> None:
+        self._network = network
+        self._schedule = schedule
+        self.installed = False
+
+    @property
+    def schedule(self) -> FaultSchedule:
+        return self._schedule
+
+    def install(self) -> None:
+        """Validate targets and schedule every event (idempotence guarded)."""
+        if self.installed:
+            raise RuntimeError("fault schedule already installed")
+        self._schedule.validate_against(self._network.graph)
+        for event in self._schedule:
+            self._network.kernel.call_at(event.time, self._network.apply_fault, event)
+        self.installed = True

@@ -1,0 +1,284 @@
+"""Fault events and schedules: validated timelines of down/up transitions.
+
+A :class:`FaultEvent` is one transition — a link or a whole switch going
+``down`` or coming back ``up`` at a simulation time.  A
+:class:`FaultSchedule` is a time-sorted tuple of events whose construction
+*replays* the sequence against the same state machine the degraded routing
+tables use, so an inconsistent timeline (downing a link twice, repairing a
+switch that never failed) is rejected at build time rather than mid-run.
+
+All random builders take an explicit seed and sample from sorted target
+lists, so a ``(graph, seed)`` pair always yields the same schedule.
+Schedules round-trip through plain dicts (:meth:`FaultSchedule.to_dicts` /
+:meth:`FaultSchedule.from_dicts`) for JSON campaign specs and CLI use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core.hostswitch import HostSwitchGraph
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "link_down",
+    "link_up",
+    "switch_down",
+    "switch_up",
+]
+
+_KINDS = ("link", "switch")
+_ACTIONS = ("down", "up")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault transition: a link or switch going down or coming back up."""
+
+    time: float
+    kind: str  # "link" | "switch"
+    action: str  # "down" | "up"
+    link: tuple[int, int] | None = None
+    switch: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.action not in _ACTIONS:
+            raise ValueError(f"action must be one of {_ACTIONS}, got {self.action!r}")
+        if not self.time >= 0.0:
+            raise ValueError(f"event time must be >= 0, got {self.time!r}")
+        if self.kind == "link":
+            if self.link is None or self.switch is not None:
+                raise ValueError("a link event needs link=(a, b) and no switch")
+            a, b = (int(s) for s in self.link)
+            if a == b:
+                raise ValueError(f"link endpoints must differ, got {self.link!r}")
+            if a > b:
+                a, b = b, a
+            object.__setattr__(self, "link", (a, b))
+        else:
+            if self.switch is None or self.link is not None:
+                raise ValueError("a switch event needs switch=s and no link")
+            object.__setattr__(self, "switch", int(self.switch))
+
+    @property
+    def target(self) -> tuple[int, int] | int:
+        """The affected component: a sorted link pair or a switch id."""
+        return self.link if self.kind == "link" else self.switch  # type: ignore[return-value]
+
+    def replace(self, **changes: Any) -> FaultEvent:
+        """A copy with fields replaced (used e.g. to invert ``action``)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"time": self.time, "kind": self.kind, "action": self.action}
+        if self.kind == "link":
+            doc["link"] = list(self.link)  # type: ignore[arg-type]
+        else:
+            doc["switch"] = self.switch
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> FaultEvent:
+        known = {"time", "kind", "action", "link", "switch"}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown fault-event keys: {sorted(unknown)}")
+        link = doc.get("link")
+        return cls(
+            time=float(doc["time"]),
+            kind=str(doc["kind"]),
+            action=str(doc["action"]),
+            link=tuple(link) if link is not None else None,  # type: ignore[arg-type]
+            switch=doc.get("switch"),
+        )
+
+
+def link_down(time: float, a: int, b: int) -> FaultEvent:
+    return FaultEvent(time=time, kind="link", action="down", link=(a, b))
+
+
+def link_up(time: float, a: int, b: int) -> FaultEvent:
+    return FaultEvent(time=time, kind="link", action="up", link=(a, b))
+
+
+def switch_down(time: float, s: int) -> FaultEvent:
+    return FaultEvent(time=time, kind="switch", action="down", switch=s)
+
+
+def switch_up(time: float, s: int) -> FaultEvent:
+    return FaultEvent(time=time, kind="switch", action="up", switch=s)
+
+
+class FaultSchedule:
+    """A consistent, time-sorted sequence of :class:`FaultEvent`.
+
+    Construction validates the timeline by replaying it against the same
+    explicit-failed-links / dead-switches state machine that
+    :class:`repro.routing.RoutingTables` maintains, so every schedule that
+    constructs successfully can be injected without mid-run errors.
+    """
+
+    def __init__(self, events: Iterator[FaultEvent] | list[FaultEvent] | tuple[FaultEvent, ...] = ()) -> None:
+        ordered = sorted(events, key=lambda e: e.time)
+        failed_links: set[tuple[int, int]] = set()
+        dead_switches: set[int] = set()
+        for event in ordered:
+            if event.kind == "link":
+                assert event.link is not None
+                if event.action == "down":
+                    if event.link in failed_links:
+                        raise ValueError(f"link {event.link} downed twice at t={event.time}")
+                    failed_links.add(event.link)
+                else:
+                    if event.link not in failed_links:
+                        raise ValueError(
+                            f"link {event.link} repaired at t={event.time} but was never down"
+                        )
+                    failed_links.remove(event.link)
+            else:
+                assert event.switch is not None
+                if event.action == "down":
+                    if event.switch in dead_switches:
+                        raise ValueError(
+                            f"switch {event.switch} downed twice at t={event.time}"
+                        )
+                    dead_switches.add(event.switch)
+                else:
+                    if event.switch not in dead_switches:
+                        raise ValueError(
+                            f"switch {event.switch} repaired at t={event.time} "
+                            "but was never down"
+                        )
+                    dead_switches.remove(event.switch)
+        self._events = tuple(ordered)
+
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultSchedule):
+            return NotImplemented
+        return self._events == other._events
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({len(self._events)} events)"
+
+    @property
+    def num_down_events(self) -> int:
+        return sum(1 for e in self._events if e.action == "down")
+
+    def validate_against(self, graph: HostSwitchGraph) -> None:
+        """Check every target exists in ``graph`` (raises ``ValueError``)."""
+        m = graph.num_switches
+        for event in self._events:
+            if event.kind == "switch":
+                if not 0 <= event.switch < m:  # type: ignore[operator]
+                    raise ValueError(
+                        f"fault targets switch {event.switch}, graph has {m} switches"
+                    )
+            else:
+                a, b = event.link  # type: ignore[misc]
+                if not (0 <= a < m and 0 <= b < m) or b not in graph.neighbors(a):
+                    raise ValueError(
+                        f"fault targets link {event.link}, not a switch edge of the graph"
+                    )
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """JSON-ready event list (inverse of :meth:`from_dicts`)."""
+        return [event.to_dict() for event in self._events]
+
+    @classmethod
+    def from_dicts(cls, docs: list[dict[str, Any]]) -> FaultSchedule:
+        return cls(FaultEvent.from_dict(doc) for doc in docs)
+
+    # ------------------------------------------------------------------ #
+    # Seeded random builders
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def random_link_failures(
+        cls,
+        graph: HostSwitchGraph,
+        count: int,
+        *,
+        seed: int | np.random.Generator,
+        start: float = 0.0,
+        spacing: float = 0.0,
+    ) -> FaultSchedule:
+        """``count`` distinct links failing at ``start + i * spacing``."""
+        edges = sorted(graph.switch_edges())
+        picked = _sample(edges, count, seed)
+        return cls(
+            link_down(start + i * spacing, a, b) for i, (a, b) in enumerate(picked)
+        )
+
+    @classmethod
+    def random_switch_failures(
+        cls,
+        graph: HostSwitchGraph,
+        count: int,
+        *,
+        seed: int | np.random.Generator,
+        start: float = 0.0,
+        spacing: float = 0.0,
+    ) -> FaultSchedule:
+        """``count`` distinct switches failing at ``start + i * spacing``."""
+        switches = list(range(graph.num_switches))
+        picked = _sample(switches, count, seed)
+        return cls(
+            switch_down(start + i * spacing, s) for i, s in enumerate(picked)
+        )
+
+    @classmethod
+    def random_link_flaps(
+        cls,
+        graph: HostSwitchGraph,
+        count: int,
+        *,
+        seed: int | np.random.Generator,
+        start: float = 0.0,
+        period: float = 1e-3,
+        down_time: float = 100e-6,
+    ) -> FaultSchedule:
+        """Transient flaps: each sampled link goes down then back up.
+
+        Link ``i`` drops at ``start + i * period`` and recovers
+        ``down_time`` later, modelling transient physical-layer flaps.
+        """
+        if not 0.0 < down_time:
+            raise ValueError(f"down_time must be > 0, got {down_time}")
+        edges = sorted(graph.switch_edges())
+        picked = _sample(edges, count, seed)
+        events: list[FaultEvent] = []
+        for i, (a, b) in enumerate(picked):
+            t = start + i * period
+            events.append(link_down(t, a, b))
+            events.append(link_up(t + down_time, a, b))
+        return cls(events)
+
+
+def _sample(items: list, count: int, seed: int | np.random.Generator) -> list:
+    """``count`` distinct items, order fixed by the seeded draw."""
+    if not 0 < count <= len(items):
+        raise ValueError(
+            f"count must be in [1, {len(items)}] (distinct targets), got {count}"
+        )
+    from repro.utils.rng import as_generator
+
+    rng = as_generator(seed)
+    idx = rng.choice(len(items), size=count, replace=False)
+    return [items[int(i)] for i in idx]

@@ -5,8 +5,14 @@ or randomized ECMP) and full host-to-host path extraction.  Used by the
 flow-level simulator to turn messages into link sequences.
 """
 
-from repro.routing.tables import RoutingTables
+from repro.routing.tables import RoutingTables, UnreachableError
 from repro.routing.paths import host_path, switch_path
 from repro.routing.valiant import valiant_switch_route
 
-__all__ = ["RoutingTables", "host_path", "switch_path", "valiant_switch_route"]
+__all__ = [
+    "RoutingTables",
+    "UnreachableError",
+    "host_path",
+    "switch_path",
+    "valiant_switch_route",
+]

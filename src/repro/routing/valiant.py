@@ -33,7 +33,18 @@ def valiant_switch_route(
     ``rng`` is an int seed; the intermediate is always random).  When the
     sampled intermediate lies on an endpoint the route degenerates to plain
     shortest-path routing, as in standard VLB implementations.
+
+    ``rng`` must be an explicit generator or int seed, matching the
+    ``switch_route`` seed-threading convention: the intermediate draw is the
+    whole point of Valiant routing, so there is no deterministic ``None``
+    fallback — and silently drawing from fresh OS entropy would make runs
+    unreproducible.
     """
+    if rng is None:
+        raise ValueError(
+            "valiant_switch_route requires an explicit rng (generator or "
+            "int seed); pass one to keep the intermediate draw reproducible"
+        )
     gen = as_generator(rng)
     m = tables.graph.num_switches
     mid = int(gen.integers(0, m))

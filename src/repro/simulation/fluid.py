@@ -96,6 +96,38 @@ class FluidScheduler:
 
     # ------------------------------------------------------------------ #
 
+    def cancel_flows(
+        self, link_ids: list[int] | np.ndarray
+    ) -> list[tuple[Event, float]]:
+        """Cancel every active flow traversing any of ``link_ids``.
+
+        Used by fault injection when links go down mid-drain.  Flows are
+        drained up to the current time first (flows finishing exactly now
+        complete normally), then the affected flows are removed *without*
+        firing their done events.  Returns ``(done_event, remaining_bytes)``
+        per cancelled flow so the caller can reroute the remainder or count
+        the message as dropped.
+        """
+        self._advance()
+        self._complete_finished()
+        dead = np.asarray(sorted(set(int(l) for l in link_ids)), dtype=np.int64)
+        cancelled: list[tuple[Event, float]] = []
+        for slot in np.flatnonzero(self._alive):
+            slot = int(slot)
+            if not np.isin(self._links[slot], dead).any():
+                continue
+            self._alive[slot] = False
+            self._rate[slot] = 0.0
+            event = self._events[slot]
+            assert event is not None
+            cancelled.append((event, float(self._remaining[slot])))
+            self._events[slot] = None
+            self._links[slot] = None
+            self._free.append(slot)
+            self._dirty = True
+        self._recompute()
+        return cancelled
+
     def _alloc_slot(self) -> int:
         if not self._free:
             old = len(self._remaining)

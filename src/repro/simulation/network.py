@@ -16,25 +16,51 @@ Two interchangeable models:
 Default constants approximate the paper's Mellanox FDR10 fabric: 40 Gb/s
 links, 100 ns per hop, 1 µs software/injection overhead per message, and
 100 GFlops hosts (Section 6.2.1).
+
+Fault injection
+---------------
+Passing ``faults=FaultSchedule(...)`` arms the model: routing switches to a
+degraded :class:`RoutingTables` (repaired incrementally per fault), the
+schedule's events fire as kernel timers, and every in-flight message whose
+path loses a link is retried over a surviving route with bounded
+exponential backoff (``NetworkParams.fault_retry_backoff_s`` doubling up to
+``fault_max_retries`` attempts) or counted as dropped — a dropped message's
+done event fires with the :data:`DROPPED` sentinel so callers can account
+for it.  Everything is surfaced through :mod:`repro.obs`:
+``faults.injected`` / ``faults.repaired`` / ``faults.reroutes`` /
+``faults.dropped`` counters and one ``faults.apply`` span per fault event.
+With ``faults=None`` (the default) none of this machinery is touched and
+behaviour is bit-identical to the fault-free model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.hostswitch import HostSwitchGraph
+from repro.obs import NULL_TELEMETRY, TelemetryRegistry
 from repro.routing.tables import RoutingTables
 from repro.simulation.engine import Event, Kernel
 from repro.simulation.fluid import FluidScheduler
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.schedule import FaultEvent, FaultSchedule
+
 __all__ = [
+    "DROPPED",
     "NetworkParams",
+    "BaseNetworkModel",
     "FluidNetworkModel",
     "LatencyOnlyNetworkModel",
     "build_network",
 ]
+
+#: Sentinel value a message's done event fires with when fault retries are
+#: exhausted and the message is dropped (never fired in fault-free runs).
+DROPPED = "dropped"
 
 
 @dataclass(frozen=True)
@@ -46,6 +72,8 @@ class NetworkParams:
     software_overhead_s: float = 1e-6  # per-message MPI/NIC overhead
     host_flops_per_s: float = 100e9  # paper: "each host has 100 GFlops"
     local_copy_latency_s: float = 500e-9  # same-host (self) message
+    fault_retry_backoff_s: float = 10e-6  # first retry delay after a fault
+    fault_max_retries: int = 4  # retries before a message is dropped
 
 
 class _LinkIndex:
@@ -76,7 +104,26 @@ class _LinkIndex:
         return self._host_base + 2 * h + 1
 
 
-class _BaseNetworkModel:
+class _PendingMessage:
+    """In-flight bookkeeping for one message (fault mode only)."""
+
+    __slots__ = ("src", "dst", "nbytes", "done_event", "attempts", "route", "epoch", "in_flow")
+
+    def __init__(self, src: int, dst: int, nbytes: float, done_event: Event) -> None:
+        self.src = src
+        self.dst = dst
+        self.nbytes = float(nbytes)
+        self.done_event = done_event
+        self.attempts = 0
+        self.route: np.ndarray | None = None
+        #: Bumped whenever the message is cancelled/rescheduled; stale
+        #: kernel timers compare epochs and become no-ops (the kernel has
+        #: no cancellation primitive).
+        self.epoch = 0
+        self.in_flow = False  # True while the fluid scheduler owns it
+
+
+class BaseNetworkModel:
     """Shared routing/accounting for both network models.
 
     ``routing`` selects the per-message path policy:
@@ -96,6 +143,8 @@ class _BaseNetworkModel:
         tables: RoutingTables | None = None,
         routing: str = "shortest",
         seed: int | np.random.Generator | None = None,
+        faults: FaultSchedule | None = None,
+        telemetry: TelemetryRegistry | None = None,
     ) -> None:
         if routing not in ("shortest", "ecmp", "valiant"):
             raise ValueError(
@@ -104,15 +153,36 @@ class _BaseNetworkModel:
         self.graph = graph
         self.kernel = kernel
         self.params = params
-        self.tables = tables if tables is not None else RoutingTables(graph)
+        self.faults_enabled = faults is not None
+        if self.faults_enabled:
+            if tables is not None and not tables.degraded:
+                raise ValueError(
+                    "fault injection needs degraded routing tables; pass "
+                    "RoutingTables(graph, degraded=True) or let the model build them"
+                )
+            self.tables = (
+                tables if tables is not None else RoutingTables(graph, degraded=True)
+            )
+        else:
+            self.tables = tables if tables is not None else RoutingTables(graph)
         self.routing = routing
         self.links = _LinkIndex(graph)
         self.messages_sent = 0
         self.bytes_sent = 0.0
+        self.messages_dropped = 0
+        self.messages_rerouted = 0
         self._route_cache: dict[tuple[int, int], np.ndarray] = {}
         from repro.utils.rng import as_generator
 
         self._rng = as_generator(seed)
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._down_ids: set[int] = set()
+        self._inflight: set[_PendingMessage] = set()
+        if self.faults_enabled:
+            from repro.faults.injector import FaultInjector
+
+            self._injector = FaultInjector(self, faults)
+            self._injector.install()
 
     def _switch_path(self, su: int, sv: int) -> list[int]:
         if self.routing == "shortest":
@@ -154,14 +224,131 @@ class _BaseNetworkModel:
         if src_host == dst_host:
             self.kernel.call_later(self.params.local_copy_latency_s, done_event.fire, None)
             return
-        route = self.route_links(src_host, dst_host)
-        self._transfer(route, nbytes, done_event)
+        if not self.faults_enabled:
+            route = self.route_links(src_host, dst_host)
+            self._transfer(route, nbytes, done_event)
+            return
+        pending = _PendingMessage(src_host, dst_host, nbytes, done_event)
+        self._inflight.add(pending)
+        done_event.on_fire(lambda _value: self._inflight.discard(pending))
+        self._dispatch(pending)
 
     def _transfer(self, route: np.ndarray, nbytes: float, done_event: Event) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
+    # Fault handling (faults_enabled only; dead code otherwise)
+    # ------------------------------------------------------------------ #
 
-class FluidNetworkModel(_BaseNetworkModel):
+    def apply_fault(self, event: FaultEvent) -> None:
+        """Apply one fault event: repair tables, cancel/retry in-flight."""
+        if not self.faults_enabled:
+            raise RuntimeError("network model was built without a fault schedule")
+        tel = self._tel
+        with tel.span(
+            "faults.apply",
+            kind=event.kind,
+            action=event.action,
+            target=str(event.target),
+        ):
+            downed, restored = self.tables.apply_fault(event)
+            self._route_cache.clear()
+            dead_ids = self._edge_link_ids(downed)
+            live_ids = self._edge_link_ids(restored)
+            if event.kind == "switch":
+                host_ids = self._host_link_ids(event.switch)  # type: ignore[arg-type]
+                if event.action == "down":
+                    dead_ids |= host_ids
+                else:
+                    live_ids |= host_ids
+            self._down_ids |= dead_ids
+            self._down_ids -= live_ids
+            if tel.enabled:
+                name = "faults.injected" if event.action == "down" else "faults.repaired"
+                tel.counter(name).inc()
+            if dead_ids:
+                self._on_links_down(dead_ids)
+
+    def _edge_link_ids(self, edges: list[tuple[int, int]]) -> set[int]:
+        ids: set[int] = set()
+        for a, b in edges:
+            ids.add(self.links.switch_link(a, b))
+            ids.add(self.links.switch_link(b, a))
+        return ids
+
+    def _host_link_ids(self, switch: int) -> set[int]:
+        """Up/downlink ids of every host attached to ``switch``."""
+        ids: set[int] = set()
+        for h in np.flatnonzero(self.graph.host_attachments() == switch):
+            ids.add(self.links.host_uplink(int(h)))
+            ids.add(self.links.host_downlink(int(h)))
+        return ids
+
+    def _on_links_down(self, dead_ids: set[int]) -> None:
+        """Cancel and retry every in-flight message crossing a dead link.
+
+        The base implementation covers messages not yet handed to a flow
+        scheduler (pre-drain latency window, or the whole transfer in the
+        latency-only model); :class:`FluidNetworkModel` extends it to
+        cancel draining flows.
+        """
+        for pending in list(self._inflight):
+            if pending.in_flow or pending.route is None:
+                continue
+            if self._route_is_down(pending.route):
+                pending.epoch += 1
+                self._retry(pending)
+
+    def _route_is_down(self, route: np.ndarray) -> bool:
+        down = self._down_ids
+        return bool(down) and any(int(l) in down for l in route)
+
+    def _dispatch(self, pending: _PendingMessage) -> None:
+        """Route and launch ``pending``, or back off if currently unroutable."""
+        su = self.graph.host_attachment(pending.src)
+        sv = self.graph.host_attachment(pending.dst)
+        if (
+            not self.tables.switch_alive(su)
+            or not self.tables.switch_alive(sv)
+            or not self.tables.reachable(su, sv)
+        ):
+            # No surviving path right now; back off and retry (the fabric
+            # may heal — transient flaps — before retries are exhausted).
+            self._retry(pending)
+            return
+        if pending.attempts > 0:
+            self.messages_rerouted += 1
+            if self._tel.enabled:
+                self._tel.counter("faults.reroutes").inc()
+        pending.route = self.route_links(pending.src, pending.dst)
+        self._transfer_pending(pending)
+
+    def _transfer_pending(self, pending: _PendingMessage) -> None:
+        raise NotImplementedError
+
+    def _retry(self, pending: _PendingMessage) -> None:
+        pending.attempts += 1
+        if pending.attempts > self.params.fault_max_retries:
+            self._drop(pending)
+            return
+        backoff = self.params.fault_retry_backoff_s * 2 ** (pending.attempts - 1)
+        epoch = pending.epoch
+        self.kernel.call_later(backoff, self._redispatch, pending, epoch)
+
+    def _redispatch(self, pending: _PendingMessage, epoch: int) -> None:
+        if pending.epoch != epoch or pending.done_event.fired:
+            return
+        self._dispatch(pending)
+
+    def _drop(self, pending: _PendingMessage) -> None:
+        self.messages_dropped += 1
+        if self._tel.enabled:
+            self._tel.counter("faults.dropped").inc()
+        self._inflight.discard(pending)
+        pending.done_event.fire(DROPPED)
+
+
+class FluidNetworkModel(BaseNetworkModel):
     """Contention-aware model: per-hop latency, then max-min fair draining."""
 
     def __init__(
@@ -172,10 +359,15 @@ class FluidNetworkModel(_BaseNetworkModel):
         tables: RoutingTables | None = None,
         routing: str = "shortest",
         seed: int | np.random.Generator | None = None,
+        faults: FaultSchedule | None = None,
+        telemetry: TelemetryRegistry | None = None,
     ) -> None:
-        super().__init__(graph, kernel, params or NetworkParams(), tables, routing, seed)
+        super().__init__(
+            graph, kernel, params or NetworkParams(), tables, routing, seed, faults, telemetry
+        )
         capacities = np.full(self.links.num_links, self.params.bandwidth_bytes_per_s)
         self.scheduler = FluidScheduler(kernel, capacities)
+        self._flow_pending: dict[int, _PendingMessage] = {}
 
     def _transfer(self, route: np.ndarray, nbytes: float, done_event: Event) -> None:
         latency = self.path_latency(len(route))
@@ -183,12 +375,44 @@ class FluidNetworkModel(_BaseNetworkModel):
             latency, self.scheduler.start_flow, route, float(nbytes), done_event
         )
 
+    def _transfer_pending(self, pending: _PendingMessage) -> None:
+        assert pending.route is not None
+        latency = self.path_latency(len(pending.route))
+        self.kernel.call_later(latency, self._start_flow_checked, pending, pending.epoch)
+
+    def _start_flow_checked(self, pending: _PendingMessage, epoch: int) -> None:
+        if pending.epoch != epoch or pending.done_event.fired:
+            return
+        assert pending.route is not None
+        if self._route_is_down(pending.route):
+            pending.epoch += 1
+            self._retry(pending)
+            return
+        pending.in_flow = True
+        key = id(pending.done_event)
+        self._flow_pending[key] = pending
+        # Pop on any completion path (normal drain, synchronous zero-size
+        # finish, drop) so a recycled Event id can never alias a stale entry.
+        pending.done_event.on_fire(lambda _v, key=key: self._flow_pending.pop(key, None))
+        self.scheduler.start_flow(pending.route, pending.nbytes, pending.done_event)
+
+    def _on_links_down(self, dead_ids: set[int]) -> None:
+        for event, remaining in self.scheduler.cancel_flows(sorted(dead_ids)):
+            pending = self._flow_pending.pop(id(event), None)
+            if pending is None:
+                continue
+            pending.in_flow = False
+            pending.nbytes = remaining
+            pending.epoch += 1
+            self._retry(pending)
+        super()._on_links_down(dead_ids)
+
     def link_utilization(self) -> np.ndarray:
         """Cumulative bytes carried per directed link."""
         return self.scheduler.link_bytes.copy()
 
 
-class LatencyOnlyNetworkModel(_BaseNetworkModel):
+class LatencyOnlyNetworkModel(BaseNetworkModel):
     """Contention-free model: ``latency + size/bandwidth`` per message."""
 
     def __init__(
@@ -199,12 +423,29 @@ class LatencyOnlyNetworkModel(_BaseNetworkModel):
         tables: RoutingTables | None = None,
         routing: str = "shortest",
         seed: int | np.random.Generator | None = None,
+        faults: FaultSchedule | None = None,
+        telemetry: TelemetryRegistry | None = None,
     ) -> None:
-        super().__init__(graph, kernel, params or NetworkParams(), tables, routing, seed)
+        super().__init__(
+            graph, kernel, params or NetworkParams(), tables, routing, seed, faults, telemetry
+        )
 
     def _transfer(self, route: np.ndarray, nbytes: float, done_event: Event) -> None:
         delay = self.path_latency(len(route)) + nbytes / self.params.bandwidth_bytes_per_s
         self.kernel.call_later(delay, done_event.fire, None)
+
+    def _transfer_pending(self, pending: _PendingMessage) -> None:
+        assert pending.route is not None
+        delay = (
+            self.path_latency(len(pending.route))
+            + pending.nbytes / self.params.bandwidth_bytes_per_s
+        )
+        self.kernel.call_later(delay, self._deliver_checked, pending, pending.epoch)
+
+    def _deliver_checked(self, pending: _PendingMessage, epoch: int) -> None:
+        if pending.epoch != epoch or pending.done_event.fired:
+            return
+        pending.done_event.fire(None)
 
 
 def build_network(
@@ -216,10 +457,16 @@ def build_network(
     tables: RoutingTables | None = None,
     routing: str = "shortest",
     seed: int | np.random.Generator | None = None,
-) -> _BaseNetworkModel:
+    faults: FaultSchedule | None = None,
+    telemetry: TelemetryRegistry | None = None,
+) -> BaseNetworkModel:
     """Construct a network model by name (``"fluid"`` or ``"latency"``)."""
     if model == "fluid":
-        return FluidNetworkModel(graph, kernel, params, tables, routing, seed)
+        return FluidNetworkModel(
+            graph, kernel, params, tables, routing, seed, faults, telemetry
+        )
     if model == "latency":
-        return LatencyOnlyNetworkModel(graph, kernel, params, tables, routing, seed)
+        return LatencyOnlyNetworkModel(
+            graph, kernel, params, tables, routing, seed, faults, telemetry
+        )
     raise ValueError(f"unknown network model {model!r} (use 'fluid' or 'latency')")

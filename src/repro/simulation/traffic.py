@@ -28,12 +28,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.core.hostswitch import HostSwitchGraph
 from repro.obs import NULL_TELEMETRY, TelemetryRegistry
 from repro.obs import clock as obs_clock
 from repro.simulation.engine import Event, Kernel
-from repro.simulation.network import NetworkParams, build_network
+from repro.simulation.network import DROPPED, NetworkParams, build_network
 from repro.utils.rng import as_generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.schedule import FaultSchedule
 
 __all__ = ["TrafficResult", "run_traffic", "available_patterns"]
 
@@ -97,6 +102,8 @@ class TrafficResult:
     latencies_s: list[float] = field(repr=False, default_factory=list)
     duration_s: float = 0.0
     delivered_bytes: float = 0.0
+    #: Messages dropped after exhausting fault retries (0 without faults).
+    messages_dropped: int = 0
 
     @property
     def mean_latency_s(self) -> float:
@@ -129,12 +136,18 @@ def run_traffic(
     hotspot_fraction: float = 0.2,
     seed: int | np.random.Generator | None = None,
     telemetry: TelemetryRegistry | None = None,
+    faults: FaultSchedule | None = None,
 ) -> TrafficResult:
     """Drive a synthetic pattern through the network and measure latency.
 
     Each host injects messages with deterministic interarrival
     ``message_bytes / (offered_load * line_rate)``, staggered by a random
     phase so injections do not synchronise artificially.
+
+    With a ``faults`` schedule, link/switch failures fire mid-run: affected
+    messages are rerouted with bounded backoff where a surviving path
+    exists, and otherwise counted in ``TrafficResult.messages_dropped``
+    (dropped messages contribute neither latency nor throughput).
 
     Returns
     -------
@@ -149,7 +162,8 @@ def run_traffic(
     n = graph.num_hosts
     kernel = Kernel()
     net = build_network(
-        graph, kernel, model=model, params=params, routing=routing, seed=rng
+        graph, kernel, model=model, params=params, routing=routing, seed=rng,
+        faults=faults, telemetry=telemetry,
     )
     line_rate = net.params.bandwidth_bytes_per_s
     interarrival = message_bytes / (offered_load * line_rate)
@@ -165,7 +179,10 @@ def run_traffic(
         dst = _destination(pattern, src, n, rng, hotspot_fraction)
         done = Event()
 
-        def record(_value, t0=inject_time) -> None:
+        def record(value, t0=inject_time) -> None:
+            if value is DROPPED:
+                result.messages_dropped += 1
+                return
             result.latencies_s.append(kernel.now - t0)
             result.delivered_bytes += message_bytes
 
@@ -182,9 +199,11 @@ def run_traffic(
     wall_t0 = obs_clock() if tel.enabled else 0.0
     result.duration_s = kernel.run()
     expected = n * messages_per_host
-    if len(result.latencies_s) != expected:
+    accounted = len(result.latencies_s) + result.messages_dropped
+    if accounted != expected:
         raise RuntimeError(
-            f"lost messages: {len(result.latencies_s)}/{expected} delivered"
+            f"lost messages: {len(result.latencies_s)}/{expected} delivered "
+            f"and {result.messages_dropped} dropped"
         )
     if tel.enabled:
         wall = obs_clock() - wall_t0
@@ -197,6 +216,7 @@ def run_traffic(
             num_hosts=n,
             offered_load=offered_load,
             messages=expected,
+            dropped=result.messages_dropped,
             mean_latency_s=result.mean_latency_s,
             p99_latency_s=result.p99_latency_s,
             throughput_bytes_per_s=result.throughput_bytes_per_s,

@@ -2,15 +2,20 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.analysis.resilience import (
+    ResilienceSweepResult,
     edge_failure_impact,
+    failure_sweep,
     switch_failure_impact,
 )
 from repro.core.construct import clique_host_switch_graph, random_host_switch_graph
 from repro.core.hostswitch import HostSwitchGraph
 from repro.core.metrics import h_aspl
+from repro.obs import TelemetryRegistry
 
 
 class TestEdgeFailures:
@@ -72,3 +77,163 @@ class TestSwitchFailures:
         impact = switch_failure_impact(g, trials=10, seed=6)
         assert impact.trials == 10
         assert 0 <= impact.disconnection_probability <= 1
+
+
+class TestFixedSemantics:
+    """Regression tests for the two fixed FailureImpact behaviors."""
+
+    def test_worst_is_inf_when_any_trial_disconnects(self):
+        # Star of switches: some trials hit the hub (disconnect), others a
+        # leaf (stay connected) — exactly the mixed case the old code
+        # reported a misleading finite worst for.
+        g = HostSwitchGraph(4, 6)
+        for leaf in (1, 2, 3):
+            g.add_switch_edge(0, leaf)
+        for leaf in (1, 2, 3):
+            g.attach_host(leaf)
+        impact = switch_failure_impact(g, trials=30, seed=5)
+        assert 0 < impact.disconnected < impact.trials
+        assert math.isinf(impact.worst_h_aspl)
+        # The separate finite field keeps the old meaning.
+        assert math.isfinite(impact.worst_connected_h_aspl)
+        assert math.isfinite(impact.mean_h_aspl)  # connected trials only
+
+    def test_worst_finite_when_no_trial_disconnects(self, fig1_graph):
+        impact = edge_failure_impact(fig1_graph, trials=20, seed=1)
+        assert impact.disconnected == 0
+        assert impact.worst_h_aspl == impact.worst_connected_h_aspl
+        assert math.isfinite(impact.worst_h_aspl)
+
+    def test_all_disconnected_everything_inf(self):
+        g = random_host_switch_graph(10, 5, 8, seed=2, fill_edges=False)
+        impact = edge_failure_impact(g, trials=10, seed=2)
+        assert impact.disconnected == impact.trials
+        assert math.isinf(impact.mean_h_aspl)
+        assert math.isinf(impact.worst_h_aspl)
+        assert math.isinf(impact.worst_connected_h_aspl)
+
+    def test_seeded_runs_identical(self, fig1_graph):
+        a = edge_failure_impact(fig1_graph, trials=15, seed=9)
+        b = edge_failure_impact(fig1_graph, trials=15, seed=9)
+        assert a == b  # frozen dataclass equality: bit-identical fields
+        c = switch_failure_impact(fig1_graph, trials=15, seed=9)
+        d = switch_failure_impact(fig1_graph, trials=15, seed=9)
+        assert c == d
+
+
+class TestExceptionSafety:
+    def test_graph_intact_after_failing_metric(self, fig1_graph, monkeypatch):
+        """A raising measurement must not corrupt the shared matrix."""
+        import repro.analysis.resilience as resilience
+
+        clean = edge_failure_impact(fig1_graph, trials=10, seed=3)
+        calls = {"n": 0}
+        real = resilience.h_aspl_from_distances
+
+        def flaky(dist, k, n):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("injected metric failure")
+            return real(dist, k, n)
+
+        monkeypatch.setattr(resilience, "h_aspl_from_distances", flaky)
+        before = fig1_graph.copy()
+        with pytest.raises(RuntimeError, match="injected metric failure"):
+            edge_failure_impact(fig1_graph, trials=10, seed=3)
+        assert fig1_graph == before  # try/finally restored the edge
+        monkeypatch.setattr(resilience, "h_aspl_from_distances", real)
+        again = edge_failure_impact(fig1_graph, trials=10, seed=3)
+        assert again == clean
+
+    def test_switch_sweep_survives_failing_metric(self, fig1_graph, monkeypatch):
+        import repro.analysis.resilience as resilience
+
+        clean = switch_failure_impact(fig1_graph, trials=8, seed=4)
+
+        def always_raise(dist, k, n):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(resilience, "h_aspl_from_distances", always_raise)
+        before = fig1_graph.copy()
+        with pytest.raises(RuntimeError, match="boom"):
+            switch_failure_impact(fig1_graph, trials=8, seed=4)
+        assert fig1_graph == before
+        monkeypatch.undo()
+        assert switch_failure_impact(fig1_graph, trials=8, seed=4) == clean
+
+
+class TestFailureSweep:
+    def test_deterministic_and_round_trips(self, fig1_graph):
+        a = failure_sweep(fig1_graph, mode="link", trials=12, seed=1)
+        b = failure_sweep(fig1_graph, mode="link", trials=12, seed=1)
+        assert a == b
+        assert ResilienceSweepResult.from_dict(a.to_dict()) == a
+
+    def test_single_link_on_ring_stays_connected(self, fig1_graph):
+        sweep = failure_sweep(fig1_graph, mode="link", trials=10, seed=2)
+        assert sweep.disconnected == 0
+        assert sweep.min_reachable_fraction == 1.0
+        assert all(c >= sweep.baseline_h_aspl for c in sweep.connected_h_aspl)
+
+    def test_partitioning_sweep_has_finite_metrics(self):
+        # Tree fabric: every trial partitions; metrics stay finite.
+        g = random_host_switch_graph(10, 5, 8, seed=2, fill_edges=False)
+        sweep = failure_sweep(g, mode="link", trials=25, seed=3)
+        assert sweep.disconnected == 25
+        assert sweep.disconnection_probability == 1.0
+        assert sweep.mean_reachable_fraction < 1.0
+        assert all(math.isfinite(f) for f in sweep.reachable_pair_fraction)
+        assert all(c >= 1 for c in sweep.num_components)
+
+    def test_k_simultaneous_failures(self, fig1_graph):
+        # Two simultaneous ring-link failures always partition the 4-ring
+        # unless the two cut edges are adjacent... on a 4-cycle any two
+        # edge removals leave a path graph or two components; both are
+        # handled without raising.
+        sweep = failure_sweep(fig1_graph, mode="link", failures=2, trials=10, seed=4)
+        assert sweep.failures == 2
+        assert len(sweep.connected_h_aspl) == 10
+
+    def test_switch_mode_removes_hosts(self, fig1_graph):
+        sweep = failure_sweep(fig1_graph, mode="switch", trials=8, seed=5)
+        assert sweep.mode == "switch"
+        # Hosts go down with their switch: metrics cover the survivors,
+        # which on a ring stay connected (reachable fraction 1 among the
+        # 12 surviving hosts), with a finite degraded h-ASPL.
+        assert sweep.disconnected == 0
+        assert sweep.min_reachable_fraction == 1.0
+        assert all(math.isfinite(c) for c in sweep.connected_h_aspl)
+        assert all(c == 1 for c in sweep.num_components)
+
+    def test_percentiles_and_summary(self, fig1_graph):
+        sweep = failure_sweep(fig1_graph, mode="link", trials=10, seed=6)
+        pct = sweep.percentiles()
+        assert set(pct) == {"p50", "p90", "p99", "max"}
+        assert pct["p50"] <= pct["p90"] <= pct["p99"] <= pct["max"]
+        assert math.isfinite(sweep.h_aspl)
+
+    def test_on_trial_called_in_order(self, fig1_graph):
+        seen: list[int] = []
+        failure_sweep(fig1_graph, trials=4, seed=7, on_trial=seen.append)
+        assert seen == [0, 1, 2, 3]
+
+    def test_telemetry_counts_injected_faults(self, fig1_graph):
+        tel = TelemetryRegistry()
+        failure_sweep(fig1_graph, mode="link", failures=2, trials=5, seed=8,
+                      telemetry=tel)
+        assert tel.counter("faults.injected").value == 10
+
+    def test_graph_restored_after_sweep(self, fig1_graph):
+        before = fig1_graph.copy()
+        failure_sweep(fig1_graph, mode="switch", trials=6, seed=9)
+        assert fig1_graph == before
+
+    def test_validation(self, fig1_graph):
+        with pytest.raises(ValueError, match="mode"):
+            failure_sweep(fig1_graph, mode="node")
+        with pytest.raises(ValueError, match="trials"):
+            failure_sweep(fig1_graph, trials=0)
+        with pytest.raises(ValueError, match="failures"):
+            failure_sweep(fig1_graph, failures=0)
+        with pytest.raises(ValueError, match="failures"):
+            failure_sweep(fig1_graph, mode="switch", failures=99)

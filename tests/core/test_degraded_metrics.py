@@ -1,0 +1,100 @@
+"""Tests for reachability-aware degraded metrics (`repro.core.metrics`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.construct import (
+    clique_host_switch_graph,
+    random_regular_host_switch_graph,
+)
+from repro.core.hostswitch import HostSwitchGraph
+from repro.core.metrics import (
+    degraded_metrics,
+    degraded_metrics_from_distances,
+    h_aspl,
+    h_aspl_from_distances,
+    switch_distance_matrix,
+)
+
+
+def two_islands(hosts_a: int = 4, hosts_b: int = 2) -> HostSwitchGraph:
+    """Two disjoint single-switch islands with hosts_a / hosts_b hosts."""
+    g = HostSwitchGraph(2, radix=max(hosts_a, hosts_b))
+    for _ in range(hosts_a):
+        g.attach_host(0)
+    for _ in range(hosts_b):
+        g.attach_host(1)
+    return g
+
+
+class TestConnected:
+    def test_bit_identical_to_h_aspl(self, fig1_graph):
+        metrics = degraded_metrics(fig1_graph)
+        assert metrics.connected_h_aspl == h_aspl(fig1_graph)
+        assert metrics.reachable_pair_fraction == 1.0
+        assert metrics.num_components == 1
+        assert metrics.component_hosts == (fig1_graph.num_hosts,)
+        assert not metrics.is_partitioned
+        assert metrics.largest_component_hosts == 16
+
+    def test_bit_identical_across_random_graphs(self):
+        for seed in range(5):
+            g = random_regular_host_switch_graph(36, 12, 7, seed=seed)
+            assert degraded_metrics(g).connected_h_aspl == h_aspl(g)
+
+    def test_from_distances_matches_graph_version(self):
+        g = clique_host_switch_graph(20, 8)
+        dist = switch_distance_matrix(g)
+        counts = g.host_counts().astype(np.float64)
+        bearing = np.flatnonzero(counts > 0)
+        sub = dist[np.ix_(bearing, bearing)]
+        kb = counts[bearing]
+        via_dist = degraded_metrics_from_distances(sub, kb, g.num_hosts)
+        assert via_dist == degraded_metrics(g)
+        assert via_dist.connected_h_aspl == h_aspl_from_distances(
+            sub, kb, g.num_hosts
+        )
+
+
+class TestPartitioned:
+    def test_two_islands_component_stats(self):
+        metrics = degraded_metrics(two_islands(4, 2))
+        assert metrics.is_partitioned
+        assert metrics.num_components == 2
+        assert metrics.component_hosts == (4, 2)
+        assert metrics.largest_component_hosts == 4
+        # Reachable pairs: C(4,2) + C(2,2) = 7 of C(6,2) = 15.
+        assert metrics.reachable_pair_fraction == pytest.approx(7 / 15)
+        # All reachable pairs are same-switch (distance 2).
+        assert metrics.connected_h_aspl == pytest.approx(2.0)
+
+    def test_no_reachable_pairs_is_inf(self):
+        g = HostSwitchGraph(2, radix=2)
+        g.attach_host(0)
+        g.attach_host(1)
+        metrics = degraded_metrics(g)
+        assert metrics.connected_h_aspl == float("inf")
+        assert metrics.reachable_pair_fraction == 0.0
+        assert metrics.num_components == 2
+
+    def test_partitioned_ring_reports_both_components(self, fig1_graph):
+        g = fig1_graph.copy()
+        # Cut the 4-ring twice: components {0, 1} and {2, 3}.
+        g.remove_switch_edge(1, 2)
+        g.remove_switch_edge(3, 0)
+        metrics = degraded_metrics(g)
+        assert metrics.num_components == 2
+        assert metrics.component_hosts == (8, 8)
+        # 2 * C(8,2) = 56 of C(16,2) = 120 pairs survive.
+        assert metrics.reachable_pair_fraction == pytest.approx(56 / 120)
+        assert np.isfinite(metrics.connected_h_aspl)
+
+    def test_validation(self):
+        g = HostSwitchGraph(1, radix=2)
+        g.attach_host(0)
+        with pytest.raises(ValueError, match="at least 2 hosts"):
+            degraded_metrics(g)
+        with pytest.raises(ValueError, match="at least 2 hosts"):
+            degraded_metrics_from_distances(np.zeros((1, 1)), np.ones(1), 1)

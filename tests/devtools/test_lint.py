@@ -1,4 +1,4 @@
-"""Fixture-snippet tests for the ``repro-lint`` rules (REP001–REP008).
+"""Fixture-snippet tests for the ``repro-lint`` rules (REP001–REP009).
 
 Each rule gets at least one firing and one non-firing snippet; waivers and
 the console entry point are exercised at the end.  Snippets are linted as
@@ -546,7 +546,7 @@ def test_main_list_rules(capsys):
     out = capsys.readouterr().out
     for code in (
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
-        "REP008",
+        "REP008", "REP009",
     ):
         assert code in out
 
@@ -564,3 +564,100 @@ def test_shipped_tree_is_clean():
 
     src = Path(__file__).resolve().parents[2] / "src"
     assert main([str(src)]) == 0
+
+
+# --------------------------------------------------------------------- #
+# REP009 — mutate-measure-restore loops without try/finally
+# --------------------------------------------------------------------- #
+
+
+def test_rep009_fires_on_unprotected_restore():
+    src = """
+        def sweep(graph, edges, measure):
+            out = []
+            for a, b in edges:
+                graph.remove_switch_edge(a, b)
+                out.append(measure(graph))
+                graph.add_switch_edge(a, b)
+            return out
+    """
+    assert "REP009" in codes(src)
+
+
+def test_rep009_fires_on_ddm_style_loop():
+    src = """
+        def sweep(ddm, edges, measure):
+            out = []
+            for a, b in edges:
+                ddm.remove_edge(a, b)
+                out.append(measure(ddm.dist))
+                ddm.add_edge(a, b)
+            return out
+    """
+    assert "REP009" in codes(src)
+
+
+def test_rep009_clean_with_finally_restore():
+    src = """
+        def sweep(graph, edges, measure):
+            out = []
+            for a, b in edges:
+                graph.remove_switch_edge(a, b)
+                try:
+                    out.append(measure(graph))
+                finally:
+                    graph.add_switch_edge(a, b)
+            return out
+    """
+    assert "REP009" not in codes(src)
+
+
+def test_rep009_clean_for_construction_only_loop():
+    # Loops that only add (or only remove) edges are building/tearing down
+    # a graph, not doing a mutate-measure-restore cycle.
+    src = """
+        def build(graph, edges):
+            for a, b in edges:
+                graph.add_switch_edge(a, b)
+    """
+    assert "REP009" not in codes(src)
+    src = """
+        def teardown(graph, edges):
+            for a, b in edges:
+                graph.remove_switch_edge(a, b)
+    """
+    assert "REP009" not in codes(src)
+
+
+def test_rep009_only_applies_to_analysis_modules():
+    src = """
+        def sweep(graph, edges, measure):
+            for a, b in edges:
+                graph.remove_switch_edge(a, b)
+                measure(graph)
+                graph.add_switch_edge(a, b)
+    """
+    assert "REP009" not in codes(src, path=CORE_PATH)
+    assert "REP009" not in codes(src, path="src/repro/simulation/fake.py")
+
+
+def test_rep009_fires_on_routing_fault_api():
+    src = """
+        def sweep(tables, events, measure):
+            for event in events:
+                tables.fail_link(0, 1)
+                measure(tables)
+                tables.repair_link(0, 1)
+    """
+    assert "REP009" in codes(src)
+
+
+def test_rep009_waiver():
+    src = """
+        def sweep(graph, edges, measure):
+            for a, b in edges:
+                graph.remove_switch_edge(a, b)  # repro-lint: disable=REP009 -- measure cannot raise
+                measure(graph)
+                graph.add_switch_edge(a, b)
+    """
+    assert "REP009" not in codes(src)

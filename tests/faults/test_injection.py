@@ -1,0 +1,156 @@
+"""End-to-end fault injection: schedules driven through the simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.construct import (
+    random_host_switch_graph,
+    random_regular_host_switch_graph,
+)
+from repro.faults import FaultInjector, FaultSchedule, link_down, switch_down
+from repro.obs import TelemetryRegistry
+from repro.simulation.engine import Event, Kernel
+from repro.simulation.fluid import FluidScheduler
+from repro.simulation.network import build_network
+from repro.simulation.traffic import run_traffic
+
+
+@pytest.fixture
+def regular_graph():
+    # 8 switches, radix 6, 24 hosts; well connected (12 switch links).
+    return random_regular_host_switch_graph(24, 8, 6, seed=0)
+
+
+@pytest.fixture
+def tree_graph():
+    # Spanning-tree fabric: every switch link is a bridge.
+    return random_host_switch_graph(10, 5, 8, seed=2, fill_edges=False)
+
+
+class TestCancelFlows:
+    def test_affected_flow_cancelled_with_remaining_bytes(self):
+        kernel = Kernel()
+        sched = FluidScheduler(kernel, np.array([100.0, 100.0]))
+        doomed, safe = Event(), Event()
+        sched.start_flow([0], 100.0, doomed)
+        sched.start_flow([1], 100.0, safe)
+        cancelled = []
+        kernel.call_at(0.5, lambda: cancelled.extend(sched.cancel_flows([0])))
+        kernel.run()
+        assert len(cancelled) == 1
+        assert cancelled[0][0] is doomed
+        assert not doomed.fired  # cancelled flows never fire their event
+        assert safe.fired
+
+    def test_remaining_bytes_reflect_partial_drain(self):
+        kernel = Kernel()
+        sched = FluidScheduler(kernel, np.array([100.0]))
+        ev = Event()
+        sched.start_flow([0], 100.0, ev)
+        out = []
+        kernel.call_at(0.25, lambda: out.extend(sched.cancel_flows([0])))
+        kernel.run()
+        assert len(out) == 1
+        event, remaining = out[0]
+        assert event is ev
+        # 100 bytes at 100 B/s for 0.25 s leaves 75 bytes in flight.
+        assert remaining == pytest.approx(75.0)
+        assert not ev.fired
+        assert sched.num_active == 0
+
+    def test_unrelated_links_untouched(self):
+        kernel = Kernel()
+        sched = FluidScheduler(kernel, np.array([100.0, 100.0]))
+        ev = Event()
+        sched.start_flow([1], 50.0, ev)
+        out = []
+        kernel.call_at(0.1, lambda: out.extend(sched.cancel_flows([0])))
+        kernel.run()
+        assert out == []
+        assert ev.fired
+
+
+class TestInjector:
+    def test_double_install_rejected(self, regular_graph):
+        kernel = Kernel()
+        net = build_network(
+            regular_graph, kernel, faults=FaultSchedule(), seed=0
+        )
+        injector = FaultInjector(net, FaultSchedule([switch_down(1.0, 0)]))
+        injector.install()
+        with pytest.raises(RuntimeError, match="already installed"):
+            injector.install()
+
+    def test_invalid_target_rejected_before_run(self, regular_graph):
+        bad = FaultSchedule([switch_down(0.0, 99)])
+        with pytest.raises(ValueError, match="switch 99"):
+            run_traffic(regular_graph, "uniform", messages_per_host=2, seed=0,
+                        faults=bad)
+
+
+class TestFaultedTraffic:
+    def test_empty_schedule_bit_identical_to_no_faults(self, regular_graph):
+        plain = run_traffic(
+            regular_graph, "uniform", messages_per_host=5, seed=1
+        )
+        armed = run_traffic(
+            regular_graph, "uniform", messages_per_host=5, seed=1,
+            faults=FaultSchedule(),
+        )
+        assert armed.latencies_s == plain.latencies_s
+        assert armed.delivered_bytes == plain.delivered_bytes
+        assert armed.messages_dropped == 0
+
+    def test_partitioning_fault_drops_messages(self, tree_graph):
+        bridge = sorted(tree_graph.switch_edges())[0]
+        tel = TelemetryRegistry()
+        result = run_traffic(
+            tree_graph, "uniform", messages_per_host=10, seed=3,
+            faults=FaultSchedule([link_down(0.0, *bridge)]), telemetry=tel,
+        )
+        assert result.messages_dropped > 0
+        assert len(result.latencies_s) + result.messages_dropped == 100
+        assert tel.counter("faults.injected").value == 1
+        assert tel.counter("faults.dropped").value == result.messages_dropped
+
+    def test_flaps_reroute_without_loss(self, regular_graph):
+        tel = TelemetryRegistry()
+        flaps = FaultSchedule.random_link_flaps(
+            regular_graph, 3, seed=4, start=1e-5, period=2e-5, down_time=1e-5
+        )
+        result = run_traffic(
+            regular_graph, "uniform", messages_per_host=10, seed=5,
+            faults=flaps, telemetry=tel,
+        )
+        # A well-connected fabric reroutes around transient flaps.
+        assert result.messages_dropped == 0
+        assert len(result.latencies_s) == 240
+        assert tel.counter("faults.injected").value == 3
+        assert tel.counter("faults.repaired").value == 3
+        assert tel.counter("faults.reroutes").value > 0
+
+    def test_faulted_run_deterministic(self, regular_graph):
+        def go():
+            return run_traffic(
+                regular_graph, "uniform", messages_per_host=10, seed=5,
+                faults=FaultSchedule.random_link_flaps(
+                    regular_graph, 3, seed=4, start=1e-5, period=2e-5,
+                    down_time=1e-5,
+                ),
+            )
+
+        a, b = go(), go()
+        assert a.latencies_s == b.latencies_s
+        assert a.messages_dropped == b.messages_dropped
+
+    def test_switch_failure_counts_injected(self, regular_graph):
+        tel = TelemetryRegistry()
+        sched = FaultSchedule.random_switch_failures(regular_graph, 2, seed=9)
+        result = run_traffic(
+            regular_graph, "uniform", messages_per_host=10, seed=7,
+            faults=sched, telemetry=tel,
+        )
+        assert tel.counter("faults.injected").value == 2
+        assert result.messages_dropped > 0  # hosts on dead switches

@@ -1,0 +1,146 @@
+"""Tests for fault events and schedules (`repro.faults.schedule`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FaultEvent,
+    FaultSchedule,
+    link_down,
+    link_up,
+    switch_down,
+    switch_up,
+)
+
+
+class TestFaultEvent:
+    def test_link_endpoints_normalised_sorted(self):
+        event = link_down(0.5, 3, 1)
+        assert event.link == (1, 3)
+        assert event.target == (1, 3)
+
+    def test_switch_event_target(self):
+        event = switch_down(0.0, 2)
+        assert event.switch == 2
+        assert event.target == 2
+
+    def test_replace_inverts_action(self):
+        event = link_down(1.0, 0, 1)
+        up = event.replace(action="up")
+        assert up.action == "up"
+        assert up.link == event.link
+        assert up.time == event.time
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(time=0.0, kind="cable", action="down", link=(0, 1)), "kind"),
+            (dict(time=0.0, kind="link", action="explode", link=(0, 1)), "action"),
+            (dict(time=-1.0, kind="link", action="down", link=(0, 1)), "time"),
+            (dict(time=0.0, kind="link", action="down"), "link event"),
+            (dict(time=0.0, kind="link", action="down", link=(2, 2)), "differ"),
+            (dict(time=0.0, kind="switch", action="down"), "switch event"),
+            (
+                dict(time=0.0, kind="switch", action="down", switch=1, link=(0, 1)),
+                "switch event",
+            ),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            FaultEvent(**kwargs)
+
+    def test_dict_round_trip(self):
+        for event in (link_down(0.25, 4, 2), switch_up(1.5, 7)):
+            assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_from_dict_rejects_unknown_keys(self):
+        doc = link_down(0.0, 0, 1).to_dict()
+        doc["severity"] = "bad"
+        with pytest.raises(ValueError, match="unknown fault-event keys"):
+            FaultEvent.from_dict(doc)
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_time(self):
+        sched = FaultSchedule([link_down(2.0, 0, 1), switch_down(1.0, 3)])
+        assert [e.time for e in sched] == [1.0, 2.0]
+        assert len(sched) == 2
+        assert sched.num_down_events == 2
+
+    def test_down_up_pair_is_consistent(self):
+        sched = FaultSchedule([link_down(0.0, 0, 1), link_up(1.0, 0, 1)])
+        assert sched.num_down_events == 1
+
+    def test_double_down_rejected(self):
+        with pytest.raises(ValueError, match="downed twice"):
+            FaultSchedule([link_down(0.0, 0, 1), link_down(1.0, 1, 0)])
+        with pytest.raises(ValueError, match="downed twice"):
+            FaultSchedule([switch_down(0.0, 2), switch_down(1.0, 2)])
+
+    def test_repair_without_failure_rejected(self):
+        with pytest.raises(ValueError, match="never down"):
+            FaultSchedule([link_up(1.0, 0, 1)])
+        with pytest.raises(ValueError, match="never down"):
+            FaultSchedule([switch_down(0.0, 1), switch_up(1.0, 2)])
+
+    def test_dicts_round_trip(self):
+        sched = FaultSchedule(
+            [link_down(0.0, 0, 1), switch_down(0.5, 2), link_up(1.0, 0, 1)]
+        )
+        assert FaultSchedule.from_dicts(sched.to_dicts()) == sched
+
+    def test_validate_against(self, fig1_graph):
+        FaultSchedule([switch_down(0.0, 3)]).validate_against(fig1_graph)
+        with pytest.raises(ValueError, match="switch 9"):
+            FaultSchedule([switch_down(0.0, 9)]).validate_against(fig1_graph)
+        # fig1 is the 4-ring: (0, 2) is not an edge.
+        with pytest.raises(ValueError, match="not a switch edge"):
+            FaultSchedule([link_down(0.0, 0, 2)]).validate_against(fig1_graph)
+
+
+class TestRandomBuilders:
+    def test_link_failures_deterministic(self, fig1_graph):
+        a = FaultSchedule.random_link_failures(fig1_graph, 3, seed=7)
+        b = FaultSchedule.random_link_failures(fig1_graph, 3, seed=7)
+        assert a == b
+        assert a.num_down_events == 3
+        a.validate_against(fig1_graph)
+
+    def test_different_seed_different_schedule(self, fig1_graph):
+        a = FaultSchedule.random_link_failures(fig1_graph, 3, seed=0)
+        b = FaultSchedule.random_link_failures(fig1_graph, 3, seed=1)
+        # 3 of 4 ring edges: seeds 0/1 happen to pick different subsets.
+        assert a != b
+
+    def test_switch_failures_targets_distinct(self, fig1_graph):
+        sched = FaultSchedule.random_switch_failures(
+            fig1_graph, 4, seed=3, spacing=1.0
+        )
+        targets = [e.switch for e in sched]
+        assert sorted(targets) == [0, 1, 2, 3]
+        assert [e.time for e in sched] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_link_flaps_pair_down_with_up(self, fig1_graph):
+        sched = FaultSchedule.random_link_flaps(
+            fig1_graph, 2, seed=5, period=1e-3, down_time=1e-4
+        )
+        assert len(sched) == 4
+        assert sched.num_down_events == 2
+        downs = [e for e in sched if e.action == "down"]
+        ups = [e for e in sched if e.action == "up"]
+        assert {e.link for e in downs} == {e.link for e in ups}
+        for down in downs:
+            up = next(e for e in ups if e.link == down.link)
+            assert up.time == pytest.approx(down.time + 1e-4)
+
+    def test_flaps_reject_nonpositive_down_time(self, fig1_graph):
+        with pytest.raises(ValueError, match="down_time"):
+            FaultSchedule.random_link_flaps(fig1_graph, 1, seed=0, down_time=0.0)
+
+    def test_count_out_of_range_rejected(self, fig1_graph):
+        with pytest.raises(ValueError, match="count"):
+            FaultSchedule.random_link_failures(fig1_graph, 0, seed=0)
+        with pytest.raises(ValueError, match="count"):
+            FaultSchedule.random_switch_failures(fig1_graph, 99, seed=0)

@@ -186,3 +186,51 @@ class TestParser:
         with pytest.raises(SystemExit) as exc:
             main(["--help"])
         assert exc.value.code == 0
+
+
+class TestTrafficFaults:
+    def test_fault_flags_report_drops(self, capsys):
+        code = main(["traffic", "uniform", "--messages", "3",
+                     "--fail-links", "1", "--fail-switches", "1",
+                     "--fault-seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults" in out
+        assert "2 injected" in out
+
+    def test_no_fault_flags_no_fault_line(self, capsys):
+        assert main(["traffic", "uniform", "--messages", "3"]) == 0
+        assert "injected" not in capsys.readouterr().out
+
+
+class TestResilience:
+    def test_random_graph_sweep(self, capsys):
+        code = main(["resilience", "--n", "48", "--r", "6",
+                     "--trials", "5", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline h-ASPL" in out
+        assert "disconnection probability" in out
+
+    def test_switch_mode_json(self, capsys):
+        import json
+
+        code = main(["resilience", "--n", "48", "--r", "6", "--mode", "switch",
+                     "--trials", "4", "--seed", "2", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["mode"] == "switch"
+        assert len(doc["connected_h_aspl"]) == 4
+
+    def test_saved_graph_input(self, capsys, tmp_path):
+        from repro import save_graph
+        from repro.topologies import torus
+
+        g, _ = torus(2, 4, 8, num_hosts=32, fill="round-robin")
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        assert main(["resilience", "--graph", str(path), "--trials", "3"]) == 0
+        assert "degraded h-ASPL" in capsys.readouterr().out
+
+    def test_requires_graph_or_n_r(self, capsys):
+        assert main(["resilience", "--trials", "2"]) == 2
