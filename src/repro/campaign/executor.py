@@ -406,33 +406,41 @@ def run_campaign(
                         point,
                         cfg,
                         collect,
-                    ): (digest, point)
-                    for digest, point in pending
+                    ): index
+                    for index, (digest, point) in enumerate(pending)
                 }
+                # Results are keyed by dispatch index and folded only after
+                # the pool drains: future *completion* order varies run to
+                # run, so appending/merging inside the wait loop would make
+                # outcome order and telemetry nondeterministic (REP011).
+                gathered: dict[int, tuple[PointOutcome, dict[str, Any] | None]] = {}
                 remaining = set(futures)
                 while remaining:
                     done, remaining = wait(
                         remaining, timeout=0.2, return_when=FIRST_COMPLETED
                     )
                     for future in done:
-                        outcome, snapshot = future.result()
-                        if snapshot is not None:
-                            tel.merge(snapshot)
-                        result.outcomes.append(outcome)
+                        gathered[futures[future]] = future.result()
                     if flag.tripped and remaining:
                         # Drain: cancel what has not started, let in-flight
                         # points finish (their checkpoints keep landing).
                         for future in list(remaining):
                             if future.cancel():
-                                digest, point = futures[future]
-                                result.outcomes.append(
+                                digest, point = pending[futures[future]]
+                                gathered[futures[future]] = (
                                     PointOutcome(
                                         digest=digest,
                                         point=point,
                                         status="interrupted",
-                                    )
+                                    ),
+                                    None,
                                 )
                                 remaining.discard(future)
+            for index in sorted(gathered):
+                outcome, snapshot = gathered[index]
+                if snapshot is not None:
+                    tel.merge(snapshot)
+                result.outcomes.append(outcome)
 
         result.interrupted = flag.tripped and any(
             o.status == "interrupted" for o in result.outcomes

@@ -63,6 +63,15 @@ _TELEMETRY_PHASES = 10
 #: signed floats; the zero bound separates improving from worsening moves).
 _DELTA_BOUNDS = (-1e-1, -1e-2, -1e-3, -1e-4, 0.0, 1e-4, 1e-3, 1e-2, 1e-1)
 
+# Committed-move counters, keyed by move kind.  A literal dict (rather
+# than an f-string) keeps every instrument name in the closed
+# repro.obs.names.INSTRUMENTS registry (REP013).
+_MOVE_COUNTERS = {
+    "swap": "anneal.moves.swap",
+    "swing": "anneal.moves.swing",
+    "swing2": "anneal.moves.swing2",
+}
+
 
 @dataclass(frozen=True)
 class AnnealingSchedule:
@@ -181,7 +190,7 @@ def anneal(
     *,
     operation: str = "two-neighbor-swing",
     schedule: AnnealingSchedule | None = None,
-    seed: int | np.random.Generator | None = None,
+    seed: int | np.random.Generator | None = 0,
     history_every: int = 0,
     target: float | None = None,
     evaluator: str = "incremental",
@@ -443,28 +452,24 @@ def anneal(
         if operation == "swap":
             move = propose_swap(edges.edges, rng, work)
             if move is not None:
-                move.apply(work)
-                value = propose_value([move])
-                if _accept(value - current, temperature, rng) and connectivity_ok():
-                    commit_pending()
+                committed, value_after = _try_moves(
+                    work, rng, current, temperature, connectivity_ok,
+                    propose_value, commit_pending, discard_pending,
+                    [move], [move],
+                )
+                if committed:
                     edges.apply_swap(move)
-                    committed, value_after = True, value
-                else:
-                    discard_pending()
-                    move.undo(work)
 
         elif operation == "swing":
             move = propose_swing(edges.edges, rng, work)
             if move is not None:
-                move.apply(work)
-                value = propose_value([move])
-                if _accept(value - current, temperature, rng) and connectivity_ok():
-                    commit_pending()
+                committed, value_after = _try_moves(
+                    work, rng, current, temperature, connectivity_ok,
+                    propose_value, commit_pending, discard_pending,
+                    [move], [move],
+                )
+                if committed:
                     edges.apply_swing(move)
-                    committed, value_after = True, value
-                else:
-                    discard_pending()
-                    move.undo(work)
 
         else:  # two-neighbor-swing (Fig. 4)
             committed, value_after, move_kind = _two_neighbor_step(
@@ -509,7 +514,7 @@ def anneal(
         tel.counter("anneal.improved").inc(improved - segment_improved0)
         for kind, count in move_counts.items():
             if count:
-                tel.counter(f"anneal.moves.{kind}").inc(count)
+                tel.counter(_MOVE_COUNTERS[kind]).inc(count)
         tel.timer("anneal.wall_s").observe(wall)
         if inc is not None:
             stats = inc.stats
@@ -581,6 +586,53 @@ def _validate_resume_state(
         )
 
 
+def _try_moves(
+    work: HostSwitchGraph,
+    rng: np.random.Generator,
+    current: float,
+    temperature: float,
+    connectivity_ok,
+    propose_value,
+    commit_pending,
+    discard_pending,
+    new_moves,
+    all_moves,
+    *,
+    keep_on_reject: bool = False,
+) -> tuple[bool, float]:
+    """Apply ``new_moves``, score ``all_moves``, and commit or roll back.
+
+    ``all_moves`` is the full proposal relative to the last *committed*
+    state; ``new_moves`` are the ones not yet applied to ``work``.  If
+    scoring or the accept decision raises, the applied moves are undone
+    before the exception propagates, so the shared working graph never
+    leaks a half-applied proposal (REP012).
+
+    ``keep_on_reject`` leaves ``new_moves`` applied after a clean
+    rejection: two-neighbor-swing step 1 keeps its swing on the graph so
+    step 3 can test the composite against the same intermediate state.
+
+    Returns ``(committed, value)`` with ``value == current`` on rejection.
+    """
+    for move in new_moves:
+        move.apply(work)
+    try:
+        value = propose_value(all_moves)
+        take = _accept(value - current, temperature, rng) and connectivity_ok()
+    except BaseException:
+        for move in reversed(new_moves):
+            move.undo(work)
+        raise
+    if take:
+        commit_pending()
+        return True, value
+    discard_pending()
+    if not keep_on_reject:
+        for move in reversed(new_moves):
+            move.undo(work)
+    return False, current
+
+
 def _two_neighbor_step(
     work: HostSwitchGraph,
     edges: _EdgeList,
@@ -632,36 +684,42 @@ def _two_neighbor_step(
             # composite's net effect, which never needs a host.
             swap = SwapMove(sa, sb, sd, sc)
             if swap.is_legal(work):
-                swap.apply(work)
-                value = propose_value([swap])
-                if _accept(value - current, temperature, rng) and connectivity_ok():
-                    commit_pending()
+                committed, value = _try_moves(
+                    work, rng, current, temperature, connectivity_ok,
+                    propose_value, commit_pending, discard_pending,
+                    [swap], [swap],
+                )
+                if committed:
                     edges.apply_swap(swap)
                     return True, value, "swap"
-                discard_pending()
-                swap.undo(work)
         return False, current, "swap"
 
-    first.apply(work)
-    value1 = propose_value([first])
-    if _accept(value1 - current, temperature, rng) and connectivity_ok():
-        commit_pending()
+    committed, value1 = _try_moves(
+        work, rng, current, temperature, connectivity_ok,
+        propose_value, commit_pending, discard_pending,
+        [first], [first], keep_on_reject=True,
+    )
+    if committed:
         edges.apply_swing(first)
         return True, value1, "swing"
-    discard_pending()
 
     second = SwingMove(sd, sc, sb)
     if not second.is_legal(work):
         first.undo(work)
         return False, current, "swing"
-    second.apply(work)
-    value2 = propose_value([first, second])
-    if _accept(value2 - current, temperature, rng) and connectivity_ok():
-        commit_pending()
+    try:
+        committed, value2 = _try_moves(
+            work, rng, current, temperature, connectivity_ok,
+            propose_value, commit_pending, discard_pending,
+            [second], [first, second],
+        )
+    except BaseException:
+        # _try_moves unwound `second`; `first` (kept from step 1) is ours.
+        first.undo(work)
+        raise
+    if committed:
         edges.apply_swing(first)
         edges.apply_swing(second)
         return True, value2, "swing2"
-    discard_pending()
-    second.undo(work)
     first.undo(work)
     return False, current, "swing2"

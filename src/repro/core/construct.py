@@ -117,7 +117,7 @@ def spread_hosts_evenly(graph: HostSwitchGraph, n: int) -> None:
 
 
 def random_regular_switch_topology(
-    m: int, k: int, seed: int | np.random.Generator | None = None, max_tries: int = 20
+    m: int, k: int, seed: int | np.random.Generator | None = 0, max_tries: int = 20
 ) -> list[tuple[int, int]]:
     """Random connected simple ``k``-regular graph on ``m`` vertices.
 
@@ -205,7 +205,7 @@ def random_regular_switch_topology(
 
 
 def random_regular_host_switch_graph(
-    n: int, m: int, r: int, seed: int | np.random.Generator | None = None
+    n: int, m: int, r: int, seed: int | np.random.Generator | None = 0
 ) -> HostSwitchGraph:
     """Regular host-switch graph: ``n/m`` hosts per switch, random k-regular core.
 
@@ -239,7 +239,7 @@ def random_host_switch_graph(
     n: int,
     m: int,
     r: int,
-    seed: int | np.random.Generator | None = None,
+    seed: int | np.random.Generator | None = 0,
     fill_edges: bool = True,
 ) -> HostSwitchGraph:
     """Connected random host-switch graph for arbitrary ``(n, m, r)``.

@@ -79,7 +79,7 @@ def solve_odp(
     *,
     schedule: AnnealingSchedule | None = None,
     restarts: int = 1,
-    seed: int | np.random.Generator | None = None,
+    seed: int | np.random.Generator | None = 0,
     telemetry: TelemetryRegistry | None = None,
 ) -> ODPSolution:
     """Minimise the ASPL of a ``degree``-regular graph on ``num_vertices``.

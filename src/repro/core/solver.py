@@ -187,7 +187,7 @@ def solve_orp(
     schedule: AnnealingSchedule | None = None,
     restarts: int = 1,
     jobs: int = 1,
-    seed: int | np.random.Generator | None = None,
+    seed: int | np.random.Generator | None = 0,
     operation: str = "two-neighbor-swing",
     construction: str = "random",
     telemetry: TelemetryRegistry | None = None,

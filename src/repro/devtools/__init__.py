@@ -1,11 +1,29 @@
 """Developer tooling for the ORP reproduction.
 
-Currently hosts ``repro-lint`` (:mod:`repro.devtools.lint`), the
-domain-specific static-analysis pass that enforces the repository's
-reproducibility and graph-invariant conventions.  Runtime enforcement of
-the same conventions lives in :mod:`repro.utils.contracts`.
+Hosts ``repro-lint``: the fast per-file static-analysis tier
+(:mod:`repro.devtools.lint`, REP001-REP009), the whole-program dataflow
+tier (:mod:`repro.devtools.flow`, REP010-REP013), report rendering and
+baselines (:mod:`repro.devtools.report`), and the autofix engine
+(:mod:`repro.devtools.fixes`).  Runtime enforcement of the same
+conventions lives in :mod:`repro.utils.contracts`.
 """
 
-from repro.devtools.lint import Diagnostic, lint_paths, lint_source, main
+from repro.devtools.lint import (
+    FLOW_RULES,
+    RULES,
+    Diagnostic,
+    Edit,
+    lint_paths,
+    lint_source,
+    main,
+)
 
-__all__ = ["Diagnostic", "lint_paths", "lint_source", "main"]
+__all__ = [
+    "Diagnostic",
+    "Edit",
+    "FLOW_RULES",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

@@ -1,0 +1,97 @@
+"""Autofix application for ``repro-lint --fix``.
+
+Diagnostics carry :class:`~repro.devtools.lint.Edit` spans.  This module
+applies them to the source files and iterates lint -> fix -> lint to a
+fixed point (edits can unlock or satisfy one another: e.g. the first
+REP004 rewrite inserts ``import math``, after which later rewrites in
+the same file no longer need to).  Application is conservative:
+
+- edits are deduplicated (two diagnostics may propose the identical
+  edit — e.g. two tainted call sites anchoring the same parameter
+  default), then applied bottom-up;
+- overlapping edits are skipped in this round — the next round's fresh
+  lint re-derives them against the new source;
+- the loop stops as soon as a round changes nothing, so a second
+  ``--fix`` run over fixed sources is a no-op (idempotence, asserted in
+  CI's self-check).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.lint import Diagnostic, Edit, lint_paths
+
+__all__ = ["apply_edits", "apply_fixes"]
+
+#: Fixed-point cap; real runs settle in 2-3 rounds.
+_MAX_ROUNDS = 10
+
+
+def _offset(line_starts: list[int], line: int, col: int) -> int | None:
+    if not 1 <= line <= len(line_starts):
+        return None
+    return line_starts[line - 1] + col
+
+
+def apply_edits(source: str, edits: list[Edit]) -> tuple[str, int]:
+    """Apply non-overlapping ``edits`` to ``source``; returns
+    (new_source, applied_count)."""
+    line_starts: list[int] = [0]
+    for line in source.splitlines(keepends=True):
+        line_starts.append(line_starts[-1] + len(line))
+    line_starts.pop()
+
+    spans: list[tuple[int, int, str]] = []
+    for edit in sorted(set(edits), key=lambda e: (e.start_line, e.start_col)):
+        start = _offset(line_starts, edit.start_line, edit.start_col)
+        end = _offset(line_starts, edit.end_line, edit.end_col)
+        if start is None or end is None or end < start or end > len(source):
+            continue
+        spans.append((start, end, edit.text))
+
+    applied = 0
+    out = source
+    previous_start: int | None = None
+    for start, end, text in sorted(spans, reverse=True):
+        if previous_start is not None and end > previous_start:
+            continue  # overlaps an already-applied edit; next round re-derives
+        out = out[:start] + text + out[end:]
+        previous_start = start
+        applied += 1
+    return out, applied
+
+
+def apply_fixes(
+    paths: list[str],
+    *,
+    flow: bool = True,
+    flow_only: bool = False,
+    select: set[str] | None = None,
+) -> tuple[int, set[str]]:
+    """Lint ``paths`` and apply autofixes to a fixed point.
+
+    Returns (total edits applied, set of changed file paths).
+    """
+    total = 0
+    changed: set[str] = set()
+    for _ in range(_MAX_ROUNDS):
+        diags = lint_paths(paths, flow=flow, flow_only=flow_only, select=select)
+        per_file: dict[str, list[Diagnostic]] = {}
+        for diag in diags:
+            if diag.fix:
+                per_file.setdefault(diag.path, []).append(diag)
+        round_applied = 0
+        for path, file_diags in per_file.items():
+            target = Path(path)
+            source = target.read_text(encoding="utf-8")
+            edits = [edit for diag in file_diags for edit in diag.fix]
+            new_source, applied = apply_edits(source, edits)
+            if applied and new_source != source:
+                target.write_text(new_source, encoding="utf-8")
+                changed.add(path)
+                round_applied += applied
+        if not round_applied:
+            break
+        total += round_applied
+    return total, changed

@@ -1,0 +1,90 @@
+"""Generic forward dataflow solver over a :class:`~repro.devtools.flow.cfg.CFG`.
+
+The solver iterates a caller-supplied transfer function to a fixed point
+with a worklist.  States are the tag environments of
+:mod:`repro.devtools.flow.lattice`; the join is pointwise set union, so
+with a finite tag alphabet the iteration always converges.  A refinement
+hook sharpens the state along ``true``/``false`` branch edges (this is
+how ``x is not None`` guards kill may-be-None tags).
+
+Convergence accounting (visit counts, a hard iteration cap) is exposed in
+:class:`FlowResult` so the test suite can assert every fixture reaches a
+fixed point well below the cap.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.devtools.flow.cfg import CFG, CFGNode, EXC
+from repro.devtools.flow.lattice import Env, join_envs
+
+__all__ = ["FlowResult", "solve_forward"]
+
+#: transfer(node, in_state) -> out_state.  Must not mutate ``in_state``.
+Transfer = Callable[[CFGNode, Env], Env]
+
+#: refine(state, test_expr, branch_taken) -> refined state.
+Refine = Callable[[Env, ast.expr, bool], Env]
+
+#: Hard cap on node visits; generous (fixtures converge in tens).
+_MAX_VISITS = 100_000
+
+
+@dataclass
+class FlowResult:
+    """Fixed-point states plus convergence accounting."""
+
+    in_states: dict[int, Env] = field(default_factory=dict)
+    out_states: dict[int, Env] = field(default_factory=dict)
+    iterations: int = 0
+    converged: bool = True
+
+    def state_at(self, idx: int) -> Env:
+        """The join of everything known on entry to node ``idx``."""
+        return self.in_states.get(idx, {})
+
+
+def solve_forward(
+    cfg: CFG,
+    transfer: Transfer,
+    *,
+    refine: Refine | None = None,
+    initial: Env | None = None,
+) -> FlowResult:
+    """Run a forward may-analysis over ``cfg`` to a fixed point."""
+    result = FlowResult()
+    result.in_states[cfg.entry] = dict(initial or {})
+    worklist: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+
+    while worklist:
+        idx = worklist.popleft()
+        queued.discard(idx)
+        result.iterations += 1
+        if result.iterations > _MAX_VISITS:  # pragma: no cover - safety net
+            result.converged = False
+            break
+        node = cfg.nodes[idx]
+        in_state = result.in_states.get(idx, {})
+        out_state = transfer(node, dict(in_state))
+        result.out_states[idx] = out_state
+        for edge in cfg.succs.get(idx, []):
+            if edge.kind == EXC:
+                # Exceptional edges propagate the *pre*-state: the node may
+                # have raised before completing its effect.
+                succ_state = join_envs(in_state, out_state)
+            else:
+                succ_state = out_state
+            if refine is not None and edge.cond is not None:
+                succ_state = refine(dict(succ_state), edge.cond, edge.branch)
+            merged = join_envs(result.in_states.get(edge.dst, {}), succ_state)
+            if merged != result.in_states.get(edge.dst):
+                result.in_states[edge.dst] = merged
+                if edge.dst not in queued:
+                    queued.add(edge.dst)
+                    worklist.append(edge.dst)
+    return result

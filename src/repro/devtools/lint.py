@@ -62,6 +62,17 @@ REP009
     matrix) corrupted for every later trial and for the caller.
     Construction-only loops (adds without removals) are exempt.
 
+Flow rules (REP010-REP013)
+--------------------------
+Four further rules run on the whole-program dataflow tier built by
+:mod:`repro.devtools.flow` (CFG + taint lattice + cross-module
+summaries); they are documented in that package and in DESIGN.md.
+REP010 generalizes REP001 (ambient entropy *transitively* reaching the
+deterministic packages) and REP012 generalizes REP009 (CFG-exact
+restore-safety on every exception path, not just loops in
+``repro.analysis``); the regex/AST originals stay on as the fast tier.
+``--no-flow`` skips the flow tier, ``--flow-only`` runs nothing else.
+
 Waivers
 -------
 A violation can be silenced with a trailing (or immediately preceding)
@@ -88,7 +99,16 @@ import sys
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["Diagnostic", "RULES", "lint_source", "lint_file", "lint_paths", "main"]
+__all__ = [
+    "Diagnostic",
+    "Edit",
+    "FLOW_RULES",
+    "RULES",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "main",
+]
 
 
 RULES: dict[str, str] = {
@@ -106,7 +126,20 @@ RULES: dict[str, str] = {
     "content-addressed store (the package's single atomic write path)",
     "REP009": "mutate-measure-restore loop in repro.analysis restores graph state "
     "outside a try/finally (a raising measurement corrupts later trials)",
+    "REP010": "ambient OS entropy (default_rng()/SeedSequence()/random.* or a "
+    "may-be-None seed) transitively reaches a deterministic-package entry point "
+    "(flow tier; generalizes REP001)",
+    "REP011": "cross-process fan-out hazard: unpicklable capture into "
+    "ProcessPoolExecutor.submit/map, or results folded in nondeterministic "
+    "completion order (flow tier)",
+    "REP012": "graph mutation may escape on an exception path before its paired "
+    "restore runs (CFG-exact; generalizes REP009, flow tier)",
+    "REP013": "telemetry instrument name is not a literal from the "
+    "repro.obs.names.INSTRUMENTS registry (flow tier; keeps repro.obs/v1 closed)",
 }
+
+#: Rules produced by the whole-program flow tier (repro.devtools.flow).
+FLOW_RULES = frozenset({"REP010", "REP011", "REP012", "REP013"})
 
 # The one repro.campaign module allowed to write artifact files (REP008).
 _CAMPAIGN_WRITE_MODULE = "repro.campaign.store"
@@ -216,17 +249,37 @@ _WAIVER_RE = re.compile(
 
 
 @dataclass(frozen=True)
+class Edit:
+    """One source edit: replace ``[start, end)`` (1-based line, 0-based
+    col) with ``text``.  ``start == end`` is a pure insertion."""
+
+    start_line: int
+    start_col: int
+    end_line: int
+    end_col: int
+    text: str
+
+
+@dataclass(frozen=True)
 class Diagnostic:
-    """One lint finding, renderable as ``path:line:col: CODE message``."""
+    """One lint finding, renderable as ``path:line:col: CODE message``.
+
+    ``fix`` carries the mechanical autofix (applied by ``--fix``) when
+    the rule knows one; it is empty for report-only findings.
+    """
 
     path: str
     line: int
     col: int
     code: str
     message: str
+    fix: tuple[Edit, ...] = ()
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
 
 
 # --------------------------------------------------------------------- #
@@ -266,6 +319,17 @@ def _is_float_inf(node: ast.expr) -> bool:
     if chain and len(chain) == 2 and chain[1] in ("inf", "infty"):
         return chain[0] in ("math", "np", "numpy")
     return False
+
+
+def _is_float_pos_inf(node: ast.expr) -> bool:
+    """Positive infinity only — the case ``math.isinf`` can replace 1:1
+    for values known non-negative; ``float("-inf")`` is excluded because
+    ``isinf`` is sign-blind."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id == "float" and len(node.args) == 1:
+            arg = node.args[0]
+            return isinstance(arg, ast.Constant) and arg.value == "inf"
+    return _dotted(node) is not None and _is_float_inf(node)
 
 
 def _terminal_name(node: ast.expr) -> str | None:
@@ -327,6 +391,7 @@ class _FileContext:
 
     def __init__(self, tree: ast.AST, source: str, path: str) -> None:
         self.path = path
+        self.source = source
         self.module = _module_name_for(Path(path))
         self.package = self.module.rsplit(".", 1)[0] if "." in self.module else ""
         self.random_aliases: set[str] = set()
@@ -339,14 +404,27 @@ class _FileContext:
         self.repro_imports: dict[str, str] = {}
         self.line_waivers: dict[int, set[str]] = {}
         self.file_waivers: set[str] = set()
+        self.math_imported = False
+        #: line at which an ``import math`` can be inserted by an autofix.
+        self.import_insert_line = 1
         self._collect_imports(tree)
         self._collect_waivers(source)
 
     def _collect_imports(self, tree: ast.AST) -> None:
+        if isinstance(tree, ast.Module):
+            for top in tree.body:
+                if isinstance(top, (ast.Import, ast.ImportFrom)):
+                    end = getattr(top, "end_lineno", None) or top.lineno
+                    self.import_insert_line = max(self.import_insert_line, end + 1)
+                elif isinstance(top, ast.Expr) and isinstance(top.value, ast.Constant):
+                    end = getattr(top, "end_lineno", None) or top.lineno
+                    self.import_insert_line = max(self.import_insert_line, end + 1)
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "math":
+                        self.math_imported = True
                     if alias.name == "random":
                         self.random_aliases.add(bound)
                     elif alias.name in ("numpy", "numpy.random"):
@@ -381,9 +459,19 @@ class _FileContext:
                 self.line_waivers.setdefault(lineno, set()).update(codes)
 
     def waived(self, code: str, line: int) -> bool:
+        return self.waived_span(code, line, line)
+
+    def waived_span(self, code: str, start: int, end: int) -> bool:
+        """Whether ``code`` is waived anywhere on the statement extent.
+
+        A waiver comment counts when it sits on the line before the
+        statement or on *any* physical line the statement spans — so a
+        trailing ``# repro-lint: disable=...`` on the last line of a
+        multi-line call waives rules anchored to the call's first line.
+        """
         if code in self.file_waivers:
             return True
-        for candidate in (line, line - 1):
+        for candidate in range(start - 1, max(start, end) + 1):
             if code in self.line_waivers.get(candidate, set()):
                 return True
         return False
@@ -407,11 +495,18 @@ class _Analyzer(ast.NodeVisitor):
 
     # -- reporting ------------------------------------------------------ #
 
-    def _report(self, code: str, node: ast.AST, message: str) -> None:
+    def _report(
+        self,
+        code: str,
+        node: ast.AST,
+        message: str,
+        fix: tuple[Edit, ...] = (),
+    ) -> None:
         line = getattr(node, "lineno", 1)
+        end = getattr(node, "end_lineno", None) or line
         col = getattr(node, "col_offset", 0)
-        if not self.ctx.waived(code, line):
-            self.diags.append(Diagnostic(self.ctx.path, line, col, code, message))
+        if not self.ctx.waived_span(code, line, end):
+            self.diags.append(Diagnostic(self.ctx.path, line, col, code, message, fix))
 
     # -- scope plumbing ------------------------------------------------- #
 
@@ -713,12 +808,19 @@ class _Analyzer(ast.NodeVisitor):
 
         for name, ret in returns:
             if name in constructed and name in mutated and name not in validated:
+                indent = " " * ret.col_offset
                 self._report(
                     "REP002",
                     ret,
                     f"'{name}' is a HostSwitchGraph mutated in '{fn.name}' but "
                     "returned without a validate() call (add one or waive with "
                     "'# repro-lint: disable=REP002 -- <reason>')",
+                    fix=(
+                        Edit(
+                            ret.lineno, 0, ret.lineno, 0,
+                            f"{indent}{name}.validate()\n",
+                        ),
+                    ),
                 )
 
     # -- REP003 straight-line duplicates --------------------------------- #
@@ -800,6 +902,7 @@ class _Analyzer(ast.NodeVisitor):
                     node,
                     "equality comparison against inf on a float value; use "
                     "math.isinf()/numpy.isinf() instead",
+                    fix=self._rep004_fix(node, op, left, right),
                 )
             elif metric:
                 self._report(
@@ -810,6 +913,47 @@ class _Analyzer(ast.NodeVisitor):
                     "comparison",
                 )
         self.generic_visit(node)
+
+    def _rep004_fix(
+        self,
+        node: ast.Compare,
+        op: ast.cmpop,
+        left: ast.expr,
+        right: ast.expr,
+    ) -> tuple[Edit, ...]:
+        """Rewrite ``x == <inf>`` to ``math.isinf(x)`` (``!=`` negated).
+
+        Only single comparisons against *positive* infinity are rewritten
+        (``isinf`` is sign-blind, so ``float("-inf")`` must stay manual);
+        chained comparisons are report-only.
+        """
+        if len(node.ops) != 1:
+            return ()
+        if _is_float_pos_inf(right) and not _is_float_inf(left):
+            value = left
+        elif _is_float_pos_inf(left) and not _is_float_inf(right):
+            value = right
+        else:
+            return ()
+        segment = ast.get_source_segment(self.ctx.source, value)
+        end_lineno = getattr(node, "end_lineno", None)
+        end_col = getattr(node, "end_col_offset", None)
+        if segment is None or end_lineno is None or end_col is None:
+            return ()
+        prefix = "not " if isinstance(op, ast.NotEq) else ""
+        fix = (
+            Edit(
+                node.lineno,
+                node.col_offset,
+                end_lineno,
+                end_col,
+                f"{prefix}math.isinf({segment})",
+            ),
+        )
+        if not self.ctx.math_imported:
+            insert = self.ctx.import_insert_line
+            fix += (Edit(insert, 0, insert, 0, "import math\n"),)
+        return fix
 
     # -- REP005 ----------------------------------------------------------- #
 
@@ -929,12 +1073,36 @@ def _iter_python_files(paths: list[str]) -> list[Path]:
     return files
 
 
-def lint_paths(paths: list[str]) -> list[Diagnostic]:
-    """Lint every ``.py`` file under the given files/directories."""
+def lint_paths(
+    paths: list[str],
+    *,
+    flow: bool = True,
+    flow_only: bool = False,
+    select: set[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint every ``.py`` file under the given files/directories.
+
+    Runs the fast per-file tier (REP001-REP009) unless ``flow_only``,
+    and the whole-program flow tier (REP010-REP013) unless ``flow`` is
+    False.  Diagnostics come back globally ordered by
+    ``(path, line, col, code)`` so output is stable across tiers.
+    """
+    files = _iter_python_files(paths)
     diags: list[Diagnostic] = []
-    for f in _iter_python_files(paths):
-        diags.extend(lint_file(f))
-    return diags
+    if not flow_only:
+        for f in files:
+            diags.extend(lint_file(f))
+    if flow or flow_only:
+        # Function-level import: flow imports Diagnostic from this module.
+        from repro.devtools.flow.rules import flow_lint
+
+        flow_select = select & FLOW_RULES if select is not None else None
+        if flow_select is None or flow_select:
+            flow_diags, _stats = flow_lint(files, select=flow_select)
+            diags.extend(flow_diags)
+    if select is not None:
+        diags = [d for d in diags if d.code in select]
+    return sorted(diags, key=Diagnostic.sort_key)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -952,12 +1120,52 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="comma-separated rule codes to enable (default: all)",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the report to this file instead of stdout"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file: findings recorded there are suppressed",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply available autofixes in place (iterated to a fixed point)",
+    )
+    parser.add_argument(
+        "--no-flow",
+        action="store_true",
+        help="skip the whole-program flow tier (REP010-REP013)",
+    )
+    parser.add_argument(
+        "--flow-only",
+        action="store_true",
+        help="run only the whole-program flow tier",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
         for code, summary in sorted(RULES.items()):
             print(f"{code}  {summary}")
         return 0
+    if args.no_flow and args.flow_only:
+        print("repro-lint: --no-flow and --flow-only are exclusive", file=sys.stderr)
+        return 2
+    if args.write_baseline and not args.baseline:
+        print("repro-lint: --write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
 
     selected = (
         {c.strip() for c in args.select.split(",") if c.strip()}
@@ -973,19 +1181,45 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+
+    paths = args.paths or ["src"]
+    flow = not args.no_flow
+
+    if args.fix:
+        from repro.devtools.fixes import apply_fixes
+
+        applied, changed = apply_fixes(
+            paths, flow=flow, flow_only=args.flow_only, select=selected
+        )
+        # Always reported, even at zero: CI's idempotency self-check greps
+        # for "applied 0 fix(es)" on the second pass.
+        print(f"repro-lint: applied {applied} fix(es) in {len(changed)} file(s)")
+
     try:
-        diags = lint_paths(args.paths or ["src"])
+        diags = lint_paths(
+            paths, flow=flow, flow_only=args.flow_only, select=selected
+        )
     except (FileNotFoundError, OSError) as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
-    if selected is not None:
-        diags = [d for d in diags if d.code in selected]
-    for diag in diags:
-        print(diag.render())
-    if diags:
-        print(f"repro-lint: {len(diags)} violation(s) in {len({d.path for d in diags})} file(s)")
-        return 1
-    return 0
+
+    from repro.devtools import report
+
+    if args.baseline and args.write_baseline:
+        report.write_baseline(Path(args.baseline), diags)
+        print(f"repro-lint: wrote baseline ({len(diags)} finding(s)) to {args.baseline}")
+        return 0
+    suppressed = 0
+    if args.baseline:
+        baseline = report.load_baseline(Path(args.baseline))
+        diags, suppressed = report.apply_baseline(diags, baseline)
+
+    rendered = report.render(diags, args.format, suppressed=suppressed)
+    if args.output:
+        Path(args.output).write_text(rendered, encoding="utf-8")
+    else:
+        sys.stdout.write(rendered)
+    return 1 if diags else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

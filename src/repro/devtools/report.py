@@ -1,0 +1,183 @@
+"""Diagnostic rendering (text / json / sarif) and the lint baseline.
+
+The SARIF output follows the 2.1.0 schema closely enough for GitHub
+code-scanning upload: one run, one driver, one rule entry per rule that
+fired, one result per diagnostic with a physical location.
+
+The baseline is deliberately coarse: it records *counts* per
+``(path, rule)`` pair, not line numbers, so unrelated edits that shift
+lines do not invalidate it.  ``apply_baseline`` suppresses the first N
+findings of each pair (diagnostics are globally sorted, so "first" is
+stable); a new finding in a baselined file still fails the build, and
+fixing a baselined finding can only lower the recorded count.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.devtools.lint import RULES, Diagnostic
+
+__all__ = [
+    "apply_baseline",
+    "baseline_counts",
+    "load_baseline",
+    "render",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "write_baseline",
+]
+
+_BASELINE_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# Renderers
+# --------------------------------------------------------------------- #
+
+
+def render_text(diags: list[Diagnostic], *, suppressed: int = 0) -> str:
+    lines = [d.render() for d in diags]
+    if diags:
+        lines.append(
+            f"repro-lint: {len(diags)} violation(s) in "
+            f"{len({d.path for d in diags})} file(s)"
+        )
+    if suppressed:
+        lines.append(f"repro-lint: {suppressed} finding(s) suppressed by baseline")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(diags: list[Diagnostic], *, suppressed: int = 0) -> str:
+    payload = {
+        "diagnostics": [
+            {
+                "path": d.path,
+                "line": d.line,
+                "col": d.col,
+                "code": d.code,
+                "message": d.message,
+                "fixable": bool(d.fix),
+            }
+            for d in diags
+        ],
+        "summary": {
+            "violations": len(diags),
+            "files": len({d.path for d in diags}),
+            "suppressed": suppressed,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(diags: list[Diagnostic], *, suppressed: int = 0) -> str:
+    fired = sorted({d.code for d in diags})
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": RULES.get(code, code)},
+            "defaultConfiguration": {"level": "warning"},
+        }
+        for code in fired
+    ]
+    results = [
+        {
+            "ruleId": d.code,
+            "level": "warning",
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": d.line,
+                            "startColumn": d.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for d in diags
+    ]
+    sarif = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2, sort_keys=True) + "\n"
+
+
+def render(diags: list[Diagnostic], fmt: str, *, suppressed: int = 0) -> str:
+    """Dispatch on ``fmt`` (``text`` / ``json`` / ``sarif``)."""
+    if fmt == "json":
+        return render_json(diags, suppressed=suppressed)
+    if fmt == "sarif":
+        return render_sarif(diags, suppressed=suppressed)
+    if fmt == "text":
+        return render_text(diags, suppressed=suppressed)
+    raise ValueError(f"unknown format: {fmt!r}")
+
+
+# --------------------------------------------------------------------- #
+# Baseline
+# --------------------------------------------------------------------- #
+
+
+def _key(diag: Diagnostic) -> str:
+    return f"{Path(diag.path).as_posix()}::{diag.code}"
+
+
+def baseline_counts(diags: list[Diagnostic]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for diag in diags:
+        counts[_key(diag)] = counts.get(_key(diag), 0) + 1
+    return counts
+
+
+def write_baseline(path: Path, diags: list[Diagnostic]) -> None:
+    payload = {"version": _BASELINE_VERSION, "entries": baseline_counts(diags)}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", "utf-8")
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Load a baseline; a missing file is an empty baseline."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("entries", {})
+    return {
+        str(key): int(count)
+        for key, count in entries.items()
+        if isinstance(count, int) and count > 0
+    }
+
+
+def apply_baseline(
+    diags: list[Diagnostic], baseline: dict[str, int]
+) -> tuple[list[Diagnostic], int]:
+    """Suppress up to the baselined count per (path, rule); returns
+    (kept, suppressed_count)."""
+    budget = dict(baseline)
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for diag in sorted(diags, key=Diagnostic.sort_key):
+        key = _key(diag)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(diag)
+    return kept, suppressed

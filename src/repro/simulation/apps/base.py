@@ -171,7 +171,7 @@ def run_nas(
     model: str = "fluid",
     params: NetworkParams | None = None,
     routing: str = "shortest",
-    routing_seed: int | None = None,
+    routing_seed: int | None = 0,
     telemetry: TelemetryRegistry | None = None,
 ) -> NASResult:
     """Simulate one NPB skeleton on a host-switch graph.

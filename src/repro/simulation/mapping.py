@@ -26,7 +26,7 @@ def rank_to_host_mapping(
     graph: HostSwitchGraph,
     num_ranks: int,
     strategy: str = "dfs",
-    seed: int | np.random.Generator | None = None,
+    seed: int | np.random.Generator | None = 0,
 ) -> list[int]:
     """Host id for each rank ``0 .. num_ranks-1`` under the given strategy."""
     if num_ranks > graph.num_hosts:

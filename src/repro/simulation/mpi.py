@@ -261,7 +261,7 @@ class MPIWorld:
         model: str = "fluid",
         params: NetworkParams | None = None,
         routing: str = "shortest",
-        routing_seed: int | None = None,
+        routing_seed: int | None = 0,
         trace: bool = False,
         telemetry: TelemetryRegistry | None = None,
     ) -> None:
@@ -361,7 +361,7 @@ def run_mpi_program(
     model: str = "fluid",
     params: NetworkParams | None = None,
     routing: str = "shortest",
-    routing_seed: int | None = None,
+    routing_seed: int | None = 0,
     telemetry: TelemetryRegistry | None = None,
 ) -> SimulationStats:
     """One-shot convenience: build an :class:`MPIWorld` and run a program."""

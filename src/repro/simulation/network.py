@@ -142,7 +142,7 @@ class BaseNetworkModel:
         params: NetworkParams,
         tables: RoutingTables | None = None,
         routing: str = "shortest",
-        seed: int | np.random.Generator | None = None,
+        seed: int | np.random.Generator | None = 0,
         faults: FaultSchedule | None = None,
         telemetry: TelemetryRegistry | None = None,
     ) -> None:
@@ -264,8 +264,10 @@ class BaseNetworkModel:
             self._down_ids |= dead_ids
             self._down_ids -= live_ids
             if tel.enabled:
-                name = "faults.injected" if event.action == "down" else "faults.repaired"
-                tel.counter(name).inc()
+                if event.action == "down":
+                    tel.counter("faults.injected").inc()
+                else:
+                    tel.counter("faults.repaired").inc()
             if dead_ids:
                 self._on_links_down(dead_ids)
 
@@ -358,7 +360,7 @@ class FluidNetworkModel(BaseNetworkModel):
         params: NetworkParams | None = None,
         tables: RoutingTables | None = None,
         routing: str = "shortest",
-        seed: int | np.random.Generator | None = None,
+        seed: int | np.random.Generator | None = 0,
         faults: FaultSchedule | None = None,
         telemetry: TelemetryRegistry | None = None,
     ) -> None:
@@ -422,7 +424,7 @@ class LatencyOnlyNetworkModel(BaseNetworkModel):
         params: NetworkParams | None = None,
         tables: RoutingTables | None = None,
         routing: str = "shortest",
-        seed: int | np.random.Generator | None = None,
+        seed: int | np.random.Generator | None = 0,
         faults: FaultSchedule | None = None,
         telemetry: TelemetryRegistry | None = None,
     ) -> None:
@@ -456,7 +458,7 @@ def build_network(
     params: NetworkParams | None = None,
     tables: RoutingTables | None = None,
     routing: str = "shortest",
-    seed: int | np.random.Generator | None = None,
+    seed: int | np.random.Generator | None = 0,
     faults: FaultSchedule | None = None,
     telemetry: TelemetryRegistry | None = None,
 ) -> BaseNetworkModel:

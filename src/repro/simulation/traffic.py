@@ -134,7 +134,7 @@ def run_traffic(
     model: str = "fluid",
     routing: str = "shortest",
     hotspot_fraction: float = 0.2,
-    seed: int | np.random.Generator | None = None,
+    seed: int | np.random.Generator | None = 0,
     telemetry: TelemetryRegistry | None = None,
     faults: FaultSchedule | None = None,
 ) -> TrafficResult:

@@ -1,0 +1,8 @@
+"""REP004 fixture: equality comparison against float("inf").
+
+Autofixed to ``math.isinf`` (plus the ``import math`` insertion).
+"""
+
+
+def is_unreachable(dist):
+    return dist == float("inf")

@@ -1,0 +1,24 @@
+"""REP012 seeded fixture that REP009 provably misses.
+
+REP009 (the fast tier) only looks at mutate/measure/restore *loops*;
+this straight-line probe mutates, calls out, and restores with no loop
+at all, yet ``measure(graph)`` can raise and escape before
+``add_edge`` runs — exactly the CFG-exact gap REP012 closes.
+"""
+
+
+def probe(graph, edge, measure):
+    a, b = edge
+    graph.remove_edge(a, b)
+    score = measure(graph)
+    graph.add_edge(a, b)
+    return score
+
+
+def probe_protected(graph, edge, measure):
+    a, b = edge
+    graph.remove_edge(a, b)
+    try:
+        return measure(graph)
+    finally:
+        graph.add_edge(a, b)

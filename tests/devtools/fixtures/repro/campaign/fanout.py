@@ -1,0 +1,12 @@
+"""REP011 fixture: unpicklable submission and completion-order folds."""
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+
+def gather(points):
+    results = []
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda p: p * 2, p) for p in points]
+        for future in as_completed(futures):
+            results.append(future.result())
+    return results

@@ -1,0 +1,16 @@
+"""REP010 fixture: None-defaulted seeds reaching ambient entropy.
+
+Both defaults below are autofixable (None -> 0); after ``--fix`` the
+module lints clean, which CI's idempotency self-check relies on.
+"""
+
+import numpy as np
+
+
+def make_rng(seed=None):
+    return np.random.default_rng(seed)
+
+
+def solve(graph, seed=None):
+    rng = make_rng(seed)
+    return rng.random()

@@ -1,0 +1,8 @@
+"""Closed instrument-name registry for the fixture tree (REP013)."""
+
+INSTRUMENTS: frozenset[str] = frozenset(
+    {
+        "sim.cycles",
+        "sim.packets",
+    }
+)

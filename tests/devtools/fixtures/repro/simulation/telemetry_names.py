@@ -1,0 +1,7 @@
+"""REP013 fixture: f-string and unregistered instrument names."""
+
+
+def record(tel, kind):
+    tel.counter(f"sim.{kind}").inc()
+    tel.gauge("sim.unregistered_name").set(1.0)
+    tel.counter("sim.cycles").inc()

@@ -1,0 +1,231 @@
+"""Golden-structure tests for the intra-function CFG builder.
+
+The golden tests pin down the routing decisions that the flow rules
+lean on: ``try/finally`` interception of ``return``/``break``/
+``continue``, with-block unwinding into enclosing handlers, and loop
+back edges.  The property test then sweeps every function in the
+shipped ``src`` tree and asserts the builder's structural invariants
+hold on real code, not just fixtures.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.devtools.flow import build_cfg
+from repro.devtools.flow.cfg import BACK, CFG, EXC
+
+
+def cfg_of(src: str) -> tuple[CFG, ast.FunctionDef]:
+    tree = ast.parse(textwrap.dedent(src))
+    fn = tree.body[0]
+    assert isinstance(fn, ast.FunctionDef)
+    return build_cfg(fn), fn
+
+
+def node_of(cfg: CFG, anchor: ast.AST) -> int:
+    for node in cfg.nodes.values():
+        if node.stmt is anchor:
+            return node.idx
+    owners = cfg.owner_map()
+    assert id(anchor) in owners, f"no CFG node owns {ast.dump(anchor)[:60]}"
+    return owners[id(anchor)]
+
+
+def reaches(cfg: CFG, start: int, target: int, *, banned: int | None = None) -> bool:
+    """True when ``target`` is reachable from ``start`` without passing
+    through ``banned`` (edges out of ``banned`` are not followed)."""
+    seen = set()
+    stack = [start]
+    while stack:
+        idx = stack.pop()
+        if idx == target:
+            return True
+        if idx in seen or idx == banned:
+            continue
+        seen.add(idx)
+        stack.extend(edge.dst for edge in cfg.succs.get(idx, []))
+    return False
+
+
+# --------------------------------------------------------------------- #
+# Golden: try/finally interception
+# --------------------------------------------------------------------- #
+
+
+def test_return_is_routed_through_finally():
+    cfg, fn = cfg_of(
+        """
+        def f(res):
+            try:
+                return res.compute()
+            finally:
+                res.close()
+        """
+    )
+    try_stmt = fn.body[0]
+    assert isinstance(try_stmt, ast.Try)
+    ret = node_of(cfg, try_stmt.body[0])
+    close = node_of(cfg, try_stmt.finalbody[0])
+    assert reaches(cfg, ret, cfg.exit)
+    # The function cannot exit off the return without executing close().
+    assert not reaches(cfg, ret, cfg.exit, banned=close)
+
+
+def test_break_and_continue_routed_through_finally():
+    cfg, fn = cfg_of(
+        """
+        def g(items, log):
+            total = 0
+            for item in items:
+                try:
+                    if item < 0:
+                        break
+                    if item == 0:
+                        continue
+                    total = total + item
+                finally:
+                    log.flush()
+            return total
+        """
+    )
+    for_stmt = fn.body[1]
+    assert isinstance(for_stmt, ast.For)
+    try_stmt = for_stmt.body[0]
+    assert isinstance(try_stmt, ast.Try)
+    brk = node_of(cfg, try_stmt.body[0].body[0])  # break
+    cont = node_of(cfg, try_stmt.body[1].body[0])  # continue
+    flush = node_of(cfg, try_stmt.finalbody[0])
+    head = node_of(cfg, for_stmt.iter)
+    ret = node_of(cfg, fn.body[2])
+    # break leaves the loop only through the finally block ...
+    assert reaches(cfg, brk, ret)
+    assert not reaches(cfg, brk, ret, banned=flush)
+    # ... and continue returns to the loop head only through it too.
+    assert not reaches(cfg, cont, head, banned=flush)
+
+
+def test_exception_in_try_reaches_finally_not_exit_directly():
+    cfg, fn = cfg_of(
+        """
+        def k(lock, work, log):
+            try:
+                with lock:
+                    work()
+            finally:
+                log.flush()
+        """
+    )
+    try_stmt = fn.body[0]
+    with_stmt = try_stmt.body[0]
+    body_call = node_of(cfg, with_stmt.body[0])
+    flush = node_of(cfg, try_stmt.finalbody[0])
+    exc_targets = {
+        edge.dst for edge in cfg.succs[body_call] if edge.kind == EXC
+    }
+    assert exc_targets, "a call inside with must have an exceptional edge"
+    # Unwinding lands in the finally block, never straight at exit.
+    assert exc_targets == {flush}
+
+
+def test_with_body_unwinds_to_exit_when_unprotected():
+    cfg, fn = cfg_of(
+        """
+        def h(lock, work):
+            with lock:
+                work()
+            return 1
+        """
+    )
+    with_stmt = fn.body[0]
+    body_call = node_of(cfg, with_stmt.body[0])
+    kinds = {(e.kind, e.dst) for e in cfg.succs[body_call]}
+    assert (EXC, cfg.exit) in kinds
+    ret = node_of(cfg, fn.body[1])
+    assert reaches(cfg, body_call, ret)
+
+
+def test_while_true_break_and_back_edge():
+    cfg, fn = cfg_of(
+        """
+        def loop(step):
+            while True:
+                if step():
+                    break
+        """
+    )
+    assert cfg.exit in cfg.reachable_from(cfg.entry)
+    back = [e for edges in cfg.succs.values() for e in edges if e.kind == BACK]
+    assert back, "loop must contribute a back edge"
+    # The acyclic view (skipping back edges) still reaches exit.
+    assert cfg.exit in cfg.reachable_from(
+        cfg.entry, skip_kinds=frozenset({BACK})
+    )
+
+
+def test_except_handler_catches_and_falls_through():
+    cfg, fn = cfg_of(
+        """
+        def e(work):
+            try:
+                work()
+            except ValueError:
+                return -1
+            return 0
+        """
+    )
+    try_stmt = fn.body[0]
+    call = node_of(cfg, try_stmt.body[0])
+    handler_ret = node_of(cfg, try_stmt.handlers[0].body[0])
+    tail_ret = node_of(cfg, fn.body[1])
+    assert reaches(cfg, call, handler_ret)
+    assert reaches(cfg, call, tail_ret)
+    # A non-catch-all handler keeps an unwinding path out of the function.
+    assert any(
+        e.kind == EXC and e.dst == cfg.exit for e in cfg.succs.get(call, [])
+    ) or reaches(cfg, call, cfg.exit, banned=tail_ret)
+
+
+# --------------------------------------------------------------------- #
+# Property: structural invariants over the whole shipped tree
+# --------------------------------------------------------------------- #
+
+
+def _assert_invariants(cfg: CFG) -> None:
+    reachable = cfg.reachable_from(cfg.entry)
+    assert reachable == set(cfg.nodes), (
+        f"{cfg.name}: unreachable nodes {set(cfg.nodes) - reachable}"
+    )
+    assert cfg.entry in cfg.nodes and cfg.exit in cfg.nodes
+    for src_idx, edges in cfg.succs.items():
+        for edge in edges:
+            assert edge.src == src_idx
+            assert edge.dst in cfg.nodes
+            assert edge in cfg.preds[edge.dst]
+    for dst_idx, edges in cfg.preds.items():
+        for edge in edges:
+            assert edge.dst == dst_idx
+            assert edge in cfg.succs[edge.src]
+
+
+def test_every_node_reachable_over_src_corpus():
+    src_root = Path(__file__).resolve().parents[2] / "src" / "repro"
+    functions = 0
+    for path in sorted(src_root.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _assert_invariants(build_cfg(node))
+                functions += 1
+    assert functions > 300, "corpus should cover the whole shipped tree"
+
+
+def test_every_node_reachable_over_fixture_corpus():
+    fixtures = Path(__file__).resolve().parent / "fixtures"
+    for path in sorted(fixtures.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _assert_invariants(build_cfg(node))

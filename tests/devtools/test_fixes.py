@@ -1,0 +1,117 @@
+"""Tests for the autofix machinery: edit application and the fixed-point
+``apply_fixes`` driver (idempotency is a CI-enforced contract)."""
+
+from __future__ import annotations
+
+import ast
+import shutil
+from pathlib import Path
+
+from repro.devtools.fixes import apply_edits, apply_fixes
+from repro.devtools.lint import Edit, lint_paths
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+# --------------------------------------------------------------------- #
+# apply_edits
+# --------------------------------------------------------------------- #
+
+
+def test_apply_edits_replacement_and_insertion():
+    source = "a = None\nb = 2\n"
+    out, applied = apply_edits(
+        source,
+        [
+            Edit(1, 4, 1, 8, "0"),  # None -> 0
+            Edit(1, 0, 1, 0, "import math\n"),  # pure insertion
+        ],
+    )
+    assert applied == 2
+    assert out == "import math\na = 0\nb = 2\n"
+
+
+def test_apply_edits_multiline_span():
+    source = "x = (\n    None\n)\n"
+    out, applied = apply_edits(source, [Edit(1, 4, 3, 1, "0")])
+    assert applied == 1
+    assert out == "x = 0\n"
+
+
+def test_apply_edits_deduplicates_identical_edits():
+    source = "seed = None\n"
+    edit = Edit(1, 7, 1, 11, "0")
+    out, applied = apply_edits(source, [edit, edit, edit])
+    assert applied == 1
+    assert out == "seed = 0\n"
+
+
+def test_apply_edits_skips_overlapping_edits():
+    source = "value = 123456\n"
+    out, applied = apply_edits(
+        source,
+        [Edit(1, 8, 1, 14, "0"), Edit(1, 10, 1, 12, "9")],
+    )
+    # Edits apply bottom-up, so the later-starting edit wins and the
+    # overlapping earlier one is dropped: exactly one edit lands.
+    assert applied == 1
+    assert out == "value = 12956\n"
+
+
+def test_apply_edits_empty_list_is_identity():
+    source = "def f():\n    return 1\n"
+    out, applied = apply_edits(source, [])
+    assert applied == 0
+    assert out == source
+
+
+# --------------------------------------------------------------------- #
+# apply_fixes over the fixture tree
+# --------------------------------------------------------------------- #
+
+
+def test_apply_fixes_is_idempotent_and_behavior_preserving(tmp_path):
+    tree = tmp_path / "fixtree"
+    shutil.copytree(FIXTURES, tree)
+
+    before = {d.code for d in lint_paths([str(tree)])}
+    assert {"REP004", "REP010"} <= before
+
+    applied, changed = apply_fixes([str(tree)])
+    assert applied >= 3
+    assert changed, "fixable fixtures must be rewritten"
+
+    # Every rewritten file still parses (the fixes are mechanical,
+    # never structural).
+    for path in sorted(tree.rglob("*.py")):
+        ast.parse(path.read_text(encoding="utf-8"))
+
+    # Fixable findings are gone; report-only ones survive untouched.
+    after = {d.code for d in lint_paths([str(tree)])}
+    assert "REP004" not in after and "REP010" not in after
+    assert {"REP011", "REP012", "REP013"} <= after
+
+    # Second pass: nothing left to do — the CI self-check contract.
+    applied2, changed2 = apply_fixes([str(tree)])
+    assert applied2 == 0
+    assert not changed2
+
+
+def test_apply_fixes_respects_select(tmp_path):
+    tree = tmp_path / "fixtree"
+    shutil.copytree(FIXTURES, tree)
+    applied, _ = apply_fixes([str(tree)], select={"REP004"})
+    assert applied == 2  # the isinf rewrite plus its "import math" insertion
+    codes = {d.code for d in lint_paths([str(tree)])}
+    assert "REP004" not in codes
+    assert "REP010" in codes  # untouched: not selected
+
+
+def test_rep004_fix_rewrites_to_isinf(tmp_path):
+    tree = tmp_path / "fixtree"
+    shutil.copytree(FIXTURES, tree)
+    apply_fixes([str(tree)], select={"REP004"})
+    fixed = (tree / "repro" / "analysis" / "inf_compare.py").read_text()
+    assert "return math.isinf(dist)" in fixed
+    assert "import math" in fixed
+    assert 'dist == float("inf")' not in fixed

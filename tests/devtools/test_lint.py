@@ -661,3 +661,155 @@ def test_rep009_waiver():
                 graph.add_switch_edge(a, b)
     """
     assert "REP009" not in codes(src)
+
+
+# --------------------------------------------------------------------- #
+# Waiver extents on multi-line statements
+# --------------------------------------------------------------------- #
+
+
+def test_waiver_on_last_line_of_multiline_statement():
+    # The finding anchors at the statement's first line, but the waiver
+    # sits on its *last* line; statement extents must bridge the gap.
+    src = """
+        import random
+
+        def pick(xs):
+            return random.choice(
+                xs,
+            )  # repro-lint: disable=REP001 -- demo only
+        """
+    assert codes(src) == []
+
+
+def test_waiver_above_multiline_statement():
+    src = """
+        import random
+
+        def pick(xs):
+            # repro-lint: disable=REP001 -- demo only
+            return random.choice(
+                xs,
+            )
+        """
+    assert codes(src) == []
+
+
+def test_waiver_inside_multiline_statement_does_not_leak_past_it():
+    # A waiver on the statement's last line doubles as a line-above
+    # waiver only for the *immediately* following line; with any gap it
+    # must not suppress later statements.
+    src = """
+        import random
+
+        def pick(xs):
+            a = random.choice(
+                xs,
+            )  # repro-lint: disable=REP001 -- only this call
+
+            b = random.choice(xs)
+            return a, b
+        """
+    assert codes(src) == ["REP001"]
+
+
+# --------------------------------------------------------------------- #
+# Global diagnostic ordering (regression)
+# --------------------------------------------------------------------- #
+
+
+def test_diagnostics_sorted_by_path_line_code(tmp_path):
+    from repro.devtools.lint import lint_paths
+
+    # Three dirty files named to defeat any directory-order luck, each
+    # with findings from both tiers at assorted lines.
+    for name in ("zz.py", "aa.py", "mm.py"):
+        (tmp_path / name).write_text(
+            "import random\n\n"
+            "def f():\n"
+            "    return random.random()\n\n"
+            "def g(x):\n"
+            "    return x == float('inf')\n"
+        )
+    diags = lint_paths([str(tmp_path)])
+    keys = [d.sort_key() for d in diags]
+    assert keys == sorted(keys)
+    assert [d.path for d in diags] == sorted(
+        [d.path for d in diags]
+    ), "files must be ordered by path regardless of discovery order"
+
+
+# --------------------------------------------------------------------- #
+# Formats, baseline, and both CLI spellings
+# --------------------------------------------------------------------- #
+
+
+def _dirty_file(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\n\ndef f():\n    return random.random()\n")
+    return dirty
+
+
+def test_main_json_format(tmp_path, capsys):
+    import json
+
+    dirty = _dirty_file(tmp_path)
+    assert main(["--format", "json", str(dirty)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["violations"] == 1
+    assert payload["diagnostics"][0]["code"] == "REP001"
+
+
+def test_main_sarif_format_to_file(tmp_path, capsys):
+    import json
+
+    dirty = _dirty_file(tmp_path)
+    out = tmp_path / "report.sarif"
+    assert main(["--format", "sarif", "--output", str(out), str(dirty)]) == 1
+    sarif = json.loads(out.read_text())
+    assert sarif["version"] == "2.1.0"
+    assert sarif["runs"][0]["results"][0]["ruleId"] == "REP001"
+    assert capsys.readouterr().out == ""  # report went to the file
+
+
+def test_main_baseline_workflow(tmp_path, capsys):
+    dirty = _dirty_file(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    # Record the current findings, then the same tree gates clean.
+    assert main(["--baseline", str(baseline), "--write-baseline", str(dirty)]) == 0
+    capsys.readouterr()
+    assert main(["--baseline", str(baseline), str(dirty)]) == 0
+    assert "suppressed by baseline" in capsys.readouterr().out
+    # A new finding in the same file still fails the gate.
+    dirty.write_text(dirty.read_text() + "\ndef g():\n    return random.random()\n")
+    assert main(["--baseline", str(baseline), str(dirty)]) == 1
+
+
+def test_main_flag_validation(tmp_path, capsys):
+    dirty = _dirty_file(tmp_path)
+    assert main(["--no-flow", "--flow-only", str(dirty)]) == 2
+    assert main(["--write-baseline", str(dirty)]) == 2
+    assert main(["--select", "REP999", str(dirty)]) == 2
+    capsys.readouterr()
+
+
+def test_main_fix_reports_zero_on_clean_tree(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(x):\n    return x + 1\n")
+    assert main(["--fix", str(clean)]) == 0
+    assert "applied 0 fix(es)" in capsys.readouterr().out
+
+
+def test_repro_lint_subcommand_matches_console_script(tmp_path, capsys):
+    from repro.cli import main as repro_main
+
+    dirty = _dirty_file(tmp_path)
+    # `repro lint ...` and the `repro-lint` console script are the same
+    # driver: identical exit codes and identical output.
+    assert repro_main(["lint", str(dirty)]) == 1
+    via_subcommand = capsys.readouterr().out
+    assert main([str(dirty)]) == 1
+    assert capsys.readouterr().out == via_subcommand
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(x):\n    return x + 1\n")
+    assert repro_main(["lint", str(clean)]) == 0
