@@ -172,6 +172,7 @@ def _solve_point(
             failures=point["failures"],
             trials=point["trials"],
             seed=point["seed"],
+            backend=point.get("backend"),
             telemetry=telemetry,
             on_trial=lambda _trial: hook(),
         )
@@ -193,6 +194,7 @@ def _solve_point(
         seed=point["seed"],
         operation=point["operation"],
         construction=point["construction"],
+        backend=point.get("backend"),
         telemetry=telemetry,
         checkpointer=checkpointer,
     )

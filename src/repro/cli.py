@@ -44,6 +44,7 @@ import logging
 import sys
 
 from repro.analysis.report import format_table
+from repro.core.kernels import BACKEND_NAMES
 
 __all__ = ["main", "build_parser"]
 
@@ -114,6 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the restart fan-out "
                         "(same result as serial for any value)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                   help="BFS kernel backend for the annealing repairs "
+                        "(default: REPRO_KERNEL_BACKEND, then auto)")
     p.add_argument("--out", type=str, default=None, help="save graph (HSG v1)")
 
     p = add_command("odp", help="solve an Order/Degree Problem instance")
@@ -177,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simultaneous failures per trial")
     p.add_argument("--trials", type=int, default=50)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                   help="BFS kernel backend for the shared repaired "
+                        "distance matrix (default: REPRO_KERNEL_BACKEND, "
+                        "then auto)")
     p.add_argument("--json", action="store_true",
                    help="emit the raw sweep result as JSON instead of a table")
 
@@ -272,7 +280,7 @@ def _cmd_solve(args, telemetry) -> int:
         args.n, args.r, m=args.m,
         schedule=AnnealingSchedule(num_steps=args.steps),
         restarts=args.restarts, jobs=args.jobs, seed=args.seed,
-        telemetry=telemetry,
+        backend=args.backend, telemetry=telemetry,
     )
     _emit(sol.summary())
     for restart in sol.restarts:
@@ -407,6 +415,7 @@ def _cmd_resilience(args, telemetry) -> int:
         failures=args.failures,
         trials=args.trials,
         seed=args.seed,
+        backend=args.backend,
         telemetry=telemetry,
     )
     if args.json:

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.hostswitch import HostSwitchGraph
 from repro.core.incremental import IncrementalEvaluator
+from repro.core.kernels import resolve_backend_name
 from repro.core.metrics import h_aspl, h_aspl_and_diameter, h_aspl_sampled
 from repro.core.operations import SwapMove, SwingMove, propose_swap, propose_swing
 from repro.core.serialization import graph_from_text, graph_to_text
@@ -194,6 +195,7 @@ def anneal(
     history_every: int = 0,
     target: float | None = None,
     evaluator: str = "incremental",
+    backend: str | None = None,
     eval_sources: int | None = None,
     eval_refresh: int = 200,
     telemetry: TelemetryRegistry | None = None,
@@ -227,6 +229,12 @@ def anneal(
         distance matrix per move; ``"full"`` recomputes the APSP on every
         proposal.  Both are exact and produce bit-identical runs for the
         same seed; ``"full"`` exists for verification and benchmarking.
+    backend:
+        Kernel backend name for the incremental evaluator's BFS repairs
+        (see :mod:`repro.core.kernels`); ``None`` defers to
+        ``REPRO_KERNEL_BACKEND`` and auto-detection.  The annealing
+        trajectory is bit-identical across backends, so this is purely a
+        performance knob.
     eval_sources:
         Scalability knob: when set (overriding ``evaluator``), proposals
         are scored with the sampled estimator
@@ -274,6 +282,7 @@ def anneal(
         raise ValueError(f"operation must be one of {_OPERATIONS}, got {operation!r}")
     if evaluator not in _EVALUATORS:
         raise ValueError(f"evaluator must be one of {_EVALUATORS}, got {evaluator!r}")
+    resolve_backend_name(backend)  # unknown backend names fail fast
     if eval_sources is not None and eval_sources < 1:
         raise ValueError(f"eval_sources must be >= 1, got {eval_sources}")
     if checkpoint_every < 0:
@@ -331,7 +340,7 @@ def anneal(
         resample()
         current = evaluate()
     elif evaluator == "incremental":
-        inc = IncrementalEvaluator(work, telemetry=tel)
+        inc = IncrementalEvaluator(work, telemetry=tel, backend=backend)
         current = inc.value
     else:
         current = evaluate()

@@ -51,7 +51,15 @@ class HostSwitchGraph:
     3
     """
 
-    __slots__ = ("_radix", "_adj", "_host_switch", "_hosts_per_switch", "_num_switch_edges")
+    __slots__ = (
+        "_radix",
+        "_adj",
+        "_host_switch",
+        "_hosts_per_switch",
+        "_num_switch_edges",
+        "_csr_version",
+        "_csr_cache",
+    )
 
     def __init__(self, num_switches: int, radix: int) -> None:
         check_positive_int(num_switches, "num_switches")
@@ -160,6 +168,7 @@ class HostSwitchGraph:
         self._adj[a].add(b)
         self._adj[b].add(a)
         self._num_switch_edges += 1
+        self._bump_topology_version()
 
     @graph_invariant(touched=lambda self, result, a, b: (a, b))
     def remove_switch_edge(self, a: int, b: int) -> None:
@@ -169,6 +178,7 @@ class HostSwitchGraph:
         self._adj[a].discard(b)
         self._adj[b].discard(a)
         self._num_switch_edges -= 1
+        self._bump_topology_version()
 
     @graph_invariant(touched=lambda self, result, s: (s,))
     def attach_host(self, s: int) -> int:
@@ -211,6 +221,44 @@ class HostSwitchGraph:
     # Structure export
     # ------------------------------------------------------------------ #
 
+    def _bump_topology_version(self) -> None:
+        """Invalidate the cached CSR export (switch topology changed)."""
+        self._csr_version = getattr(self, "_csr_version", 0) + 1
+
+    def switch_csr_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The switch adjacency as raw CSR ``(indptr, indices)`` int32 arrays.
+
+        Rows are sorted ascending — the layout the
+        :mod:`repro.core.kernels` backends share.  Cheaper than
+        :meth:`switch_csr` (no scipy matrix wrapper) and vectorised: the
+        per-row sort happens in one ``lexsort`` over the flat edge list.
+
+        The export is cached against a topology version bumped by
+        :meth:`add_switch_edge`/:meth:`remove_switch_edge`, so repeated
+        metric evaluations on an unchanged graph build it once.  Treat
+        the returned arrays as read-only (they are shared with the
+        cache).
+        """
+        version = getattr(self, "_csr_version", 0)
+        cached = getattr(self, "_csr_cache", None)
+        if cached is not None and cached[0] == version:
+            return cached[1], cached[2]
+        m = self.num_switches
+        counts = np.fromiter(
+            (len(nbrs) for nbrs in self._adj), dtype=np.int32, count=m
+        )
+        indptr = np.zeros(m + 1, dtype=np.int32)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        flat = np.fromiter(
+            (b for nbrs in self._adj for b in nbrs), dtype=np.int32, count=total
+        )
+        rows = np.repeat(np.arange(m, dtype=np.int32), counts)
+        order = np.lexsort((flat, rows))
+        indices = flat[order]
+        self._csr_cache = (version, indptr, indices)
+        return indptr, indices
+
     def switch_csr(self) -> sparse.csr_matrix:
         """The switch-switch adjacency as a scipy CSR boolean matrix."""
         m = self.num_switches
@@ -252,6 +300,10 @@ class HostSwitchGraph:
         dup._host_switch = list(self._host_switch)
         dup._hosts_per_switch = list(self._hosts_per_switch)
         dup._num_switch_edges = self._num_switch_edges
+        # The CSR export cache is immutable-by-convention; sharing it with
+        # the copy is safe and saves a rebuild on the first metric call.
+        dup._csr_version = getattr(self, "_csr_version", 0)
+        dup._csr_cache = getattr(self, "_csr_cache", None)
         return dup
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,86 @@
+"""Optional numba-JIT CSR BFS backend.
+
+Compiles a plain per-source queue BFS over the shared CSR arrays behind
+the exact signature the other backends expose.  The import is guarded:
+when numba is absent (the common case in minimal containers) this module
+still imports cleanly, :data:`HAVE_NUMBA` is False, and the backend
+registry falls back to the bitset kernel — requesting ``"numba"`` never
+hard-fails.
+
+The kernel produces the same float64 distances (``inf`` for unreachable
+pairs) as the pure-Python oracle; the property suite asserts
+bit-identity whenever numba is actually installed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels.csr import CSRAdjacency
+
+__all__ = ["HAVE_NUMBA", "NumbaBackend"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the fallback path CI proves
+    numba = None
+    HAVE_NUMBA = False
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True)
+    def _bfs_csr(indptr, indices, sources, m):
+        num = sources.shape[0]
+        dist = np.full((num, m), np.inf)
+        queue = np.empty(m, dtype=np.int32)
+        seen = np.empty(m, dtype=np.int64)
+        for row in range(num):
+            seen[:] = -1
+            src = sources[row]
+            seen[src] = 0
+            dist[row, src] = 0.0
+            queue[0] = src
+            head, tail = 0, 1
+            while head < tail:
+                u = queue[head]
+                head += 1
+                du = seen[u]
+                for p in range(indptr[u], indptr[u + 1]):
+                    v = indices[p]
+                    if seen[v] < 0:
+                        seen[v] = du + 1
+                        dist[row, v] = float(du + 1)
+                        queue[tail] = v
+                        tail += 1
+        return dist
+
+
+class NumbaBackend:
+    """JIT-compiled per-source CSR BFS (requires numba at runtime)."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if not HAVE_NUMBA:
+            raise RuntimeError(
+                "numba is not installed; the backend registry should have "
+                "fallen back to 'bitset'"
+            )
+
+    def bfs_distances(
+        self,
+        csr: CSRAdjacency,
+        sources: np.ndarray,
+        targets: np.ndarray | None = None,
+    ) -> np.ndarray:
+        sources = np.asarray(sources, dtype=np.int64)
+        if len(sources) == 0:
+            cols = csr.num_switches if targets is None else len(targets)
+            return np.full((0, cols), np.inf)
+        full = _bfs_csr(csr.indptr, csr.indices, sources, csr.num_switches)
+        if targets is None:
+            return full
+        return np.ascontiguousarray(full[:, np.asarray(targets, dtype=np.int64)])

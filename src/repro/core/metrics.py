@@ -13,14 +13,17 @@ matrix and the per-switch host counts ``k``:
                 {\\binom{n}{2}}
          = \\frac{\\tfrac12 \\sum_{a,b} k_a k_b (d(a,b)+2) - n}{\\binom{n}{2}}.
 
-We compute ``d`` with :func:`scipy.sparse.csgraph.shortest_path` (C-speed
-BFS) restricted to host-bearing switches, and evaluate the double sum with
-vectorised NumPy.  This used to be the hot path of the annealing search;
-the annealer now repairs a persistent distance matrix per move with
+We compute ``d`` with the pluggable BFS kernels of
+:mod:`repro.core.kernels` (bit-parallel by default; see the ``backend=``
+knob and the ``REPRO_KERNEL_BACKEND`` environment override) restricted to
+host-bearing switches, and evaluate the double sum with vectorised NumPy.
+This used to be the hot path of the annealing search; the annealer now
+repairs a persistent distance matrix per move with
 :class:`repro.core.incremental.IncrementalEvaluator` and only falls back to
 the full APSP here.  Because every quantity in the weighted sum is an
-integer exactly representable in float64, both evaluators produce
-bit-identical h-ASPL values (see :func:`_weighted_host_distance_sum`).
+integer exactly representable in float64, every backend and both
+evaluators produce bit-identical h-ASPL values (see
+:func:`_weighted_host_distance_sum`).
 """
 
 from __future__ import annotations
@@ -28,9 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.sparse import csgraph
 
 from repro.core.hostswitch import HostSwitchGraph
+from repro.core.kernels import CSRAdjacency, get_backend
 from repro.utils.contracts import ensures, requires
 
 __all__ = [
@@ -50,7 +53,10 @@ __all__ = [
 
 
 def switch_distance_matrix(
-    graph: HostSwitchGraph, sources: np.ndarray | None = None
+    graph: HostSwitchGraph,
+    sources: np.ndarray | None = None,
+    *,
+    backend: str | None = None,
 ) -> np.ndarray:
     """All-pairs (or selected-source) switch-graph distances.
 
@@ -62,14 +68,18 @@ def switch_distance_matrix(
         Optional array of switch indices to use as BFS sources.  When given,
         the returned matrix has shape ``(len(sources), m)``; otherwise
         ``(m, m)``.  Unreachable pairs are ``numpy.inf``.
+    backend:
+        Kernel backend name (see :mod:`repro.core.kernels`); ``None``
+        defers to ``REPRO_KERNEL_BACKEND`` and auto-detection.  All
+        backends return bit-identical distances.
     """
-    csr = graph.switch_csr()
     if sources is not None and len(sources) == 0:
         return np.zeros((0, graph.num_switches))
-    dist = csgraph.shortest_path(
-        csr, method="D", unweighted=True, directed=False, indices=sources
-    )
-    return np.atleast_2d(dist)
+    if sources is None:
+        sources = np.arange(graph.num_switches)
+    kernel = get_backend(backend)
+    csr = CSRAdjacency.from_graph(graph)
+    return np.atleast_2d(kernel.bfs_distances(csr, sources))
 
 
 def switch_aspl(graph: HostSwitchGraph) -> float:

@@ -61,6 +61,16 @@ REP009
     raising measurement otherwise leaves the shared graph (or distance
     matrix) corrupted for every later trial and for the caller.
     Construction-only loops (adds without removals) are exempt.
+REP014
+    Hand-rolled frontier BFS inside ``repro.core`` / ``repro.analysis``
+    / ``repro.faults`` outside :mod:`repro.core.kernels`: a loop that
+    advances a wavefront (assignment to a ``*frontier*`` name or a
+    ``deque.popleft()``) while producing distances (subscript store
+    into a ``*dist*`` array or an ``isinf`` reachedness test).  The
+    kernel layer's ``get_backend().bfs_distances`` is the one BFS
+    implementation — backend-pluggable (python/bitset/numba), batched,
+    and bit-identical across backends; private re-implementations fork
+    that contract.
 
 Flow rules (REP010-REP013)
 --------------------------
@@ -136,6 +146,8 @@ RULES: dict[str, str] = {
     "restore runs (CFG-exact; generalizes REP009, flow tier)",
     "REP013": "telemetry instrument name is not a literal from the "
     "repro.obs.names.INSTRUMENTS registry (flow tier; keeps repro.obs/v1 closed)",
+    "REP014": "hand-rolled frontier-BFS loop outside repro.core.kernels "
+    "(route through get_backend().bfs_distances for pluggable batched kernels)",
 }
 
 #: Rules produced by the whole-program flow tier (repro.devtools.flow).
@@ -231,6 +243,11 @@ _REP009_REMOVERS = frozenset(
 _REP009_RESTORERS = frozenset(
     {"add_switch_edge", "add_edge", "repair_link", "repair_switch"}
 )
+
+# Packages whose BFS must go through repro.core.kernels (REP014); the
+# kernel package itself is the one place allowed to roll its own.
+_KERNEL_CLIENT_PACKAGES = ("repro.core", "repro.analysis", "repro.faults")
+_KERNEL_HOME_PACKAGE = "repro.core.kernels"
 
 # numpy.random attributes that are fine to reference (they construct or
 # name generator machinery rather than draw from hidden global state).
@@ -488,6 +505,9 @@ class _Analyzer(ast.NodeVisitor):
         self.diags: list[Diagnostic] = []
         self._loop_depth = 0
         self._rep009_reported: set[int] = set()
+        # Line spans of loops already reported by REP014: nested loops in
+        # one BFS (while wavefront: for neighbor: ...) fire only once.
+        self._rep014_spans: list[tuple[int, int]] = []
         self._class_stack: list[str] = []
         # name -> repro module of its (annotated or constructed) class,
         # scoped per function; only simple Name receivers are tracked.
@@ -550,6 +570,7 @@ class _Analyzer(ast.NodeVisitor):
         self._loop_depth += 1
         if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
             self._check_rep009(node)
+            self._check_rep014(node)
         self.generic_visit(node)
         self._loop_depth -= 1
 
@@ -593,6 +614,53 @@ class _Analyzer(ast.NodeVisitor):
             "a raising measurement between the two corrupts the shared graph "
             "for every later trial (move the restore into a finally block)",
         )
+
+    # -- REP014 (hand-rolled frontier BFS outside repro.core.kernels) ----- #
+
+    def _check_rep014(self, loop: ast.For | ast.AsyncFor | ast.While) -> None:
+        module = self.ctx.module
+        if not module.startswith(_KERNEL_CLIENT_PACKAGES):
+            return
+        if module.startswith(_KERNEL_HOME_PACKAGE):
+            return
+        start = loop.lineno
+        end = getattr(loop, "end_lineno", None) or start
+        if any(lo <= start <= hi for lo, hi in self._rep014_spans):
+            return  # inner loop of an already-reported BFS
+        advances_wavefront = False
+        produces_distances = False
+        for child in _scope_walk(loop):
+            if isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    elts = target.elts if isinstance(target, ast.Tuple) else [target]
+                    for elt in elts:
+                        if isinstance(elt, ast.Name) and "frontier" in elt.id.lower():
+                            advances_wavefront = True
+                        if isinstance(elt, ast.Subscript):
+                            base = _terminal_name(elt.value)
+                            if base and "dist" in base.lower():
+                                produces_distances = True
+            elif isinstance(child, ast.Call):
+                tail = _call_tail(child)
+                if tail == "popleft":
+                    advances_wavefront = True
+                elif tail == "isinf":
+                    produces_distances = True
+        if advances_wavefront and produces_distances:
+            self._rep014_spans.append((start, end))
+            self._report(
+                "REP014",
+                loop,
+                "loop advances a BFS frontier and fills a distance array by "
+                "hand; repro.core.kernels.get_backend().bfs_distances is the "
+                "one BFS implementation (backend-pluggable, batched, "
+                "bit-identical across backends)",
+            )
 
     # -- REP001 + REP003 (call sites) ----------------------------------- #
 

@@ -35,6 +35,10 @@ INSTRUMENTS: frozenset[str] = frozenset(
         "evaluator.proposals",
         "evaluator.repaired_rows",
         "evaluator.repaired_rows_per_move",
+        # repro.core.kernels consumers (incremental evaluator, dynamic matrix)
+        "kernel.backend",
+        "kernel.bfs_rows",
+        "kernel.bfs_s",
         # repro.core.solver
         "solver.anneal_restarts",
         "solver.done",

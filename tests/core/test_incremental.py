@@ -20,8 +20,8 @@ from repro.core.incremental import (
     IncrementalEvaluator,
     IncrementalEvaluatorError,
     _affected_sources,
-    _batched_bfs_rows,
 )
+from repro.core.kernels import CSRAdjacency, get_backend
 from repro.core.metrics import h_aspl_and_diameter, switch_distance_matrix
 from repro.core.operations import (
     SwingMove,
@@ -241,20 +241,16 @@ class TestProtocol:
 
 
 class TestRepairPrimitives:
-    def test_batched_bfs_matches_scipy(self):
+    def test_kernel_bfs_matches_metrics(self):
         graph = random_host_switch_graph(40, 14, 6, seed=8)
         m = graph.num_switches
-        adjacency = np.zeros((m, m), dtype=np.float32)
-        for a, b in graph.switch_edges():
-            adjacency[a, b] = 1.0
-            adjacency[b, a] = 1.0
-        dist = _batched_bfs_rows(adjacency, np.arange(m))
+        csr = CSRAdjacency.from_graph(graph)
+        dist = get_backend("python").bfs_distances(csr, np.arange(m))
         assert np.array_equal(dist, switch_distance_matrix(graph))
 
-    def test_batched_bfs_reports_unreachable_as_inf(self):
-        adjacency = np.zeros((4, 4), dtype=np.float32)
-        adjacency[0, 1] = adjacency[1, 0] = 1.0
-        dist = _batched_bfs_rows(adjacency, np.arange(4))
+    def test_kernel_bfs_reports_unreachable_as_inf(self):
+        csr = CSRAdjacency.from_edges(4, [(0, 1)])
+        dist = get_backend("python").bfs_distances(csr, np.arange(4))
         assert dist[0, 1] == 1.0
         assert math.isinf(dist[0, 2])
         assert dist[2, 2] == 0.0
@@ -264,13 +260,11 @@ class TestRepairPrimitives:
         # with the chord as alternative except sources whose only route to
         # 2 ran through 1.
         m = 4
-        adjacency = np.zeros((m, m), dtype=np.float32)
-        for a, b in [(0, 1), (1, 2), (2, 3), (0, 2)]:
-            adjacency[a, b] = adjacency[b, a] = 1.0
-        dist = _batched_bfs_rows(adjacency, np.arange(m))
-        adjacency[1, 2] = adjacency[2, 1] = 0.0
-        affected = set(_affected_sources(dist, adjacency, 1, 2).tolist())
-        after = _batched_bfs_rows(adjacency, np.arange(m))
+        csr = CSRAdjacency.from_edges(m, [(0, 1), (1, 2), (2, 3), (0, 2)])
+        dist = get_backend("python").bfs_distances(csr, np.arange(m))
+        stripped = csr.with_edge_removed(1, 2)
+        affected = set(_affected_sources(dist, stripped, 1, 2).tolist())
+        after = get_backend("python").bfs_distances(stripped, np.arange(m))
         truly_changed = {
             int(x) for x in range(m) if not np.array_equal(dist[x], after[x])
         }

@@ -1,4 +1,4 @@
-"""Fixture-snippet tests for the ``repro-lint`` rules (REP001–REP009).
+"""Fixture-snippet tests for the ``repro-lint`` rules (REP001–REP014, fast tier).
 
 Each rule gets at least one firing and one non-firing snippet; waivers and
 the console entry point are exercised at the end.  Snippets are linted as
@@ -546,7 +546,7 @@ def test_main_list_rules(capsys):
     out = capsys.readouterr().out
     for code in (
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
-        "REP008", "REP009",
+        "REP008", "REP009", "REP014",
     ):
         assert code in out
 
@@ -813,3 +813,123 @@ def test_repro_lint_subcommand_matches_console_script(tmp_path, capsys):
     clean = tmp_path / "clean.py"
     clean.write_text("def f(x):\n    return x + 1\n")
     assert repro_main(["lint", str(clean)]) == 0
+
+
+# --------------------------------------------------------------------- #
+# REP014 — hand-rolled frontier BFS outside repro.core.kernels
+# --------------------------------------------------------------------- #
+
+KERNELS_PATH = "src/repro/core/kernels/fake_backend.py"
+FAULTS_PATH = "src/repro/faults/fake_module.py"
+
+FRONTIER_BFS = """
+    import numpy as np
+
+    def bfs(adj, source, num):
+        dist = np.full(num, np.inf)
+        dist[source] = 0.0
+        frontier = [source]
+        depth = 0.0
+        while frontier:
+            depth += 1.0
+            nxt = []
+            for vertex in frontier:
+                for neighbor in adj[vertex]:
+                    if np.isinf(dist[neighbor]):
+                        dist[neighbor] = depth
+                        nxt.append(neighbor)
+            frontier = nxt
+        return dist
+"""
+
+POPLEFT_BFS = """
+    from collections import deque
+    import numpy as np
+
+    def bfs(adj, source, num):
+        dist = np.full(num, np.inf)
+        dist[source] = 0.0
+        pending = deque([source])
+        while pending:
+            vertex = pending.popleft()
+            for neighbor in adj[vertex]:
+                if np.isinf(dist[neighbor]):
+                    dist[neighbor] = dist[vertex] + 1.0
+                    pending.append(neighbor)
+        return dist
+"""
+
+
+def test_rep014_fires_on_frontier_loop_in_core():
+    assert "REP014" in codes(FRONTIER_BFS, path=CORE_PATH)
+
+
+def test_rep014_fires_on_popleft_queue_bfs():
+    assert "REP014" in codes(POPLEFT_BFS, path=CORE_PATH)
+
+
+def test_rep014_fires_once_per_bfs_despite_nested_loops():
+    diags = codes(FRONTIER_BFS, path=CORE_PATH)
+    assert diags.count("REP014") == 1
+
+
+def test_rep014_covers_analysis_and_faults_packages():
+    assert "REP014" in codes(FRONTIER_BFS, path=LIB_PATH)
+    assert "REP014" in codes(POPLEFT_BFS, path=FAULTS_PATH)
+
+
+def test_rep014_exempts_the_kernel_package_itself():
+    assert "REP014" not in codes(FRONTIER_BFS, path=KERNELS_PATH)
+
+
+def test_rep014_quiet_outside_kernel_client_packages():
+    assert "REP014" not in codes(FRONTIER_BFS, path="src/repro/simulation/fake.py")
+
+
+def test_rep014_quiet_on_frontier_without_distances():
+    # A wavefront that only collects reachability (no distance array) is
+    # not the kernel hot path — e.g. connectivity checks.
+    src = """
+        def reachable(adj, source):
+            seen = {source}
+            frontier = [source]
+            while frontier:
+                nxt = []
+                for vertex in frontier:
+                    for neighbor in adj[vertex]:
+                        if neighbor not in seen:
+                            seen.add(neighbor)
+                            nxt.append(neighbor)
+                frontier = nxt
+            return seen
+    """
+    assert "REP014" not in codes(src, path=CORE_PATH)
+
+
+def test_rep014_quiet_on_distance_store_without_wavefront():
+    src = """
+        def fill(dist, rows, block):
+            for i, row in enumerate(rows):
+                dist[row] = block[i]
+    """
+    assert "REP014" not in codes(src, path=CORE_PATH)
+
+
+def test_rep014_waiver():
+    src = """
+        import numpy as np
+
+        def bfs(adj, source, num):
+            dist = np.full(num, np.inf)
+            frontier = [source]
+            while frontier:  # repro-lint: disable=REP014 -- pedagogical reference
+                nxt = []
+                for vertex in frontier:
+                    for neighbor in adj[vertex]:
+                        if np.isinf(dist[neighbor]):
+                            dist[neighbor] = dist[vertex] + 1.0
+                            nxt.append(neighbor)
+                frontier = nxt
+            return dist
+    """
+    assert "REP014" not in codes(src, path=CORE_PATH)
