@@ -46,6 +46,43 @@ NAS_CLASS_DEFAULT = {"small": "A", "paper": "B"}[SCALE]
 NAS_ITERATIONS = {"small": 1, "paper": 3}[SCALE]
 
 
+#: BENCH_*.json payload schema: 2 adds the ``meta`` provenance block.
+#: Readers (``repro.obs.regress`` and the legacy ``--check`` gate) accept
+#: both shapes; only the ``benchmarks`` map is load-bearing.
+BENCH_SCHEMA = 2
+
+
+def bench_meta(timestamp: str | None = None) -> dict:
+    """Provenance block for BENCH_*.json payloads (schema 2).
+
+    ``timestamp`` comes from the caller's ``--timestamp`` argument (never
+    sampled here — payloads must be reproducible byte-for-byte given the
+    same inputs).  The git commit is best-effort: a tarball checkout or a
+    missing ``git`` binary yields ``None``, not a crash.
+    """
+    import subprocess
+
+    from repro.core.kernels import resolve_backend_name
+
+    try:
+        commit: str | None = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "schema_version": BENCH_SCHEMA,
+        "git_commit": commit,
+        "timestamp": timestamp,
+        "backend": resolve_backend_name(),
+        "scale": SCALE,
+    }
+
+
 def emit(name: str, text: str) -> None:
     """Print a regenerated figure table and persist it under results/."""
     banner = f"\n===== {name} (REPRO_SCALE={SCALE}) =====\n"

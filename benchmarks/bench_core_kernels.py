@@ -42,6 +42,11 @@ import time
 
 import pytest
 
+try:
+    from benchmarks._common import BENCH_SCHEMA, bench_meta
+except ImportError:  # standalone: `python benchmarks/bench_core_kernels.py`
+    from _common import BENCH_SCHEMA, bench_meta
+
 from repro.core.annealing import AnnealingSchedule, anneal
 from repro.core.construct import random_host_switch_graph
 from repro.core.hostswitch import HostSwitchGraph
@@ -380,11 +385,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--telemetry-out", default=None,
                         help="record a repro.obs JSONL trace of the restart "
                              "fan-out kernel to this path")
+    parser.add_argument("--timestamp", default=None,
+                        help="ISO timestamp recorded in the payload's meta "
+                             "block (provenance for repro telemetry regress)")
     args = parser.parse_args(argv)
 
     if args.kernels:
         results = _kernel_suite()
-        payload: dict = {"schema": 1, "benchmarks": results}
+        payload: dict = {
+            "schema": BENCH_SCHEMA,
+            "meta": bench_meta(args.timestamp),
+            "benchmarks": results,
+        }
         print(json.dumps(payload, indent=2))
         if args.out:
             with open(args.out, "w", encoding="utf-8") as fh:
@@ -403,7 +415,11 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if telemetry is not None:
             telemetry.close()
-    payload = {"schema": 1, "benchmarks": results}
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "meta": bench_meta(args.timestamp),
+        "benchmarks": results,
+    }
     if args.full:
         payload["solve_1024_15"] = _solve_speedup(1024, 15, m=195)
         payload["solve_256_12"] = _solve_speedup(256, 12, m=55)

@@ -51,6 +51,11 @@ __all__ = ["PointOutcome", "CampaignRunResult", "run_campaign"]
 
 FAILURE_FORMAT = "repro.campaign.failure/v1"
 
+#: Minimum spacing between ``campaign.heartbeat`` events.  Checkpoints can
+#: land many times a second on small points; a live trace only needs a
+#: liveness signal, not one record per checkpoint.
+HEARTBEAT_EVERY_S = 5.0
+
 _TERMINAL = ("cached", "solved", "failed")
 
 
@@ -369,12 +374,54 @@ def run_campaign(
         else:
             pending.append((digest, point))
 
+    total_points = len(spec.points)
     checkpoints_seen = 0
+    last_heartbeat = float("-inf")
+
+    def emit_heartbeat(in_flight: int) -> None:
+        """Throttled liveness event for `repro monitor` (live sinks only)."""
+        nonlocal last_heartbeat
+        if not tel.enabled:
+            return
+        now = obs_clock()
+        if now - last_heartbeat < HEARTBEAT_EVERY_S:
+            return
+        last_heartbeat = now
+        tel.event(
+            "campaign.heartbeat",
+            campaign=spec.name,
+            checkpoints=checkpoints_seen,
+            done=len(result.outcomes),
+            points=total_points,
+            in_flight=in_flight,
+        )
+
+    def emit_progress(done: int, *, counts: bool) -> None:
+        """Per-point progress event.  ``counts=False`` is the pool path:
+        completion order varies run to run, so only the monotonic done
+        count is reported there (the status split waits for the
+        dispatch-order fold)."""
+        fields: dict[str, Any] = {
+            "campaign": spec.name,
+            "points": total_points,
+            "done": done,
+        }
+        if counts:
+            fields.update(
+                solved=result.count("solved"),
+                cached=result.count("cached"),
+                failed=result.count("failed"),
+                interrupted=result.count("interrupted"),
+                retried=sum(max(0, o.attempts - 1) for o in result.outcomes),
+            )
+        tel.event("campaign.progress", **fields)
+
     with _InterruptFlag() as flag:
 
         def on_checkpoint() -> None:
             nonlocal checkpoints_seen
             checkpoints_seen += 1
+            emit_heartbeat(in_flight=1)
             if (
                 stop_after_checkpoints is not None
                 and checkpoints_seen >= stop_after_checkpoints
@@ -394,6 +441,8 @@ def run_campaign(
                     continue
                 outcome = _execute_point(store, point, cfg, telemetry, on_checkpoint)
                 result.outcomes.append(outcome)
+                if tel.enabled:
+                    emit_progress(len(result.outcomes), counts=True)
         else:
             collect = tel.enabled
             with ProcessPoolExecutor(
@@ -417,12 +466,22 @@ def run_campaign(
                 # outcome order and telemetry nondeterministic (REP011).
                 gathered: dict[int, tuple[PointOutcome, dict[str, Any] | None]] = {}
                 remaining = set(futures)
+                reported = -1
                 while remaining:
                     done, remaining = wait(
                         remaining, timeout=0.2, return_when=FIRST_COMPLETED
                     )
                     for future in done:
                         gathered[futures[future]] = future.result()
+                    if tel.enabled:
+                        # Count-only while the pool runs (completion order
+                        # is nondeterministic); the status split is folded
+                        # in dispatch order after the drain.
+                        done_count = len(result.outcomes) + len(gathered)
+                        if done_count != reported:
+                            reported = done_count
+                            emit_progress(done_count, counts=False)
+                        emit_heartbeat(in_flight=len(remaining))
                     if flag.tripped and remaining:
                         # Drain: cancel what has not started, let in-flight
                         # points finish (their checkpoints keep landing).

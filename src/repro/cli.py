@@ -23,8 +23,16 @@ Commands
 ``resilience``
     k-simultaneous-failure sweep with degraded (reachability-aware)
     metrics and percentile reporting (:mod:`repro.analysis.resilience`).
-``telemetry summarize|validate PATH``
-    Report on (or schema-check) a ``--telemetry-out`` JSONL trace.
+``telemetry summarize|validate|analyze|flamegraph PATH``
+    Report on, schema-check, span-tree-analyze, or flamegraph-export a
+    ``--telemetry-out`` JSONL trace (:mod:`repro.obs.analyze`).
+``telemetry regress CURRENT --baseline BASELINE``
+    Perf-regression gate over BENCH_*.json runs with an optional rolling
+    perf-history store (:mod:`repro.obs.regress`); exits 1 on regression.
+``monitor PATH``
+    Live terminal dashboard over a growing JSONL trace or a campaign
+    store directory (:mod:`repro.obs.progress`); ``--once`` prints a
+    single snapshot for CI.
 
 Global options (before or after the subcommand):
 
@@ -223,10 +231,46 @@ def build_parser() -> argparse.ArgumentParser:
     for tname, thelp in (
         ("summarize", "human-readable report of a telemetry trace"),
         ("validate", "schema-check every line of a telemetry trace"),
+        ("analyze", "span trees, time attribution, and critical path"),
+        ("flamegraph", "folded-stack flamegraph export of the span forest"),
     ):
         tp = tsub.add_parser(tname, help=thelp)
         _add_global_options(tp, subparser=True)
         tp.add_argument("path", help="JSONL file written via --telemetry-out")
+        if tname == "flamegraph":
+            tp.add_argument("--out", default=None,
+                            help="write folded stacks here instead of stdout")
+    tp = tsub.add_parser(
+        "regress", help="perf-regression gate over BENCH_*.json runs"
+    )
+    _add_global_options(tp, subparser=True)
+    tp.add_argument("current", help="benchmark JSON of the current run")
+    tp.add_argument("--baseline", default=None,
+                    help="committed baseline JSON (fallback when history is thin)")
+    tp.add_argument("--names", nargs="*", default=None,
+                    help="gated benchmark names (default: all in the baseline)")
+    tp.add_argument("--tolerance", type=float, default=1.5,
+                    help="fail when current/baseline exceeds this ratio")
+    tp.add_argument("--history", default=None,
+                    help="perf-history store JSON (rolling-median baseline)")
+    tp.add_argument("--window", type=int, default=5,
+                    help="history entries the rolling median looks at")
+    tp.add_argument("--min-history", type=int, default=3,
+                    help="entries required before the median replaces --baseline")
+    tp.add_argument("--record", action="store_true",
+                    help="append the current run to --history when the gate passes")
+    tp.add_argument("--trace", default=None,
+                    help="also gate timer.<name> entries from this JSONL trace")
+
+    p = add_command("monitor",
+                    help="live dashboard over a trace file or campaign store")
+    p.add_argument("path", help="JSONL trace file or campaign store directory")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (CI mode)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh period in seconds (default: 2)")
+    p.add_argument("--cycles", type=int, default=None,
+                   help="stop after N refreshes (default: until interrupted)")
 
     return parser
 
@@ -490,19 +534,99 @@ def _cmd_campaign(args, telemetry) -> int:
     return 1 if result.count("failed") else 0
 
 
-def _cmd_telemetry(args, telemetry) -> int:
-    from repro.obs import SCHEMA, load_jsonl, summarize_events
+def _telemetry_regress(args) -> int:
+    from repro.obs import (
+        PerfHistory,
+        detect_regressions,
+        format_checks,
+        ingest_trace_timers,
+        load_bench,
+    )
 
-    records, problems = load_jsonl(args.path)
+    current_payload = load_bench(args.current)
+    current = dict(current_payload["benchmarks"])
+    if args.trace:
+        from repro.obs import load_jsonl
+
+        records, _ = load_jsonl(args.trace)
+        current.update(ingest_trace_timers(records))
+    baseline = load_bench(args.baseline)["benchmarks"] if args.baseline else None
+    history = PerfHistory(args.history) if args.history else None
+    checks = detect_regressions(
+        current,
+        baseline,
+        names=args.names or None,
+        history=history,
+        tolerance=args.tolerance,
+        window=args.window,
+        min_history=args.min_history,
+    )
+    _emit(format_checks(checks, tolerance=args.tolerance))
+    failed = any(c.regressed for c in checks)
+    if history is not None and args.record and not failed:
+        # Only passing runs roll the baseline: a regression must not be
+        # able to launder itself into the history it is judged against.
+        meta = current_payload["meta"]
+        history.record(
+            current,
+            commit=meta.get("git_commit"),
+            timestamp=meta.get("timestamp"),
+            source=str(args.current),
+        )
+        _log.info("recorded run in %s (%d entries)", args.history,
+                  len(history.entries))
+    return 1 if failed else 0
+
+
+def _cmd_telemetry(args, telemetry) -> int:
+    if args.telemetry_command == "regress":
+        return _telemetry_regress(args)
+
+    from repro.obs import SCHEMA, scan_jsonl, summarize_events
+
+    records, problems = scan_jsonl(args.path)
     if args.telemetry_command == "validate":
         if problems:
-            _emit(*problems, f"{args.path}: {len(problems)} problem(s)")
+            per_line: dict[int, int] = {}
+            for lineno, message in problems:
+                per_line[lineno] = per_line.get(lineno, 0) + 1
+                _emit(f"line {lineno}: {message}")
+            _emit(
+                f"{args.path}: {len(problems)} problem(s) on "
+                f"{len(per_line)} line(s)"
+            )
+            for lineno in sorted(per_line):
+                _emit(f"  line {lineno}: {per_line[lineno]} problem(s)")
             return 1
         _emit(f"{args.path}: {len(records)} records, schema-valid ({SCHEMA})")
         return 0
-    for problem in problems:
-        _log.warning("%s: %s", args.path, problem)
+    for lineno, message in problems:
+        _log.warning("%s: line %d: %s", args.path, lineno, message)
+    if args.telemetry_command == "analyze":
+        from repro.obs import analyze_report
+
+        _emit(analyze_report(records))
+        return 0
+    if args.telemetry_command == "flamegraph":
+        from repro.obs import build_span_trees, folded_stacks, format_folded
+
+        text = format_folded(folded_stacks(build_span_trees(records)))
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(text + "\n")
+            _log.info("folded stacks written to %s", args.out)
+        else:
+            _emit(text)
+        return 0
     _emit(summarize_events(records))
+    return 0
+
+
+def _cmd_monitor(args, telemetry) -> int:
+    from repro.obs import monitor
+
+    monitor(args.path, once=args.once, interval=args.interval, cycles=args.cycles)
     return 0
 
 
@@ -516,6 +640,7 @@ _HANDLERS = {
     "traffic": _cmd_traffic,
     "resilience": _cmd_resilience,
     "telemetry": _cmd_telemetry,
+    "monitor": _cmd_monitor,
 }
 
 

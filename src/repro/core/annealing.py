@@ -416,6 +416,20 @@ def anneal(
             current=current,
             best=best,
         )
+        # Companion heartbeat with run-level progress: step fraction and an
+        # ETA from the overall proposal rate (what `repro monitor` renders).
+        run_elapsed = now_t - run_t0
+        rate = (step_after - start_step) / run_elapsed if run_elapsed > 0 else 0.0
+        tel.event(
+            "anneal.heartbeat",
+            step=step_after,
+            num_steps=schedule.num_steps,
+            best=best,
+            current=current,
+            accepted=accepted,
+            elapsed_s=wall_offset + run_elapsed,
+            eta_s=(schedule.num_steps - step_after) / rate if rate > 0 else None,
+        )
         phase_accepted = 0
         phase_start_step = step_after
         phase_t0 = now_t

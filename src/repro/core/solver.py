@@ -23,6 +23,7 @@ proposals exactly like a serial one.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -115,18 +116,26 @@ def _run_restart(
     else:
         start = random_host_switch_graph(n, m, r, seed=rng)
     worker_tel = TelemetryRegistry(f"restart-{index}") if collect else None
-    result = anneal(
-        start,
-        operation=operation,
-        schedule=schedule,
-        seed=rng,
-        target=target,
-        backend=backend,
-        telemetry=worker_tel,
-        checkpoint_every=checkpoint_every,
-        checkpoint_callback=checkpoint_callback,
-        resume_state=resume_state,
+    # The "anneal.run" span makes each restart a root of the trace's span
+    # forest, so flamegraph roots line up with AnnealingResult.wall_time_s.
+    span = (
+        worker_tel.span("anneal.run", index=index, n=n, m=m, r=r)
+        if worker_tel is not None
+        else nullcontext()
     )
+    with span:
+        result = anneal(
+            start,
+            operation=operation,
+            schedule=schedule,
+            seed=rng,
+            target=target,
+            backend=backend,
+            telemetry=worker_tel,
+            checkpoint_every=checkpoint_every,
+            checkpoint_callback=checkpoint_callback,
+            resume_state=resume_state,
+        )
     return result, (worker_tel.snapshot() if worker_tel is not None else None)
 
 
@@ -314,6 +323,25 @@ def solve_orp(
     children = _restart_seed_sequences(seed, max(1, restarts))
     count = len(children)
     collect = tel.enabled
+
+    # Streamed on the *parent* registry so a live JSONL sink sees restart
+    # completion as it happens (worker registries buffer until merge).
+    progress_best = float("inf")
+
+    def note_progress(done: int, run: AnnealingResult) -> None:
+        nonlocal progress_best
+        if not collect:
+            return
+        progress_best = min(progress_best, run.h_aspl)
+        tel.event(
+            "solver.progress",
+            restarts_done=done,
+            restarts=count,
+            n=n, r=r, m=m_used,
+            h_aspl=run.h_aspl,
+            best_h_aspl=progress_best,
+        )
+
     with tel.span("solver.anneal_restarts", n=n, r=r, m=m_used,
                   restarts=count, jobs=jobs):
         if jobs > 1 and count > 1:
@@ -335,12 +363,15 @@ def solve_orp(
                         [backend] * count,
                     )
                 )
+            for i, (run, _) in enumerate(outcomes):
+                note_progress(i + 1, run)
         elif checkpointer is not None:
             outcomes = []
             for i, child in enumerate(children):
                 cached = checkpointer.restart_result(i)
                 if cached is not None:
                     outcomes.append((cached, None))
+                    note_progress(i + 1, cached)
                     continue
                 run, snap = _run_restart(
                     n, m_used, r, schedule, a_lb, child, i, collect,
@@ -353,14 +384,16 @@ def solve_orp(
                 )
                 checkpointer.restart_done(i, run)
                 outcomes.append((run, snap))
+                note_progress(i + 1, run)
         else:
-            outcomes = [
-                _run_restart(
+            outcomes = []
+            for i, child in enumerate(children):
+                outcome = _run_restart(
                     n, m_used, r, schedule, a_lb, child, i, collect,
                     operation, construction, backend,
                 )
-                for i, child in enumerate(children)
-            ]
+                outcomes.append(outcome)
+                note_progress(i + 1, outcome[0])
 
     runs = [run for run, _ in outcomes]
     summaries = [

@@ -35,13 +35,38 @@ from repro.obs.schema import KINDS, SCHEMA, validate_event, validate_lines
 from repro.obs.sinks import JsonlSink, MemorySink, Sink, SummarySink
 
 
-def __getattr__(name: str):
-    # Lazy: summarize pulls in repro.analysis (which imports repro.core);
-    # loading it here eagerly would cycle with repro.core importing obs.
-    if name in ("load_jsonl", "summarize_events"):
-        from repro.obs import summarize
+_LAZY = {
+    # Lazy: these pull in repro.analysis / repro.campaign (which import
+    # repro.core); loading them here eagerly would cycle with repro.core
+    # importing obs.
+    "load_jsonl": "repro.obs.summarize",
+    "scan_jsonl": "repro.obs.summarize",
+    "summarize_events": "repro.obs.summarize",
+    "build_span_trees": "repro.obs.analyze",
+    "span_rollup": "repro.obs.analyze",
+    "critical_path": "repro.obs.analyze",
+    "folded_stacks": "repro.obs.analyze",
+    "format_folded": "repro.obs.analyze",
+    "analyze_report": "repro.obs.analyze",
+    "SpanNode": "repro.obs.analyze",
+    "TraceTailer": "repro.obs.progress",
+    "ProgressAggregator": "repro.obs.progress",
+    "StoreProgress": "repro.obs.progress",
+    "monitor": "repro.obs.progress",
+    "PerfHistory": "repro.obs.regress",
+    "load_bench": "repro.obs.regress",
+    "ingest_trace_timers": "repro.obs.regress",
+    "detect_regressions": "repro.obs.regress",
+    "format_checks": "repro.obs.regress",
+}
 
-        return getattr(summarize, name)
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        import importlib
+
+        return getattr(importlib.import_module(module_name), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -63,5 +88,22 @@ __all__ = [
     "validate_event",
     "validate_lines",
     "load_jsonl",
+    "scan_jsonl",
     "summarize_events",
+    "SpanNode",
+    "build_span_trees",
+    "span_rollup",
+    "critical_path",
+    "folded_stacks",
+    "format_folded",
+    "analyze_report",
+    "TraceTailer",
+    "ProgressAggregator",
+    "StoreProgress",
+    "monitor",
+    "PerfHistory",
+    "load_bench",
+    "ingest_trace_timers",
+    "detect_regressions",
+    "format_checks",
 ]

@@ -22,12 +22,14 @@ INSTRUMENTS: frozenset[str] = frozenset(
         "anneal.accepted",
         "anneal.delta_accepted",
         "anneal.done",
+        "anneal.heartbeat",
         "anneal.improved",
         "anneal.moves.swap",
         "anneal.moves.swing",
         "anneal.moves.swing2",
         "anneal.phase",
         "anneal.proposals",
+        "anneal.run",
         "anneal.wall_s",
         # repro.core.incremental
         "evaluator.fallbacks",
@@ -42,6 +44,7 @@ INSTRUMENTS: frozenset[str] = frozenset(
         # repro.core.solver
         "solver.anneal_restarts",
         "solver.done",
+        "solver.progress",
         "solver.restart",
         # repro.partition
         "partition.done",
@@ -68,7 +71,9 @@ INSTRUMENTS: frozenset[str] = frozenset(
         "resilience.sweep.done",
         # repro.campaign
         "campaign.done",
+        "campaign.heartbeat",
         "campaign.point",
+        "campaign.progress",
         # repro.obs internals
         "obs.events_dropped",
     }

@@ -16,18 +16,19 @@ from typing import Any
 from repro.analysis.report import format_table
 from repro.obs.schema import validate_event
 
-__all__ = ["load_jsonl", "summarize_events"]
+__all__ = ["load_jsonl", "scan_jsonl", "summarize_events"]
 
 
-def load_jsonl(path: str | Path) -> tuple[list[dict[str, Any]], list[str]]:
+def scan_jsonl(path: str | Path) -> tuple[list[dict[str, Any]], list[tuple[int, str]]]:
     """Parse a JSONL trace; returns ``(records, problems)``.
 
     ``problems`` collects unparseable lines and schema violations as
-    ``"line N: ..."`` strings; valid records are returned regardless so a
-    partially corrupt trace still summarizes.
+    ``(lineno, message)`` pairs so callers can group and count per line;
+    valid records are returned regardless so a partially corrupt trace
+    still summarizes.
     """
     records: list[dict[str, Any]] = []
-    problems: list[str] = []
+    problems: list[tuple[int, str]] = []
     with Path(path).open(encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -36,14 +37,20 @@ def load_jsonl(path: str | Path) -> tuple[list[dict[str, Any]], list[str]]:
             try:
                 obj = json.loads(line)
             except json.JSONDecodeError as exc:
-                problems.append(f"line {lineno}: invalid JSON ({exc.msg})")
+                problems.append((lineno, f"invalid JSON ({exc.msg})"))
                 continue
             issues = validate_event(obj)
             if issues:
-                problems.extend(f"line {lineno}: {p}" for p in issues)
+                problems.extend((lineno, p) for p in issues)
             else:
                 records.append(obj)
     return records, problems
+
+
+def load_jsonl(path: str | Path) -> tuple[list[dict[str, Any]], list[str]]:
+    """:func:`scan_jsonl` with problems flattened to ``"line N: ..."``."""
+    records, problems = scan_jsonl(path)
+    return records, [f"line {lineno}: {message}" for lineno, message in problems]
 
 
 def _final_metrics(events: list[dict[str, Any]]) -> dict[tuple[str, str], dict[str, Any]]:
@@ -183,6 +190,12 @@ def summarize_events(events: list[dict[str, Any]]) -> str:
     """Render the full report for a list of schema-valid records."""
     metrics = _final_metrics(events)
     sections: list[str] = [f"telemetry summary: {len(events)} records", ""]
+    dropped = _counter(metrics, "obs.events_dropped")
+    if dropped:
+        # Front and center, not buried with ordinary counters: a trace
+        # that overflowed the event buffer undercounts everything below.
+        sections.insert(1, f"WARNING: {dropped} event(s) dropped (event buffer "
+                           "overflow) — counts below are incomplete")
     sections += _anneal_section(metrics)
     sections += _evaluator_section(metrics)
     sections += _restart_section(events)

@@ -1,0 +1,162 @@
+"""Perf-history store, rolling baselines, and the regression gate."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.regress import (
+    PERF_HISTORY_FORMAT,
+    PerfHistory,
+    detect_regressions,
+    format_checks,
+    ingest_trace_timers,
+    load_bench,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestLoadBench:
+    def test_schema_1_committed_baseline(self):
+        # The real committed baselines predate the meta block.
+        payload = load_bench(REPO_ROOT / "BENCH_pr7.json")
+        assert payload["meta"] == {}
+        assert "bench_h_aspl_4096_bitset" in payload["benchmarks"]
+        assert all(isinstance(v, float) for v in payload["benchmarks"].values())
+
+    def test_schema_2_with_meta(self, tmp_path):
+        doc = {
+            "schema": 2,
+            "meta": {
+                "schema_version": 2,
+                "git_commit": "abc123",
+                "timestamp": "2026-08-08T00:00:00Z",
+                "backend": "bitset",
+            },
+            "benchmarks": {"bench_x": {"seconds": 0.5, "per_call_us": 1.0}},
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(doc))
+        payload = load_bench(path)
+        assert payload["benchmarks"] == {"bench_x": 0.5}
+        assert payload["meta"]["git_commit"] == "abc123"
+
+    def test_rejects_non_bench_payload(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"results": []}')
+        with pytest.raises(ValueError, match="benchmarks"):
+            load_bench(path)
+
+
+class TestIngestTraceTimers:
+    def test_last_cumulative_flush_wins(self):
+        records = [
+            {"kind": "timer", "name": "kernel.bfs_s", "count": 5, "total_s": 0.5},
+            {"kind": "timer", "name": "kernel.bfs_s", "count": 10, "total_s": 2.0},
+            {"kind": "event", "name": "solver.done"},
+        ]
+        assert ingest_trace_timers(records) == {"timer.kernel.bfs_s": 0.2}
+
+    def test_zero_count_timers_skipped(self):
+        records = [{"kind": "timer", "name": "idle", "count": 0, "total_s": 0.0}]
+        assert ingest_trace_timers(records) == {}
+
+
+class TestPerfHistory:
+    def test_record_persist_reload(self, tmp_path):
+        path = tmp_path / "history.json"
+        hist = PerfHistory(path)
+        hist.record({"bench_x": 1.0}, commit="c1", timestamp="t1", source="ci")
+        hist.record({"bench_x": 1.2}, commit="c2", timestamp="t2", source="ci")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == PERF_HISTORY_FORMAT
+        reloaded = PerfHistory(path)
+        assert reloaded.recent("bench_x") == [1.0, 1.2]
+        assert reloaded.entries[0]["commit"] == "c1"
+
+    def test_recent_windows_and_missing_names(self, tmp_path):
+        hist = PerfHistory(tmp_path / "h.json")
+        for i in range(8):
+            hist.record({"bench_x": float(i)})
+        assert hist.recent("bench_x", window=3) == [5.0, 6.0, 7.0]
+        assert hist.recent("bench_y") == []
+
+    def test_max_entries_prunes_oldest(self, tmp_path):
+        hist = PerfHistory(tmp_path / "h.json")
+        for i in range(5):
+            hist.record({"bench_x": float(i)}, max_entries=3)
+        assert hist.recent("bench_x", window=10) == [2.0, 3.0, 4.0]
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text('{"format": "something-else/v9", "entries": []}')
+        with pytest.raises(ValueError, match="format"):
+            PerfHistory(path)
+
+
+class TestDetectRegressions:
+    def test_synthetic_2x_slowdown_flagged_vs_real_baseline(self):
+        """Acceptance: a 2x slowdown against BENCH_pr7.json must FAIL."""
+        baseline = load_bench(REPO_ROOT / "BENCH_pr7.json")["benchmarks"]
+        names = ["bench_h_aspl_4096_bitset", "bench_anneal_step_4096_incremental"]
+        slow = {name: baseline[name] * 2.0 for name in names}
+        checks = detect_regressions(slow, baseline, names=names)
+        assert all(c.regressed for c in checks)
+        assert all(c.ratio == pytest.approx(2.0) for c in checks)
+        report = format_checks(checks)
+        assert "2/2 check(s) failed" in report
+        assert "FAIL" in report
+
+    def test_real_trajectory_passes_self_check(self):
+        """Acceptance: the committed baseline vs itself is clean."""
+        baseline = load_bench(REPO_ROOT / "BENCH_pr7.json")["benchmarks"]
+        checks = detect_regressions(dict(baseline), baseline)
+        assert not any(c.regressed for c in checks)
+        assert "0/" in format_checks(checks)
+
+    def test_history_median_beats_baseline_file(self, tmp_path):
+        # Three history entries with one noisy outlier: median 1.0 holds
+        # the bar even though the committed baseline (10.0) is loose.
+        hist = PerfHistory(tmp_path / "h.json")
+        for v in (1.0, 1.0, 5.0):
+            hist.record({"bench_x": v})
+        (check,) = detect_regressions(
+            {"bench_x": 1.4}, {"bench_x": 10.0}, names=["bench_x"], history=hist
+        )
+        assert check.source == "history-median(3)"
+        assert check.baseline_s == 1.0
+        assert not check.regressed
+        (slow,) = detect_regressions(
+            {"bench_x": 2.0}, {"bench_x": 10.0}, names=["bench_x"], history=hist
+        )
+        assert slow.regressed  # 2.0x the median, over the 1.5x bar
+
+    def test_thin_history_falls_back_to_baseline_file(self, tmp_path):
+        hist = PerfHistory(tmp_path / "h.json")
+        hist.record({"bench_x": 1.0})  # only one entry < min_history
+        (check,) = detect_regressions(
+            {"bench_x": 1.2}, {"bench_x": 1.0}, names=["bench_x"], history=hist
+        )
+        assert check.source == "baseline-file"
+        assert not check.regressed
+
+    def test_missing_name_is_a_failure(self):
+        (check,) = detect_regressions({}, {"bench_x": 1.0}, names=["bench_x"])
+        assert check.regressed and check.source == "missing"
+        assert "missing from current run" in format_checks([check])
+        (check,) = detect_regressions({"bench_x": 1.0}, None, names=["bench_x"])
+        assert check.regressed and check.source == "missing"
+        assert "missing from baseline and history" in format_checks([check])
+
+    def test_names_default_to_baseline_keys(self):
+        checks = detect_regressions({"a": 1.0, "b": 1.0}, {"a": 1.0})
+        assert [c.name for c in checks] == ["a"]
+
+    def test_tolerance_is_configurable(self):
+        (check,) = detect_regressions(
+            {"a": 1.4}, {"a": 1.0}, names=["a"], tolerance=1.3
+        )
+        assert check.regressed

@@ -97,5 +97,10 @@ class TestTelemetryMerge:
     def test_span_wraps_the_fan_out(self):
         _, _, sink = self._traced(jobs=1)
         spans = [e for e in sink.events if e.get("kind") == "span"]
-        assert [s["name"] for s in spans] == ["solver.anneal_restarts"]
+        # Each restart runs under its own worker-root anneal.run span;
+        # worker snapshots merge after the parent's fan-out span closes.
+        assert [s["name"] for s in spans] == [
+            "solver.anneal_restarts"
+        ] + ["anneal.run"] * 3
         assert spans[0]["attrs"]["restarts"] == 3
+        assert all(s["depth"] == 0 for s in spans)

@@ -156,3 +156,35 @@ class TestSchemaConstant:
 
         for record in _trace(populate):
             assert record["schema"] == SCHEMA
+
+
+class TestDroppedEvents:
+    def test_dropped_counter_warns_prominently(self):
+        def populate(reg):
+            reg.counter("obs.events_dropped").inc(12)
+            reg.counter("anneal.proposals").inc(10)
+
+        out = summarize_events(_trace(populate))
+        lines = out.splitlines()
+        # The warning sits right under the header, before any section.
+        assert "WARNING: 12 event(s) dropped" in lines[1]
+        assert "incomplete" in lines[1]
+
+    def test_no_drops_no_warning(self):
+        def populate(reg):
+            reg.counter("anneal.proposals").inc(10)
+
+        assert "dropped" not in summarize_events(_trace(populate))
+
+    def test_buffer_overflow_increments_dropped_counter(self):
+        from repro.obs import registry as registry_mod
+
+        reg = TelemetryRegistry()
+        sink = MemorySink()
+        reg.add_sink(sink)
+        cap = registry_mod._EVENT_BUFFER_CAP
+        for i in range(cap + 3):
+            reg.event("spam", i=i)
+        reg.close()
+        out = summarize_events(sink.events)
+        assert "WARNING: 3 event(s) dropped" in out

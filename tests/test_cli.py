@@ -234,3 +234,138 @@ class TestResilience:
 
     def test_requires_graph_or_n_r(self, capsys):
         assert main(["resilience", "--trials", "2"]) == 2
+
+
+class TestTelemetryValidate:
+    def test_clean_trace_exits_zero(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "run.jsonl"
+        assert main(["solve", "24", "8", "--steps", "150", "--seed", "1",
+                     "--telemetry-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "validate", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "schema-valid" in out
+        assert json.loads(trace.read_text().splitlines()[0])  # well-formed file
+
+    def test_corrupt_trace_exits_nonzero_with_per_line_counts(self, capsys, tmp_path):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text(
+            'not json at all\n'
+            '{"schema": "wrong/v0", "kind": "event", "name": "x", "ts": 0}\n'
+        )
+        assert main(["telemetry", "validate", str(trace)]) == 1
+        out = capsys.readouterr().out
+        assert "problem(s)" in out
+        assert "line 1:" in out and "line 2:" in out
+        assert "  line 1: 1 problem(s)" in out
+
+
+class TestTelemetryAnalyze:
+    @pytest.fixture()
+    def trace(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(["solve", "24", "8", "--steps", "200", "--seed", "1",
+                     "--restarts", "2", "--telemetry-out", str(path)]) == 0
+        return path
+
+    def test_analyze_renders_span_report(self, capsys, trace):
+        capsys.readouterr()
+        assert main(["telemetry", "analyze", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "span trees" in out
+        assert "anneal.run" in out
+        assert "critical path" in out
+
+    def test_flamegraph_to_stdout_and_file(self, capsys, trace, tmp_path):
+        capsys.readouterr()
+        assert main(["telemetry", "flamegraph", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "anneal.run" in out
+        folded = tmp_path / "stacks.folded"
+        assert main(["telemetry", "flamegraph", str(trace),
+                     "--out", str(folded)]) == 0
+        lines = folded.read_text().splitlines()
+        assert lines and all(len(line.rsplit(" ", 1)) == 2 for line in lines)
+        # Folded values are integer microseconds (flamegraph.pl input).
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+
+
+class TestTelemetryRegress:
+    def _write_bench(self, path, seconds):
+        import json
+
+        path.write_text(json.dumps(
+            {"schema": 2, "meta": {"git_commit": "test", "timestamp": None},
+             "benchmarks": {name: {"seconds": s} for name, s in seconds.items()}}
+        ))
+
+    def test_clean_run_exits_zero(self, capsys, tmp_path):
+        current, baseline = tmp_path / "cur.json", tmp_path / "base.json"
+        self._write_bench(current, {"bench_x": 1.0})
+        self._write_bench(baseline, {"bench_x": 1.0})
+        assert main(["telemetry", "regress", str(current),
+                     "--baseline", str(baseline)]) == 0
+        assert "0/1 check(s) failed" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, capsys, tmp_path):
+        current, baseline = tmp_path / "cur.json", tmp_path / "base.json"
+        self._write_bench(current, {"bench_x": 2.0})
+        self._write_bench(baseline, {"bench_x": 1.0})
+        assert main(["telemetry", "regress", str(current),
+                     "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "2.00x" in out
+
+    def test_record_rolls_history_only_on_pass(self, capsys, tmp_path):
+        import json
+
+        current, slow = tmp_path / "cur.json", tmp_path / "slow.json"
+        baseline = tmp_path / "base.json"
+        history = tmp_path / "history.json"
+        self._write_bench(current, {"bench_x": 1.0})
+        self._write_bench(slow, {"bench_x": 9.0})
+        self._write_bench(baseline, {"bench_x": 1.0})
+        assert main(["telemetry", "regress", str(current),
+                     "--baseline", str(baseline),
+                     "--history", str(history), "--record"]) == 0
+        assert len(json.loads(history.read_text())["entries"]) == 1
+        # A failing run must not launder itself into the rolling baseline.
+        assert main(["telemetry", "regress", str(slow),
+                     "--baseline", str(baseline),
+                     "--history", str(history), "--record"]) == 1
+        assert len(json.loads(history.read_text())["entries"]) == 1
+
+
+class TestMonitorCommand:
+    def test_once_on_trace_file(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        assert main(["solve", "24", "8", "--steps", "200", "--seed", "1",
+                     "--restarts", "2", "--telemetry-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["monitor", str(trace), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "monitoring" in out
+        assert "solver: restart 2/2 done" in out
+
+    def test_once_on_campaign_store(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "cli-mon",
+            "grid": {"n": [24], "r": [6], "seed": [0]},
+            "defaults": {"steps": 200, "restarts": 1},
+        }))
+        store = tmp_path / "store"
+        assert main(["campaign", "run", str(spec), "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["monitor", str(store / "cli-mon"), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign cli-mon: 1/1 points done" in out
+        assert "1 solved" in out
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["monitor", str(tmp_path / "nope"), "--once"])
