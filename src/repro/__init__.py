@@ -10,6 +10,8 @@ Public API highlights
   — Theorems 1-2 and the ``m_opt`` predictor.
 - :func:`repro.anneal`, :func:`repro.solve_orp` — the randomized search and
   the full "proposed topology" pipeline.
+- :mod:`repro.compose` — hierarchical block composition to ``n >= 10^5``
+  hosts with a closed-form (exact) h-ASPL predictor.
 - :mod:`repro.topologies` — torus / dragonfly / fat-tree comparators.
 - :mod:`repro.simulation` — flow-level MPI simulator + NAS skeletons.
 - :mod:`repro.partition` — multilevel partitioner (bandwidth metric).
@@ -32,6 +34,9 @@ from repro.core import (
     h_aspl_and_diameter,
     h_aspl_lower_bound,
     h_aspl_sampled,
+    lacin_h_aspl_baseline,
+    lacin_max_hosts,
+    lacin_switch_count,
     load_graph,
     moore_aspl_lower_bound,
     optimal_switch_count,
@@ -39,6 +44,8 @@ from repro.core import (
     random_regular_host_switch_graph,
     regular_h_aspl_lower_bound,
     save_graph,
+    shimizu_mori_aspl_lower_bound,
+    shimizu_mori_h_aspl_lower_bound,
     solve_orp,
     star_host_switch_graph,
 )
@@ -61,6 +68,9 @@ __all__ = [
     "h_aspl_and_diameter",
     "h_aspl_lower_bound",
     "h_aspl_sampled",
+    "lacin_h_aspl_baseline",
+    "lacin_max_hosts",
+    "lacin_switch_count",
     "load_graph",
     "moore_aspl_lower_bound",
     "optimal_switch_count",
@@ -68,6 +78,8 @@ __all__ = [
     "random_regular_host_switch_graph",
     "regular_h_aspl_lower_bound",
     "save_graph",
+    "shimizu_mori_aspl_lower_bound",
+    "shimizu_mori_h_aspl_lower_bound",
     "solve_orp",
     "star_host_switch_graph",
     "__version__",

@@ -182,6 +182,32 @@ def _solve_point(
             on_trial=lambda _trial: hook(),
         )
 
+    if point.get("kind") == "compose":
+        from repro.compose.fabric import build_fabric
+
+        # The fabric build itself is not checkpointed (it is fast relative
+        # to the block search); the block sub-solve memoizes into the same
+        # store under its own plain-ORP digest, so an interrupted compose
+        # point resumes with its block already cached.
+        return build_fabric(
+            point["n"],
+            point["r"],
+            copies=point["copies"],
+            block_hosts=point["block_hosts"],
+            m=point["m"],
+            steps=point["steps"],
+            restarts=point["restarts"],
+            seed=point["seed"],
+            operation=point["operation"],
+            construction=point["construction"],
+            initial_temperature=point["initial_temperature"],
+            final_temperature=point["final_temperature"],
+            backend=point.get("backend"),
+            store=store,
+            measure=point["measure"],
+            telemetry=telemetry,
+        )
+
     checkpointer = PointCheckpointer(
         store, digest, cfg.checkpoint_every, on_checkpoint=hook
     )

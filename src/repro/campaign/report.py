@@ -39,6 +39,13 @@ def _point_label(point: dict[str, Any]) -> str:
             f"{point['mode']}x{point['failures']} trials={point['trials']} "
             f"seed={point['seed']}"
         )
+    if point.get("kind") == "compose":
+        copies = point["copies"] if point["copies"] is not None else "auto"
+        block = point["block_hosts"] if point["block_hosts"] is not None else "auto"
+        return (
+            f"n={point['n']} r={point['r']} copies={copies} block={block} "
+            f"seed={point['seed']} steps={point['steps']}x{point['restarts']}"
+        )
     return (
         f"n={point['n']} r={point['r']} m={m} seed={point['seed']} "
         f"steps={point['steps']}x{point['restarts']}"
@@ -64,13 +71,21 @@ def format_status(spec: CampaignSpec, store_root: str | Path) -> str:
     return f"{table}\n{summary}"
 
 
-def format_report(spec: CampaignSpec, store_root: str | Path) -> str:
+def format_report(
+    spec: CampaignSpec, store_root: str | Path, *, best: bool = False
+) -> str:
     """Result report: per-point h-ASPL against the Theorem-2 bound.
 
     Resilience points report degraded-operation numbers instead (mean
-    reachable-pair h-ASPL, disconnection probability, reachable fraction).
-    Unsolved points appear with their state instead of numbers, so a
-    partially-run campaign still reports coherently.
+    reachable-pair h-ASPL, disconnection probability, reachable fraction);
+    compose points report their fabric numbers through the same columns
+    (``m`` is the fabric switch count, ``h-ASPL`` the measured-or-predicted
+    value).  Unsolved points appear with their state instead of numbers, so
+    a partially-run campaign still reports coherently.
+
+    ``best=True`` appends a column with the store's best known plain-ORP
+    result at each point's ``(n, r)`` (:meth:`CampaignStore.best_for`) —
+    the value compose memoization would reuse — as ``h_aspl@digest``.
     """
     store = CampaignStore(store_root, spec.name)
     table_rows = []
@@ -79,14 +94,13 @@ def format_report(spec: CampaignSpec, store_root: str | Path) -> str:
         digest = point_digest(point)
         state = store.point_state(digest)
         if state != "solved":
-            table_rows.append([_point_label(point), "-", state, "-", "-", "-"])
-            continue
-        solution = store.load_result(digest)
-        solved += 1
-        if point.get("kind") == "resilience":
-            pct = solution.percentiles()
-            table_rows.append(
-                [
+            row: list[Any] = [_point_label(point), "-", state, "-", "-", "-"]
+        else:
+            solution = store.load_result(digest)
+            solved += 1
+            if point.get("kind") == "resilience":
+                pct = solution.percentiles()
+                row = [
                     _point_label(point),
                     f"{solution.baseline_h_aspl:.4f}",
                     f"{solution.h_aspl:.4f}",
@@ -94,10 +108,8 @@ def format_report(spec: CampaignSpec, store_root: str | Path) -> str:
                     f"{100 * solution.disconnection_probability:.1f}%",
                     f"{solution.mean_reachable_fraction:.4f}",
                 ]
-            )
-        else:
-            table_rows.append(
-                [
+            else:
+                row = [
                     _point_label(point),
                     solution.m,
                     f"{solution.h_aspl:.4f}",
@@ -105,11 +117,18 @@ def format_report(spec: CampaignSpec, store_root: str | Path) -> str:
                     f"{100 * solution.gap:.2f}%",
                     f"{solution.diameter:.0f}",
                 ]
+        if best:
+            known = store.best_for(point["n"], point["r"])
+            row.append(
+                "-" if known is None else f"{known.h_aspl:.4f}@{known.digest[:8]}"
             )
+        table_rows.append(row)
     if any(p.get("kind") == "resilience" for p in spec.points):
         headers = ["point", "baseline", "degraded", "p99", "disc", "reach"]
     else:
         headers = ["point", "m", "h-ASPL", "bound", "gap", "diam"]
+    if best:
+        headers = headers + ["best(n,r)"]
     table = format_table(
         headers,
         table_rows,

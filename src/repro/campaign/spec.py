@@ -23,12 +23,18 @@ SHA-256 digest of its canonical JSON form.  The digest is the point's key
 in the result store: same parameters, same key, regardless of dict
 ordering, spec file formatting, or which campaign asked for it.
 
-Points come in two kinds.  The default, ``"orp"``, anneals an ORP solution
-as above; its normalized form carries **no** ``kind`` key, so every digest
-ever computed stays valid.  ``"kind": "resilience"`` points instead build a
-seeded graph and run :func:`repro.analysis.resilience.failure_sweep` over
-it (``mode``/``failures``/``trials``/``seed`` fields); a top-level
-``"kind"`` in the spec applies to every point.
+Points come in three kinds.  The default, ``"orp"``, anneals an ORP
+solution as above; its normalized form carries **no** ``kind`` key, so
+every digest ever computed stays valid.  ``"kind": "resilience"`` points
+instead build a seeded graph and run
+:func:`repro.analysis.resilience.failure_sweep` over it
+(``mode``/``failures``/``trials``/``seed`` fields).  ``"kind": "compose"``
+points build a large fabric through
+:func:`repro.compose.fabric.build_fabric` (``copies``/``block_hosts``
+shape fields plus the block's solver fields); their block sub-solves land
+in the same store as plain ORP points, so compose campaigns and direct
+sweeps share one block cache.  A top-level ``"kind"`` in the spec applies
+to every point.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from typing import Any
 
 __all__ = [
     "CAMPAIGN_SPEC_FORMAT",
+    "COMPOSE_POINT_FIELDS",
     "DIGEST_NEUTRAL_FIELDS",
     "POINT_FIELDS",
     "POINT_KINDS",
@@ -89,7 +96,7 @@ _CONSTRUCTIONS = ("random", "regular")
 
 #: Recognized point kinds.  ``orp`` is the historical default and digests
 #: without a ``kind`` key for backward compatibility.
-POINT_KINDS = ("orp", "resilience")
+POINT_KINDS = ("orp", "resilience", "compose")
 
 #: Fields of a ``kind="resilience"`` point: a seeded graph plus the
 #: :func:`repro.analysis.resilience.failure_sweep` parameters.  Defaults
@@ -110,6 +117,28 @@ RESILIENCE_POINT_FIELDS: dict[str, tuple[type | tuple[type, ...], Any]] = {
 }
 
 _MODES = ("link", "switch")
+
+#: Fields of a ``kind="compose"`` point: the fabric target ``(n, r)``, the
+#: plan shape (``copies``/``block_hosts``), and the block's solver fields.
+#: Defaults mirror :func:`repro.compose.fabric.build_fabric` exactly, for
+#: the same digest-stability reason as :data:`POINT_FIELDS`.
+COMPOSE_POINT_FIELDS: dict[str, tuple[type | tuple[type, ...], Any]] = {
+    "kind": (str, "compose"),
+    "n": (int, None),  # required
+    "r": (int, None),  # required
+    "copies": ((int, type(None)), None),
+    "block_hosts": ((int, type(None)), None),
+    "m": ((int, type(None)), None),
+    "steps": (int, 20_000),
+    "restarts": (int, 1),
+    "seed": (int, 0),
+    "operation": (str, "two-neighbor-swing"),
+    "construction": (str, "random"),
+    "initial_temperature": ((int, float), 0.05),
+    "final_temperature": ((int, float), 1e-4),
+    "measure": (bool, False),
+    "backend": ((str, type(None)), None),
+}
 
 _BACKENDS = ("auto", "python", "bitset", "numba")
 
@@ -185,15 +214,19 @@ def normalize_point(point: dict[str, Any]) -> dict[str, Any]:
     Dispatches on the point's ``kind`` (default ``"orp"``).  ORP points
     return a new dict with exactly the :data:`POINT_FIELDS` keys — no
     ``kind`` key, so pre-kind digests are unchanged; resilience points keep
-    ``kind="resilience"`` plus the :data:`RESILIENCE_POINT_FIELDS` keys.
-    Raises :class:`SpecError` on unknown keys, missing required keys, wrong
-    types, or out-of-range values.
+    ``kind="resilience"`` plus the :data:`RESILIENCE_POINT_FIELDS` keys,
+    and compose points keep ``kind="compose"`` plus the
+    :data:`COMPOSE_POINT_FIELDS` keys.  Raises :class:`SpecError` on
+    unknown keys, missing required keys, wrong types, or out-of-range
+    values.
     """
     kind = point.get("kind", "orp")
     if kind not in POINT_KINDS:
         raise SpecError(f"point kind must be one of {POINT_KINDS}, got {kind!r}")
     if kind == "resilience":
         return _normalize_resilience_point(point)
+    if kind == "compose":
+        return _normalize_compose_point(point)
     point = {key: value for key, value in point.items() if key != "kind"}
     unknown = set(point) - set(POINT_FIELDS)
     if unknown:
@@ -272,6 +305,65 @@ def _normalize_resilience_point(point: dict[str, Any]) -> dict[str, Any]:
         )
     if out["mode"] not in _MODES:
         raise SpecError(f"point mode must be one of {_MODES}, got {out['mode']!r}")
+    _check_backend(out)
+    return out
+
+
+def _normalize_compose_point(point: dict[str, Any]) -> dict[str, Any]:
+    """Normalize a ``kind="compose"`` point (see :func:`normalize_point`)."""
+    unknown = set(point) - set(COMPOSE_POINT_FIELDS)
+    if unknown:
+        raise SpecError(
+            f"unknown compose point field(s) {sorted(unknown)}; "
+            f"allowed: {sorted(COMPOSE_POINT_FIELDS)}"
+        )
+    out: dict[str, Any] = {}
+    for key, (types, default) in COMPOSE_POINT_FIELDS.items():
+        if key in point:
+            value = point[key]
+        elif key in _REQUIRED:
+            raise SpecError(f"point is missing required field {key!r}: {point!r}")
+        else:
+            value = default
+        # ``measure`` is the one genuinely boolean point field; everywhere
+        # else a bool is a smuggled int and rejected like the other kinds.
+        if types is bool:
+            ok = isinstance(value, bool)
+        else:
+            ok = not isinstance(value, bool) and isinstance(value, types)
+        if not ok:
+            raise SpecError(f"point field {key!r} must be {types}, got {value!r}")
+        if key in ("initial_temperature", "final_temperature"):
+            value = float(value)
+        out[key] = value
+    for key in ("steps", "restarts"):
+        if out[key] < 1:
+            raise SpecError(f"point field {key!r} must be >= 1, got {out[key]}")
+    if out["n"] < 2:
+        raise SpecError(f"composition needs n >= 2 hosts, got {out['n']}")
+    if out["r"] < 3:
+        raise SpecError(f"composition needs radix >= 3, got {out['r']}")
+    for key in ("copies", "block_hosts", "m"):
+        if out[key] is not None and out[key] < 1:
+            raise SpecError(f"point field {key!r} must be >= 1, got {out[key]}")
+    if out["block_hosts"] is not None and out["block_hosts"] < 2:
+        raise SpecError(
+            f"point field 'block_hosts' must be >= 2, got {out['block_hosts']}"
+        )
+    if out["operation"] not in _OPERATIONS:
+        raise SpecError(
+            f"point operation must be one of {_OPERATIONS}, got {out['operation']!r}"
+        )
+    if out["construction"] not in _CONSTRUCTIONS:
+        raise SpecError(
+            f"point construction must be one of {_CONSTRUCTIONS}, "
+            f"got {out['construction']!r}"
+        )
+    if not 0 < out["final_temperature"] <= out["initial_temperature"]:
+        raise SpecError(
+            "need 0 < final_temperature <= initial_temperature, got "
+            f"{out['final_temperature']}, {out['initial_temperature']}"
+        )
     _check_backend(out)
     return out
 

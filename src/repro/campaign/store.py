@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
@@ -41,7 +42,7 @@ from repro.core.serialization import (
     orp_solution_to_dict,
 )
 
-__all__ = ["CampaignStore", "StoreError", "POINT_STATES"]
+__all__ = ["BestPoint", "CampaignStore", "StoreError", "POINT_STATES"]
 
 POINT_STATES = ("solved", "failed", "checkpointed", "pending")
 
@@ -54,6 +55,16 @@ _FAILURE_FILE = "failure.json"
 
 class StoreError(RuntimeError):
     """A campaign store operation failed (corrupt or conflicting artifacts)."""
+
+
+@dataclass(frozen=True)
+class BestPoint:
+    """The best solved ORP point for an ``(n, r)`` (see ``best_for``)."""
+
+    digest: str
+    point: dict[str, Any]
+    h_aspl: float
+    graph_path: Path
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
@@ -133,11 +144,17 @@ class CampaignStore:
         ORP solutions write their graph first and ``result.json`` last, so
         a result file's existence certifies the whole artifact set;
         resilience sweep results are a single JSON document (the swept
-        graph is reproducible from the point's ``graph_seed``).  The
-        now-obsolete checkpoint is dropped afterwards.
+        graph is reproducible from the point's ``graph_seed``), and so are
+        compose results (the fabric is reproducible from the memoized
+        block digest plus the copy count).  The now-obsolete checkpoint is
+        dropped afterwards.
         """
+        # Imported lazily: repro.compose builds on this store, so a
+        # module-level import would be circular.
+        from repro.compose.fabric import ComposeResult
+
         pdir = self.point_dir(digest)
-        if isinstance(solution, ResilienceSweepResult):
+        if isinstance(solution, (ResilienceSweepResult, ComposeResult)):
             _atomic_write_json(pdir / _POINT_FILE, point)
             _atomic_write_json(pdir / _RESULT_FILE, solution.to_dict())
         else:
@@ -150,16 +167,64 @@ class CampaignStore:
     def load_result(self, digest: str) -> Any:
         """Rebuild the stored result, dispatching on its ``format`` field.
 
-        Returns an :class:`~repro.core.solver.ORPSolution` or a
-        :class:`~repro.analysis.resilience.ResilienceSweepResult`.
+        Returns an :class:`~repro.core.solver.ORPSolution`, a
+        :class:`~repro.analysis.resilience.ResilienceSweepResult`, or a
+        :class:`~repro.compose.fabric.ComposeResult`.
         """
+        from repro.compose.fabric import COMPOSE_RESULT_FORMAT, ComposeResult
+
         document = _read_json(self.point_dir(digest) / _RESULT_FILE)
         if isinstance(document, dict) and document.get("format") == RESILIENCE_RESULT_FORMAT:
             return ResilienceSweepResult.from_dict(document)
+        if isinstance(document, dict) and document.get("format") == COMPOSE_RESULT_FORMAT:
+            return ComposeResult.from_dict(document)
         return orp_solution_from_dict(document)
 
     def load_point(self, digest: str) -> dict[str, Any]:
         return _read_json(self.point_dir(digest) / _POINT_FILE)
+
+    def best_for(self, n: int, r: int) -> BestPoint | None:
+        """Best solved ORP result for exactly ``(n, r)``, or ``None``.
+
+        Scans every stored point, keeps plain ORP points (resilience and
+        compose artifacts carry a ``kind`` and are skipped) whose graph
+        artifact is present, and returns the lowest h-ASPL among them —
+        ties break to the lexicographically smallest digest, so the answer
+        is deterministic for a given store.  This is the compose
+        subsystem's memoization hook: any solved campaign point at the
+        block's ``(n, r)`` is reusable, regardless of which sweep (steps,
+        seed, schedule) produced it.
+        """
+        best: BestPoint | None = None
+        for digest in self.digests():
+            pdir = self.point_dir(digest)
+            if not (pdir / _RESULT_FILE).exists():
+                continue
+            point_path = pdir / _POINT_FILE
+            if not point_path.exists():
+                continue
+            point = _read_json(point_path)
+            if not isinstance(point, dict) or "kind" in point:
+                continue
+            if point.get("n") != n or point.get("r") != r:
+                continue
+            graph = self.graph_path(digest)
+            if not graph.exists():
+                continue
+            document = _read_json(pdir / _RESULT_FILE)
+            h_aspl = (
+                document.get("h_aspl") if isinstance(document, dict) else None
+            )
+            if not isinstance(h_aspl, (int, float)) or isinstance(h_aspl, bool):
+                continue
+            if best is None or float(h_aspl) < best.h_aspl:
+                best = BestPoint(
+                    digest=digest,
+                    point=point,
+                    h_aspl=float(h_aspl),
+                    graph_path=graph,
+                )
+        return best
 
     def result_graph_digest(self, digest: str) -> str:
         """SHA-256 of the stored graph artifact (for identity assertions)."""

@@ -3,10 +3,17 @@
 Commands
 --------
 ``bounds n r``
-    Print Theorem-1/2 lower bounds, m_opt, and the continuous Moore bound.
+    Print Theorem-1/2 lower bounds, m_opt, the continuous Moore bound,
+    the Shimizu–Mori diameter-3 bound, and the LACIN clique baseline;
+    ``--json`` emits the same numbers machine-readably.
 ``solve n r``
     Solve the ORP instance (annealed search) and print the summary;
     optionally save the graph with ``--out``.
+``compose n r``
+    Build a large fabric (``n`` up to 10^5) by gluing copies of a small
+    ORP-optimal block (:mod:`repro.compose`); the block is memoized in a
+    campaign store, and the fabric's h-ASPL is predicted in closed form
+    (``--measure`` confirms by exact APSP).
 ``odp n d``
     Solve the classic Order/Degree Problem (Graph Golf objective).
 ``topology name [params...]``
@@ -112,6 +119,41 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_command("bounds", help="lower bounds and m_opt for (n, r)")
     p.add_argument("n", type=int)
     p.add_argument("r", type=int)
+    p.add_argument("--json", action="store_true",
+                   help="emit the bounds as JSON (inf becomes null)")
+
+    p = add_command("compose",
+                    help="compose a large fabric from a memoized ORP block")
+    p.add_argument("n", type=int, help="target fabric host count")
+    p.add_argument("r", type=int, help="fabric switch radix")
+    p.add_argument("--copies", type=int, default=None,
+                   help="block copies (default: ceil(n / block-hosts))")
+    p.add_argument("--block-hosts", type=int, default=None,
+                   help="hosts per block (default: 1024, see repro.compose)")
+    p.add_argument("--m", type=int, default=None,
+                   help="override the block's switch count")
+    p.add_argument("--steps", type=int, default=10_000,
+                   help="SA proposals for the block search")
+    p.add_argument("--restarts", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--construction", choices=["random", "regular"],
+                   default="random", help="block initial construction")
+    p.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                   help="BFS kernel backend for block search and measurement")
+    p.add_argument("--store", default="campaigns",
+                   help="campaign store root for block memoization "
+                        "(default: campaigns)")
+    p.add_argument("--campaign", default="compose-blocks",
+                   help="store campaign name holding memoized blocks")
+    p.add_argument("--no-store", action="store_true",
+                   help="solve the block in-memory; skip memoization")
+    p.add_argument("--measure", action="store_true",
+                   help="confirm the closed-form prediction with a full "
+                        "fabric APSP (expensive at large n)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the compose result as JSON instead of a summary")
+    p.add_argument("--out", type=str, default=None,
+                   help="save the fabric graph (HSG v1)")
 
     p = add_command("solve", help="solve an ORP instance")
     p.add_argument("n", type=int)
@@ -209,6 +251,10 @@ def build_parser() -> argparse.ArgumentParser:
         cp.add_argument("spec", help="campaign spec (JSON file)")
         cp.add_argument("--store", default="campaigns",
                         help="campaign store root directory (default: campaigns)")
+        if cname == "report":
+            cp.add_argument("--best", action="store_true",
+                            help="append the store's best known ORP result "
+                                 "at each point's (n, r)")
         if cname in ("run", "resume"):
             cp.add_argument("--jobs", type=int, default=None,
                             help="override executor.jobs from the spec")
@@ -296,10 +342,42 @@ def _default_graph():
 
 
 def _cmd_bounds(args, telemetry) -> int:
-    from repro.core.bounds import diameter_lower_bound, h_aspl_lower_bound
+    import math
+
+    from repro.core.bounds import (
+        diameter_lower_bound,
+        h_aspl_lower_bound,
+        lacin_h_aspl_baseline,
+        lacin_switch_count,
+        shimizu_mori_h_aspl_lower_bound,
+    )
     from repro.core.moore import continuous_moore_bound, optimal_switch_count
 
     m_opt, bound = optimal_switch_count(args.n, args.r)
+    sm_bound = shimizu_mori_h_aspl_lower_bound(args.n, m_opt, args.r)
+    lacin_m = lacin_switch_count(args.n, args.r)
+    lacin = lacin_h_aspl_baseline(args.n, args.r)
+    if args.json:
+        import json
+
+        def finite(value):
+            return None if isinstance(value, float) and math.isinf(value) else value
+
+        _emit(json.dumps({
+            "n": args.n,
+            "r": args.r,
+            "diameter_lower_bound": diameter_lower_bound(args.n, args.r),
+            "h_aspl_lower_bound": h_aspl_lower_bound(args.n, args.r),
+            "m_opt": m_opt,
+            "continuous_moore_bound": finite(bound),
+            "continuous_moore_bound_2x": finite(
+                continuous_moore_bound(args.n, 2 * m_opt, args.r)
+            ),
+            "shimizu_mori_bound": finite(sm_bound),
+            "lacin_switch_count": lacin_m,
+            "lacin_baseline": finite(lacin),
+        }, sort_keys=True))
+        return 0
     rows = [
         ["diameter lower bound (Thm 1)", diameter_lower_bound(args.n, args.r)],
         ["h-ASPL lower bound (Thm 2)", h_aspl_lower_bound(args.n, args.r)],
@@ -307,9 +385,42 @@ def _cmd_bounds(args, telemetry) -> int:
         ["continuous Moore bound @ m_opt", bound],
         ["continuous Moore bound @ 2*m_opt",
          continuous_moore_bound(args.n, 2 * m_opt, args.r)],
+        ["Shimizu-Mori d3 bound @ m_opt", sm_bound],
+        ["LACIN clique size", lacin_m if lacin_m is not None else "-"],
+        ["LACIN baseline (achievable)", lacin],
     ]
     _emit(format_table(["quantity", "value"], rows,
                        title=f"ORP bounds for n={args.n}, r={args.r}"))
+    return 0
+
+
+def _cmd_compose(args, telemetry) -> int:
+    from repro.campaign.store import CampaignStore
+    from repro.compose import build_fabric
+
+    store = None if args.no_store else CampaignStore(args.store, args.campaign)
+    _log.info(
+        "composing fabric for n=%d r=%d (store: %s)",
+        args.n, args.r, "disabled" if store is None else store.dir,
+    )
+    result = build_fabric(
+        args.n, args.r,
+        copies=args.copies, block_hosts=args.block_hosts, m=args.m,
+        steps=args.steps, restarts=args.restarts, seed=args.seed,
+        construction=args.construction, backend=args.backend,
+        store=store, measure=args.measure, telemetry=telemetry,
+    )
+    if args.json:
+        import json
+
+        _emit(json.dumps(result.to_dict(), sort_keys=True))
+    else:
+        _emit(result.summary())
+    if args.out:
+        from repro.core.serialization import save_graph
+
+        save_graph(result.graph, args.out)
+        _log.info("saved fabric to %s", args.out)
     return 0
 
 
@@ -505,7 +616,7 @@ def _cmd_campaign(args, telemetry) -> int:
         _emit(format_status(spec, args.store))
         return 0
     if args.campaign_command == "report":
-        _emit(format_report(spec, args.store))
+        _emit(format_report(spec, args.store, best=getattr(args, "best", False)))
         return 0
 
     if args.campaign_command == "resume":
@@ -632,6 +743,7 @@ def _cmd_monitor(args, telemetry) -> int:
 
 _HANDLERS = {
     "bounds": _cmd_bounds,
+    "compose": _cmd_compose,
     "solve": _cmd_solve,
     "odp": _cmd_odp,
     "topology": _cmd_topology,

@@ -31,8 +31,13 @@ from repro.core.odp import ODPSolution, solve_odp
 from repro.core.bounds import (
     diameter_lower_bound,
     h_aspl_lower_bound,
+    lacin_h_aspl_baseline,
+    lacin_max_hosts,
+    lacin_switch_count,
     moore_aspl_lower_bound,
     regular_h_aspl_lower_bound,
+    shimizu_mori_aspl_lower_bound,
+    shimizu_mori_h_aspl_lower_bound,
 )
 from repro.core.moore import continuous_moore_bound, optimal_switch_count
 from repro.core.annealing import AnnealingResult, AnnealingSchedule, anneal
@@ -62,8 +67,13 @@ __all__ = [
     "switch_distance_matrix",
     "diameter_lower_bound",
     "h_aspl_lower_bound",
+    "lacin_h_aspl_baseline",
+    "lacin_max_hosts",
+    "lacin_switch_count",
     "moore_aspl_lower_bound",
     "regular_h_aspl_lower_bound",
+    "shimizu_mori_aspl_lower_bound",
+    "shimizu_mori_h_aspl_lower_bound",
     "continuous_moore_bound",
     "optimal_switch_count",
     "AnnealingResult",

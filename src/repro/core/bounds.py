@@ -9,6 +9,16 @@ Implements:
 - The classical **Moore bound** on the ASPL of a ``K``-regular ``N``-vertex
   graph, and Formula (2): the induced h-ASPL lower bound of a *regular*
   host-switch graph.
+- The **Shimizu–Mori diameter-3 ASPL bound** (arXiv:1606.05119): the
+  closed-form three-layer counting bound ``ASPL >= 3 - K(K+1)/(N-1)`` used
+  as the quality yardstick in the large-``n`` regime the composition
+  pipeline (:mod:`repro.compose`) targets, plus its host-level transfer
+  through Formula (1).
+- The **LACIN baseline** (complete switch network with balanced host
+  attachment, after the low-latency complete-network designs in PAPERS.md):
+  an *achievable* h-ASPL, reported next to the lower bounds so a composed
+  fabric can be placed between "provably impossible" and "trivially
+  reachable".
 
 All functions are pure and exactly integer where the paper's formulas are
 integer, avoiding floating-point logs for the diameter bound.
@@ -23,9 +33,14 @@ from repro.utils.validation import check_positive_int
 __all__ = [
     "diameter_lower_bound",
     "h_aspl_lower_bound",
+    "lacin_h_aspl_baseline",
+    "lacin_max_hosts",
+    "lacin_switch_count",
     "moore_aspl_lower_bound",
     "moore_reachable",
     "regular_h_aspl_lower_bound",
+    "shimizu_mori_aspl_lower_bound",
+    "shimizu_mori_h_aspl_lower_bound",
 ]
 
 
@@ -51,7 +66,9 @@ def diameter_lower_bound(n: int, r: int) -> int:
     while reach < n - 1:
         reach *= r - 1
         depth += 1
-    return depth
+    # Two hosts are never closer than host-switch-host; the n = 2 edge case
+    # of the counting argument would otherwise report 1.
+    return max(depth, 2)
 
 
 def moore_reachable(k: int, depth: int) -> int:
@@ -136,10 +153,141 @@ def h_aspl_lower_bound(n: int, r: int) -> float:
     - if ``n == (r-1)^(D- - 1) + 1`` the bound is exactly ``D-``;
     - otherwise ``D- - alpha / (n-1)`` with
       ``alpha = (r-1)^(D- - 2) - ceil((n - 1 - (r-1)^(D- - 2)) / (r-2))``.
+
+    The result is clamped to the trivial floor of 2 (every host pair is at
+    least host-switch-host apart), which only bites at ``n = 2``.
     """
     d_minus = diameter_lower_bound(n, r)
     if n == (r - 1) ** (d_minus - 1) + 1:
-        return float(d_minus)
+        return float(max(d_minus, 2))
     inner = (r - 1) ** (d_minus - 2)
     alpha = inner - math.ceil((n - 1 - inner) / (r - 2))
-    return d_minus - alpha / (n - 1)
+    return max(d_minus - alpha / (n - 1), 2.0)
+
+
+def shimizu_mori_aspl_lower_bound(num_vertices: int, degree: float) -> float:
+    """Shimizu–Mori diameter-3-regime ASPL bound (arXiv:1606.05119).
+
+    Three-layer counting: from all ``N`` vertices at most
+    ``floor(N K / 2)`` ordered-halved pairs sit at distance 1 and at most
+    ``floor(N K (K-1) / 2)`` at distance 2; every remaining pair is at
+    distance >= 3.  In continuous form this is the closed expression
+
+    ``ASPL >= 3 - K (K + 1) / (N - 1)``,
+
+    which coincides with :func:`moore_aspl_lower_bound` exactly in the
+    three-layer fill window (``K^2 + 1 < N <= moore_reachable(K, 3)``, with
+    ``N K`` even) — the regime composed fabrics land in — while staying
+    closed-form and exact-rational at any scale.  When ``N K`` is odd the
+    global edge-count floor makes this bound *strictly sharper* than the
+    per-vertex Moore fill; beyond the window it stays valid, merely weaker
+    than the layered fill.  The bound holds for *any* connected graph whose
+    maximum degree is ``K`` (it is monotone decreasing in ``K``), so
+    passing the max degree of an irregular switch graph is always safe.
+
+    ``degree`` may be fractional (the continuous transfer used by
+    :func:`shimizu_mori_h_aspl_lower_bound`); integral degrees use exact
+    integer arithmetic with the floor refinements.
+    """
+    n = num_vertices
+    if n < 1:
+        raise ValueError(f"num_vertices must be >= 1, got {n}")
+    if n == 1:
+        return 0.0
+    if degree <= 0:
+        return float("inf")
+    if float(degree).is_integer():
+        k = int(degree)
+        pairs = n * (n - 1) // 2
+        dist1 = min(n * k // 2, pairs)
+        dist2 = min(n * k * (k - 1) // 2, pairs - dist1)
+        numerator = dist1 + 2 * dist2 + 3 * (pairs - dist1 - dist2)
+        return numerator / pairs
+    k = float(degree)
+    pairs = n * (n - 1) / 2.0
+    dist1 = min(n * k / 2.0, pairs)
+    dist2 = min(max(n * k * (k - 1) / 2.0, 0.0), pairs - dist1)
+    return (dist1 + 2.0 * dist2 + 3.0 * (pairs - dist1 - dist2)) / pairs
+
+
+def shimizu_mori_h_aspl_lower_bound(n: int, m: int, r: int) -> float:
+    """Shimizu–Mori bound transferred to the h-ASPL at switch count ``m``.
+
+    Identical in shape to :func:`repro.core.moore.continuous_moore_bound`:
+    the switch degree ``r - n/m`` is taken as a real number and the switch
+    ASPL bound moves to host level through Formula (1),
+
+    ``A(G) >= SM(m, r - n/m) * (mn - n) / (mn - m) + 2``.
+
+    The transfer step assumes the (near-)regular host spread of Formula
+    (1), same as the continuous Moore bound reported by ``solve_orp`` —
+    composed fabrics built by :mod:`repro.compose` satisfy it whenever
+    their block does.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(m, "m")
+    check_positive_int(r, "r")
+    if m == 1:
+        return 2.0 if n <= r else float("inf")
+    degree = r - n / m
+    base = shimizu_mori_aspl_lower_bound(m, degree)
+    if math.isinf(base):
+        return float("inf")
+    return base * (m * n - n) / (m * n - m) + 2.0
+
+
+def lacin_max_hosts(r: int) -> int:
+    """Largest host count any complete-switch-network can carry at radix ``r``.
+
+    ``m (r - m + 1)`` is maximised at ``m = (r + 1) / 2``, giving
+    ``ceil((r+1)/2) * floor((r+1)/2)`` hosts.
+    """
+    check_positive_int(r, "r")
+    return ((r + 1) // 2) * ((r + 2) // 2)
+
+
+def lacin_switch_count(n: int, r: int) -> int | None:
+    """Smallest clique size whose port budget carries ``n`` hosts, or ``None``.
+
+    Mirrors :func:`repro.core.construct.minimum_clique_switch_count` but
+    reports infeasibility as ``None`` instead of raising, so bound tables
+    can print a clean ``inf`` row.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(r, "r")
+    for m in range(1, r + 2):
+        if m * (r - m + 1) >= n:
+            return m
+    return None
+
+
+def lacin_h_aspl_baseline(n: int, r: int) -> float:
+    """h-ASPL of the LACIN baseline: a complete switch network, balanced hosts.
+
+    The low-latency complete-network family (LACIN; see PAPERS.md) places
+    ``m`` switches in a clique and spreads hosts as evenly as possible, so
+    every inter-switch host pair is at distance 3 and every same-switch
+    pair at 2.  With ``n = q m + s`` (``s`` switches carrying ``q + 1``):
+
+    ``A = 3 - sum_a k_a (k_a - 1) / (n (n - 1))``.
+
+    This is an *achievable* value (it equals the measured h-ASPL of
+    :func:`repro.core.construct.clique_host_switch_graph` exactly), i.e. an
+    upper yardstick — not a lower bound.  Returns ``inf`` when no clique
+    configuration can carry ``n`` hosts at radix ``r``
+    (``n > lacin_max_hosts(r)``).
+    """
+    check_positive_int(n, "n")
+    check_positive_int(r, "r")
+    if n < 2:
+        raise ValueError(f"h-ASPL needs n >= 2, got {n}")
+    m = lacin_switch_count(n, r)
+    if m is None:
+        return float("inf")
+    if m == 1:
+        return 2.0
+    q, s = divmod(n, m)
+    same_switch_ordered = s * (q + 1) * q + (m - s) * q * (q - 1)
+    # Single exact-integer division, so the result is bit-identical to the
+    # kernel-measured h-ASPL of the balanced clique construction.
+    return (3 * n * (n - 1) - same_switch_ordered) / (n * (n - 1))

@@ -74,6 +74,11 @@ INSTRUMENTS: frozenset[str] = frozenset(
         "campaign.heartbeat",
         "campaign.point",
         "campaign.progress",
+        # repro.compose
+        "compose.block_cached",
+        "compose.block_solved",
+        "compose.build",
+        "compose.done",
         # repro.obs internals
         "obs.events_dropped",
     }

@@ -8,6 +8,7 @@ built on the same machinery and used in tests/examples.
 """
 
 from repro.topologies.base import TopologySpec
+from repro.topologies.compose import compose_fabric, compose_fabric_spec
 from repro.topologies.torus import torus, torus_spec
 from repro.topologies.dragonfly import dragonfly, dragonfly_spec
 from repro.topologies.fattree import fat_tree, fat_tree_spec
@@ -48,6 +49,8 @@ __all__ = [
     "jellyfish_spec",
     "random_shortcut_ring",
     "random_shortcut_spec",
+    "compose_fabric",
+    "compose_fabric_spec",
     "build_topology",
     "available_topologies",
 ]

@@ -1,0 +1,69 @@
+"""Deterministic composed fabric as a registered topology family.
+
+The full compose pipeline (:mod:`repro.compose`) searches for its block
+with the annealer and memoizes it through a campaign store; this builder
+is its deterministic, dependency-free cousin for the topology harnesses:
+the block is the LACIN-style balanced clique (the paper's Theorem-3
+construction), glued by :func:`repro.compose.mizuno.compose_blocks`.  Same
+fabric shape, zero randomness — so ``repro topology compose`` and the
+simulation harnesses get a reproducible large fabric from four integers.
+"""
+
+from __future__ import annotations
+
+from repro.compose.mizuno import compose_blocks
+from repro.core.construct import clique_host_switch_graph
+from repro.core.hostswitch import HostSwitchGraph
+from repro.topologies.base import TopologySpec
+from repro.utils.validation import check_positive_int
+
+__all__ = ["compose_fabric", "compose_fabric_spec"]
+
+
+def compose_fabric_spec(
+    copies: int, block_hosts: int, radix: int
+) -> TopologySpec:
+    """Derived parameters for a clique-block composed fabric."""
+    check_positive_int(copies, "copies")
+    check_positive_int(block_hosts, "block_hosts")
+    check_positive_int(radix, "radix")
+    if block_hosts < 2:
+        raise ValueError(f"block_hosts must be >= 2, got {block_hosts}")
+    block_radix = radix - (copies - 1)
+    if block_radix < 3:
+        raise ValueError(
+            f"radix budget exhausted: {copies} copies spend {copies - 1} "
+            f"ports per switch, leaving block radix {block_radix} < 3 at "
+            f"radix {radix}"
+        )
+    block = clique_host_switch_graph(block_hosts, block_radix)
+    return TopologySpec(
+        name="compose",
+        num_switches=block.num_switches * copies,
+        radix=radix,
+        max_hosts=block_hosts * copies,
+        params={"C": copies, "n_b": block_hosts, "r_b": block_radix},
+    )
+
+
+def compose_fabric(
+    copies: int = 4,
+    block_hosts: int = 12,
+    radix: int = 10,
+    num_hosts: int | None = None,
+) -> tuple[HostSwitchGraph, TopologySpec]:
+    """Build a composed fabric from ``copies`` clique blocks.
+
+    ``num_hosts`` must equal ``copies * block_hosts`` when given — the
+    composition replicates the block's host placement exactly, so partial
+    fills would break the clone symmetry the distance law relies on.
+    """
+    spec = compose_fabric_spec(copies, block_hosts, radix)
+    if num_hosts is not None and num_hosts != spec.max_hosts:
+        raise ValueError(
+            f"composed fabric carries exactly C * n_b = {spec.max_hosts} "
+            f"hosts, asked {num_hosts}; adjust --copies/--block-hosts"
+        )
+    block = clique_host_switch_graph(block_hosts, radix - (copies - 1))
+    fabric = compose_blocks(block, copies, radix=radix)
+    return fabric, spec

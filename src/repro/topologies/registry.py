@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.core.hostswitch import HostSwitchGraph
 from repro.topologies.base import TopologySpec
+from repro.topologies.compose import compose_fabric
 from repro.topologies.dragonfly import dragonfly
 from repro.topologies.fattree import fat_tree
 from repro.topologies.hypercube import hypercube
@@ -45,6 +46,7 @@ _BUILDERS = {
     "slimfly": slim_fly,
     "jellyfish": jellyfish,
     "random-shortcut-ring": random_shortcut_ring,
+    "compose": compose_fabric,
 }
 
 
@@ -107,6 +109,12 @@ _CLI_PARAMS: dict[str, tuple[CLIParam, ...]] = {
         CLIParam("--radix", "radix", 10, "switch radix"),
         CLIParam("--matchings", "num_matchings", 2, "shortcut-ring matchings"),
         CLIParam("--seed", "seed", 0, "seed for randomised topologies"),
+    ),
+    "compose": (
+        CLIParam("--copies", "copies", 4, "composed-fabric block copies"),
+        CLIParam("--block-hosts", "block_hosts", 12,
+                 "composed-fabric hosts per block"),
+        CLIParam("--radix", "radix", 10, "switch radix"),
     ),
 }
 
@@ -175,6 +183,7 @@ def available_topologies() -> list[str]:
         "slim-fly",
         "jellyfish",
         "random-shortcut-ring",
+        "compose",
     ]
 
 

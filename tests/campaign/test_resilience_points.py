@@ -33,7 +33,7 @@ def resilience_spec(name="res-unit", **overrides):
 
 class TestSpecNormalization:
     def test_point_kinds_registered(self):
-        assert POINT_KINDS == ("orp", "resilience")
+        assert POINT_KINDS == ("orp", "resilience", "compose")
 
     def test_resilience_defaults_made_explicit(self):
         point = normalize_point({"kind": "resilience", "n": 24, "r": 4})

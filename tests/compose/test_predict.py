@@ -1,0 +1,111 @@
+"""The closed-form predictor must equal kernel measurement bit for bit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compose.mizuno import compose_blocks
+from repro.compose.predict import (
+    predict_h_aspl,
+    predict_host_diameter,
+    predict_weighted_sum,
+    summarize_block,
+)
+from repro.core.annealing import AnnealingSchedule
+from repro.core.construct import (
+    clique_host_switch_graph,
+    star_host_switch_graph,
+)
+from repro.core.metrics import h_aspl, h_aspl_and_diameter
+from repro.core.solver import solve_orp
+
+
+class TestSummarizeBlock:
+    def test_summary_matches_direct_measurement(self):
+        block = clique_host_switch_graph(24, 9)
+        summary = summarize_block(block)
+        assert summary.num_hosts == 24
+        assert summary.num_switches == block.num_switches
+        assert summary.h_aspl == h_aspl(block)
+
+    def test_weighted_sum_is_ordered_pair_identity(self):
+        # S_B relates to the h-ASPL through the same -n correction the
+        # metric applies: A = (S_B/2 - n) / C(n, 2).
+        block = clique_host_switch_graph(20, 8)
+        s = summarize_block(block)
+        n = s.num_hosts
+        assert (0.5 * s.weighted_sum - n) / (n * (n - 1) / 2.0) == s.h_aspl
+
+    def test_star_block_bearing_diameter_zero(self):
+        block = star_host_switch_graph(5, 8)
+        s = summarize_block(block)
+        assert s.bearing_diameter == 0
+        assert s.h_aspl == 2.0
+
+    def test_rejects_single_host(self):
+        with pytest.raises(ValueError, match=">= 2 hosts"):
+            summarize_block(star_host_switch_graph(1, 4))
+
+
+class TestPredictorExactness:
+    """Predicted == measured with `==`, not approx (module contract)."""
+
+    @pytest.mark.parametrize("copies", [2, 3, 5])
+    def test_clique_block_exact(self, copies):
+        block = clique_host_switch_graph(36, 11)
+        fabric = compose_blocks(block, copies)
+        summary = summarize_block(block)
+        measured_aspl, measured_diam = h_aspl_and_diameter(fabric)
+        assert predict_h_aspl(summary, copies) == measured_aspl
+        assert predict_host_diameter(summary, copies) == measured_diam
+
+    @pytest.mark.parametrize("copies", [2, 4])
+    def test_annealed_block_exact(self, copies):
+        block = solve_orp(
+            64, 10, schedule=AnnealingSchedule(num_steps=300), seed=3
+        ).graph
+        fabric = compose_blocks(block, copies)
+        summary = summarize_block(block)
+        measured_aspl, measured_diam = h_aspl_and_diameter(fabric)
+        assert predict_h_aspl(summary, copies) == measured_aspl
+        assert predict_host_diameter(summary, copies) == measured_diam
+
+    def test_large_fabric_exact(self):
+        # n = 4096 composed from 8 copies of a 512-host clique block.
+        block = clique_host_switch_graph(512, 45)
+        fabric = compose_blocks(block, 8)
+        assert fabric.num_hosts == 4096
+        summary = summarize_block(block)
+        measured_aspl, measured_diam = h_aspl_and_diameter(fabric)
+        assert predict_h_aspl(summary, 8) == measured_aspl
+        assert predict_host_diameter(summary, 8) == measured_diam
+
+    def test_star_block_composition(self):
+        # Star blocks: every cross pair at 3, every same-copy pair at 2.
+        block = star_host_switch_graph(6, 8)
+        summary = summarize_block(block)
+        fabric = compose_blocks(block, 3)
+        measured_aspl, measured_diam = h_aspl_and_diameter(fabric)
+        assert predict_h_aspl(summary, 3) == measured_aspl
+        assert predict_host_diameter(summary, 3) == measured_diam == 3.0
+
+    def test_single_copy_predicts_block_itself(self):
+        block = clique_host_switch_graph(24, 9)
+        summary = summarize_block(block)
+        assert predict_h_aspl(summary, 1) == summary.h_aspl
+        assert predict_host_diameter(summary, 1) == h_aspl_and_diameter(block)[1]
+
+
+class TestPredictWeightedSum:
+    def test_closed_form(self):
+        block = clique_host_switch_graph(10, 6)
+        s = summarize_block(block)
+        for c in (1, 2, 7):
+            expected = c * c * s.weighted_sum + c * (c - 1) * 100
+            assert predict_weighted_sum(s, c) == expected
+
+    def test_overflow_guarded(self):
+        block = clique_host_switch_graph(10, 6)
+        s = summarize_block(block)
+        with pytest.raises(ValueError, match="float64 integer range"):
+            predict_h_aspl(s, 10**8)

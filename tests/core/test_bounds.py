@@ -11,12 +11,17 @@ from hypothesis import strategies as st
 from repro.core.bounds import (
     diameter_lower_bound,
     h_aspl_lower_bound,
+    lacin_h_aspl_baseline,
+    lacin_max_hosts,
+    lacin_switch_count,
     moore_aspl_lower_bound,
     moore_reachable,
     regular_h_aspl_lower_bound,
+    shimizu_mori_aspl_lower_bound,
+    shimizu_mori_h_aspl_lower_bound,
 )
 from repro.core.construct import clique_host_switch_graph, star_host_switch_graph
-from repro.core.metrics import h_aspl, h_aspl_and_diameter
+from repro.core.metrics import h_aspl, h_aspl_and_diameter, switch_aspl
 
 
 class TestDiameterLowerBound:
@@ -153,3 +158,144 @@ class TestRegularBound:
         # when the switch graph is complete.
         g = clique_host_switch_graph(8, 5, m=4)
         assert h_aspl(g) == pytest.approx(regular_h_aspl_lower_bound(8, 4, 5))
+
+
+class TestDegenerateInputs:
+    """Degenerate and extreme inputs of the Theorem-1/2 bounds."""
+
+    def test_n_two_diameter_is_host_switch_host(self):
+        # Two hosts can share one switch: distance exactly 2 at any radix.
+        for r in (3, 8, 64):
+            assert diameter_lower_bound(2, r) == 2
+
+    def test_n_two_h_aspl_is_two(self):
+        for r in (3, 8, 64):
+            assert h_aspl_lower_bound(2, r) == 2.0
+
+    def test_radix_two_rejected(self):
+        with pytest.raises(ValueError):
+            diameter_lower_bound(100, 2)
+        with pytest.raises(ValueError):
+            h_aspl_lower_bound(100, 2)
+
+    def test_huge_n_integer_exact(self):
+        # 10^15 sits beyond float64 log precision; the integer loop must
+        # place the power boundary exactly: 10^15 = (11-1)^15, so
+        # n - 1 = 10^15 needs depth 16 and n - 1 = 10^15 + 1 needs 17.
+        assert diameter_lower_bound(10**15 + 1, 11) == 16
+        assert diameter_lower_bound(10**15 + 2, 11) == 17
+
+    def test_million_host_bounds_finite(self):
+        d = diameter_lower_bound(10**6, 64)
+        a = h_aspl_lower_bound(10**6, 64)
+        assert d >= 3 and 2.0 <= a <= d
+
+    def test_h_aspl_bound_monotone_in_n(self):
+        # More hosts at fixed radix can never lower the bound.
+        r = 16
+        values = [h_aspl_lower_bound(n, r) for n in range(2, 4000, 37)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_h_aspl_bound_monotone_in_r(self):
+        # More ports at fixed n can never raise the bound.
+        n = 5000
+        values = [h_aspl_lower_bound(n, r) for r in range(3, 128)]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestShimizuMoriBound:
+    def test_matches_moore_in_three_layer_window(self):
+        # Inside K^2 + 1 < N <= moore_reachable(K, 3) with N*K even, the
+        # three-layer fill is the whole Moore fill: exact coincidence.
+        for n, k in [(500, 10), (79, 8), (300, 12), (28, 5)]:
+            assert k * k + 1 < n <= moore_reachable(k, 3) and (n * k) % 2 == 0
+            assert shimizu_mori_aspl_lower_bound(n, k) == moore_aspl_lower_bound(n, k)
+
+    def test_sharper_than_moore_on_odd_parity(self):
+        # With N*K odd the global floor(NK/2) edge count bites, so the
+        # bound is strictly sharper than the per-vertex Moore fill.
+        assert shimizu_mori_aspl_lower_bound(27, 5) > moore_aspl_lower_bound(27, 5)
+
+    def test_weaker_than_moore_beyond_window(self):
+        # Past the three-layer ball the closed form is valid but weaker.
+        for k in (3, 6, 10):
+            n = moore_reachable(k, 3) + 10
+            n += (n * k) % 2  # keep parity even so only the window matters
+            assert (
+                shimizu_mori_aspl_lower_bound(n, k)
+                <= moore_aspl_lower_bound(n, k) + 1e-12
+            )
+
+    def test_closed_form_in_window(self):
+        # In the diameter-3 window the integer path equals 3 - K(K+1)/(N-1)
+        # when N*K is even (no floor slack).
+        n, k = 500, 10
+        assert shimizu_mori_aspl_lower_bound(n, k) == pytest.approx(
+            3 - k * (k + 1) / (n - 1)
+        )
+
+    def test_monotone_decreasing_in_degree(self):
+        # Monotonicity is what makes passing a max degree safe on
+        # irregular graphs.
+        values = [shimizu_mori_aspl_lower_bound(2000, k) for k in range(1, 60)]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_fractional_degree_between_integers(self):
+        lo = shimizu_mori_aspl_lower_bound(1000, 9)
+        mid = shimizu_mori_aspl_lower_bound(1000, 8.5)
+        hi = shimizu_mori_aspl_lower_bound(1000, 8)
+        assert lo <= mid <= hi
+
+    def test_below_measured_switch_aspl(self):
+        # Valid lower bound: never above a real graph's switch ASPL.
+        g = clique_host_switch_graph(24, 9)  # complete K4, 3-regular
+        assert shimizu_mori_aspl_lower_bound(
+            g.num_switches, 3
+        ) <= switch_aspl(g) + 1e-12
+
+    def test_host_level_transfer_below_measured(self):
+        # Regular fabric: clique block 24 hosts at r_b = 9 gives m = 4
+        # switches, 6 hosts each; host-level SM bound <= measured h-ASPL.
+        g = clique_host_switch_graph(24, 9)
+        bound = shimizu_mori_h_aspl_lower_bound(24, g.num_switches, 9)
+        assert bound <= h_aspl(g) + 1e-9
+
+    def test_degenerate(self):
+        assert shimizu_mori_aspl_lower_bound(1, 3) == 0.0
+        assert shimizu_mori_aspl_lower_bound(10, 0) == float("inf")
+        assert shimizu_mori_h_aspl_lower_bound(4, 1, 8) == 2.0
+        assert shimizu_mori_h_aspl_lower_bound(9, 1, 8) == float("inf")
+        with pytest.raises(ValueError):
+            shimizu_mori_aspl_lower_bound(0, 3)
+
+
+class TestLacinBaseline:
+    def test_bit_identical_to_clique_measurement(self):
+        # The closed form reproduces the measured h-ASPL of the balanced
+        # clique construction exactly (single correctly-rounded division).
+        for n, r in [(12, 6), (10, 6), (37, 12), (100, 20), (5, 8), (2, 3)]:
+            assert lacin_h_aspl_baseline(n, r) == h_aspl(
+                clique_host_switch_graph(n, r)
+            )
+
+    def test_infeasible_is_inf(self):
+        assert lacin_h_aspl_baseline(79, 8) == float("inf")
+        assert lacin_switch_count(79, 8) is None
+
+    def test_switch_count_matches_capacity(self):
+        for n, r in [(12, 6), (100, 20), (2, 3)]:
+            m = lacin_switch_count(n, r)
+            assert m is not None
+            assert m * (r - m + 1) >= n
+            assert m == 1 or (m - 1) * (r - m + 2) < n
+
+    def test_max_hosts_is_capacity_peak(self):
+        for r in range(3, 40):
+            cap = lacin_max_hosts(r)
+            assert lacin_switch_count(cap, r) is not None
+            assert lacin_switch_count(cap + 1, r) is None
+
+    def test_upper_yardstick_above_theorem2(self):
+        # Achievable baseline sits at or above the Theorem-2 lower bound.
+        for n, r in [(12, 6), (37, 12), (100, 20)]:
+            assert lacin_h_aspl_baseline(n, r) >= h_aspl_lower_bound(n, r) - 1e-12

@@ -369,3 +369,100 @@ class TestMonitorCommand:
     def test_missing_path_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["monitor", str(tmp_path / "nope"), "--once"])
+
+
+class TestBoundsJson:
+    def test_json_keys_and_values(self, capsys):
+        import json
+
+        assert main(["bounds", "1024", "24", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["n"] == 1024 and data["r"] == 24
+        assert data["m_opt"] == 79
+        for key in ("diameter_lower_bound", "h_aspl_lower_bound",
+                    "continuous_moore_bound", "shimizu_mori_bound",
+                    "lacin_switch_count", "lacin_baseline"):
+            assert key in data
+
+    def test_json_inf_becomes_null(self, capsys):
+        import json
+
+        # LACIN cliques cap out at ((r+1)//2)((r+2)//2) hosts; (79, 8)
+        # is over capacity, so the baseline is null, not "inf".
+        assert main(["bounds", "79", "8", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["lacin_switch_count"] is None
+        assert data["lacin_baseline"] is None
+
+    def test_table_gains_new_rows(self, capsys):
+        assert main(["bounds", "1024", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "Shimizu-Mori d3 bound @ m_opt" in out
+        assert "LACIN clique size" in out
+        assert "LACIN baseline (achievable)" in out
+
+
+class TestComposeCommand:
+    def test_cold_then_warm(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        args = ["compose", "96", "12", "--block-hosts", "24",
+                "--steps", "200", "--store", store]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "solved" in cold and "predicted h-ASPL" in cold
+
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "cached" in warm
+
+    def test_json_output(self, capsys, tmp_path):
+        import json
+
+        assert main(["compose", "96", "12", "--block-hosts", "24",
+                     "--steps", "200", "--store", str(tmp_path / "s"),
+                     "--measure", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["format"] == "repro.compose.result/v1"
+        assert data["n"] == 96 and data["copies"] == 4
+        assert data["measured_h_aspl"] == data["predicted_h_aspl"]
+        assert data["h_aspl_lower_bound"] <= data["measured_h_aspl"] + 1e-9
+
+    def test_no_store_and_out(self, capsys, tmp_path):
+        from repro.core.serialization import load_graph
+
+        out_path = tmp_path / "fabric.json"
+        assert main(["compose", "48", "10", "--block-hosts", "12",
+                     "--steps", "200", "--no-store",
+                     "--out", str(out_path)]) == 0
+        graph = load_graph(out_path)
+        assert graph.num_hosts == 48
+        graph.validate()
+
+
+class TestTopologyCompose:
+    def test_builds_composed_fabric(self, capsys):
+        assert main(["topology", "compose", "--copies", "3",
+                     "--block-hosts", "12", "--radix", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "compose(C=3, n_b=12, r_b=8)" in out
+        assert "attached hosts: 36" in out
+
+
+class TestCampaignReportBest:
+    def test_best_column(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "cli-best",
+            "grid": {"n": [24], "r": [6], "seed": [0]},
+            "defaults": {"steps": 200, "restarts": 1},
+        }))
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", str(spec), "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", str(spec), "--store", store,
+                     "--best"]) == 0
+        out = capsys.readouterr().out
+        assert "best(n,r)" in out
+        assert "@" in out  # the point's own result is the best known

@@ -182,4 +182,5 @@ class TestExtras:
             "slim-fly",
             "jellyfish",
             "random-shortcut-ring",
+            "compose",
         }
