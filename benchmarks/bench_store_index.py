@@ -1,0 +1,78 @@
+"""Store query latency: leaderboard index vs. the old full-directory scan.
+
+The serving-layer motivation in numbers: ``best_for`` used to re-read
+every ``point.json``/``result.json`` under the campaign per query; the
+append-only index answers from one small file.  This bench populates a
+store with 1k+ solved points (one real annealed solution, fanned out
+across seeds with fabricated scores — the artifact shapes are identical
+to real campaign output) and times both paths plus the explicit rebuild.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from benchmarks._common import emit
+from repro.analysis.report import format_table
+from repro.campaign.spec import normalize_point, point_digest
+from repro.campaign.store import CampaignStore
+from repro.core.annealing import AnnealingSchedule
+from repro.core.solver import solve_orp
+
+POINTS = 1024
+SHAPES = [(16, 4), (20, 4), (16, 5), (24, 5)]
+
+
+@pytest.fixture(scope="module")
+def populated_store(tmp_path_factory):
+    solution = solve_orp(16, 4, schedule=AnnealingSchedule(num_steps=60), seed=0)
+    store = CampaignStore(tmp_path_factory.mktemp("bench-store"), "index-bench")
+    for i in range(POINTS):
+        n, r = SHAPES[i % len(SHAPES)]
+        point = normalize_point({"n": n, "r": r, "steps": 60, "seed": i})
+        fake = dataclasses.replace(solution, h_aspl=3.0 + (i * 0.7919) % 1.0)
+        store.save_result(point_digest(point), point, fake)
+    return store
+
+
+def bench_store_best_for_index(populated_store, benchmark):
+    best = benchmark(populated_store.best_for, 16, 4)
+    assert best is not None
+
+
+def bench_store_best_for_full_scan(populated_store, benchmark):
+    scan = benchmark(populated_store.best_for_scan, 16, 4)
+    assert scan.best is not None and scan.skipped == 0
+    # Bit-identical answers: the index serves exactly what a scan finds.
+    indexed = populated_store.best_for(16, 4)
+    assert indexed.digest == scan.best.digest
+    assert indexed.h_aspl == scan.best.h_aspl
+
+
+def bench_store_rebuild_index(populated_store, benchmark):
+    stats = benchmark(populated_store.rebuild_index)
+    assert stats.entries == POINTS and stats.skipped == 0
+
+
+def bench_store_index_summary(populated_store):
+    import timeit
+
+    indexed_s = min(
+        timeit.repeat(lambda: populated_store.best_for(16, 4), number=10, repeat=3)
+    ) / 10
+    scanned_s = min(
+        timeit.repeat(
+            lambda: populated_store.best_for_scan(16, 4), number=3, repeat=3
+        )
+    ) / 3
+    table = format_table(
+        ["query path", "latency", "speedup"],
+        [
+            ["index (warm)", f"{indexed_s * 1e3:.3f} ms", f"{scanned_s / indexed_s:.0f}x"],
+            ["full scan", f"{scanned_s * 1e3:.3f} ms", "1x"],
+        ],
+        title=f"best_for latency over {POINTS} stored points",
+    )
+    emit("store_index_latency", table)

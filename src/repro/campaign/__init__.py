@@ -6,6 +6,9 @@ The orchestration layer for reproducing the paper's evaluation at scale:
   normalized points, each content-addressed by a canonical SHA-256 digest;
 - :mod:`repro.campaign.store` — the content-addressed artifact store (the
   package's *only* file-write path, enforced by repro-lint REP008);
+- :mod:`repro.campaign.index` — the append-only leaderboard index (best
+  h-ASPL per ``(n, r)``) that makes the store a concurrent-reader serving
+  backend for :mod:`repro.serve` and compose memoization;
 - :mod:`repro.campaign.checkpoint` — per-point annealer checkpointing so a
   killed campaign resumes bit-identically;
 - :mod:`repro.campaign.executor` — worker-pool execution with retries,
@@ -33,20 +36,26 @@ from repro.campaign.spec import (
     normalize_point,
     point_digest,
 )
-from repro.campaign.store import CampaignStore, StoreError
+from repro.campaign.index import IndexEntry, IndexRebuildStats, best_by_nr
+from repro.campaign.store import BestPoint, CampaignStore, ScanBest, StoreError
 
 __all__ = [
     "CAMPAIGN_SPEC_FORMAT",
+    "BestPoint",
     "CampaignInterrupted",
     "CampaignRunResult",
     "CampaignSpec",
     "CampaignStore",
     "ExecutorConfig",
+    "IndexEntry",
+    "IndexRebuildStats",
     "PointCheckpointer",
     "PointOutcome",
     "PointTimeout",
+    "ScanBest",
     "SpecError",
     "StoreError",
+    "best_by_nr",
     "campaign_status",
     "canonical_json",
     "expand_grid",

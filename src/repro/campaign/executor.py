@@ -43,7 +43,7 @@ from repro.campaign.checkpoint import (
     PointTimeout,
 )
 from repro.campaign.spec import CampaignSpec, ExecutorConfig, point_digest
-from repro.campaign.store import CampaignStore
+from repro.campaign.store import CampaignStore, StoreError
 from repro.obs import NULL_TELEMETRY, TelemetryRegistry
 from repro.obs import clock as obs_clock
 
@@ -387,8 +387,17 @@ def run_campaign(
     pending: list[tuple[str, dict[str, Any]]] = []
     for point in spec.points:
         digest = point_digest(point)
+        solution = None
         if store.has_result(digest):
-            solution = store.load_result(digest)
+            try:
+                solution = store.load_result(digest)
+            except StoreError:
+                # A corrupt cached artifact (torn result.json from a killed
+                # run) is not a reason to crash the whole pass: treat the
+                # point as pending and re-solve it, which heals the store
+                # by replacing the bad artifact.
+                solution = None
+        if solution is not None:
             result.outcomes.append(
                 PointOutcome(
                     digest=digest,

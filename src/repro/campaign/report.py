@@ -53,7 +53,13 @@ def _point_label(point: dict[str, Any]) -> str:
 
 
 def format_status(spec: CampaignSpec, store_root: str | Path) -> str:
-    """Human-readable campaign status table + state counts."""
+    """Human-readable campaign status table + state counts.
+
+    Points whose stored artifacts exist but no longer parse (torn or
+    corrupt JSON) are reported as an ``unreadable`` count after the state
+    summary — scans and the leaderboard index *skip* such points rather
+    than failing the query, so status is where the rot becomes visible.
+    """
     rows = campaign_status(spec, store_root)
     counts: dict[str, int] = {}
     table_rows = []
@@ -68,6 +74,12 @@ def format_status(spec: CampaignSpec, store_root: str | Path) -> str:
         title=f"campaign {spec.name} ({len(rows)} points)",
     )
     summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    unreadable = CampaignStore(store_root, spec.name).unreadable_points()
+    if unreadable:
+        summary += (
+            f"\n{len(unreadable)} unreadable point(s) skipped by queries: "
+            + ", ".join(d[:12] for d in unreadable)
+        )
     return f"{table}\n{summary}"
 
 

@@ -5,6 +5,7 @@ Layout under ``<root>/<campaign-name>/``:
 .. code-block:: text
 
     spec.json                      # the spec document as submitted
+    index.jsonl                    # append-only leaderboard (see below)
     points/<digest>/point.json     # normalized point parameters
     points/<digest>/result.json    # repro.result/v1 ORPSolution dict
     points/<digest>/best.hsg       # winning graph (HSG v1 text)
@@ -20,6 +21,22 @@ the same point twice.
 Every write lands via temp-file + :func:`os.replace`, so readers (and a
 resumed campaign after a kill ``-9``) never observe a torn file.  Keeping
 all artifact I/O in this module is enforced by repro-lint rule REP008.
+
+Concurrent readers
+------------------
+The store doubles as a serving backend (:mod:`repro.serve`):
+``index.jsonl`` is an append-only leaderboard of every solved plain-ORP
+point (:mod:`repro.campaign.index`), updated atomically by
+:meth:`CampaignStore.save_result` *after* the point's artifacts landed.
+:meth:`best_for` answers from the index in one small file read instead of
+an O(points) directory scan; the scan survives only in the explicit
+:meth:`rebuild_index` path (CLI ``--rebuild-index``) and is tolerant of
+corrupt artifacts — unreadable points are skipped and counted, never
+allowed to poison the whole answer.  Readers likewise tolerate every
+mid-write state a long-running server can observe: point directories
+whose ``result.json`` has not yet been replaced, ``*.tmp`` debris from
+killed workers (excluded from :meth:`digests`), and checkpoint files
+vanishing between an existence check and the read.
 """
 
 from __future__ import annotations
@@ -35,6 +52,14 @@ from repro.analysis.resilience import (
     RESILIENCE_RESULT_FORMAT,
     ResilienceSweepResult,
 )
+from repro.campaign.index import (
+    INDEX_FILE,
+    IndexEntry,
+    IndexRebuildStats,
+    best_candidates,
+    decode_index_text,
+    encode_entry,
+)
 from repro.campaign.spec import CampaignSpec, canonical_json, load_spec
 from repro.core.serialization import (
     graph_to_text,
@@ -42,7 +67,15 @@ from repro.core.serialization import (
     orp_solution_to_dict,
 )
 
-__all__ = ["BestPoint", "CampaignStore", "StoreError", "POINT_STATES"]
+__all__ = [
+    "BestPoint",
+    "CampaignStore",
+    "IndexEntry",
+    "IndexRebuildStats",
+    "ScanBest",
+    "StoreError",
+    "POINT_STATES",
+]
 
 POINT_STATES = ("solved", "failed", "checkpointed", "pending")
 
@@ -67,6 +100,17 @@ class BestPoint:
     graph_path: Path
 
 
+@dataclass(frozen=True)
+class ScanBest:
+    """Full-scan answer plus the unreadable points the scan tolerated."""
+
+    best: BestPoint | None
+    skipped: int
+    """Points whose artifacts could not be read (corrupt/torn) — skipped
+    rather than failing the query (``repro campaign status`` surfaces the
+    count)."""
+
+
 def _atomic_write_text(path: Path, text: str) -> None:
     """Write ``text`` to ``path`` via a same-directory temp + rename."""
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -84,6 +128,14 @@ def _read_json(path: Path) -> Any:
         return json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise StoreError(f"cannot read store artifact {path}: {exc}") from exc
+
+
+def _read_json_opt(path: Path) -> Any | None:
+    """Tolerant read: ``None`` for missing, torn, or corrupt artifacts."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
 
 
 class CampaignStore:
@@ -107,17 +159,47 @@ class CampaignStore:
         A campaign directory is bound to exactly one spec: resubmitting the
         identical document is a no-op, a different one is an error (use a
         new campaign name instead of silently reinterpreting old results).
+
+        The binding is race-free for concurrent submitters: the document is
+        written to a per-process temp file and *claimed* with an atomic
+        :func:`os.link` onto ``spec.json`` — exactly one writer can create
+        the link, every loser observes the winner's complete document and
+        either agrees (no-op) or gets :class:`StoreError`.  The old
+        check-then-write sequence let two submitters with different specs
+        both believe they had bound the campaign.
         """
         document = dict(spec.raw) if spec.raw else {"name": spec.name}
-        if self.spec_path.exists():
-            existing = _read_json(self.spec_path)
-            if canonical_json(existing) != canonical_json(document):
-                raise StoreError(
-                    f"campaign {self.name!r} at {self.dir} already has a "
-                    "different spec; pick a new campaign name"
-                )
+        serialized = json.dumps(document, sort_keys=True, indent=1) + "\n"
+        self.dir.mkdir(parents=True, exist_ok=True)
+        tmp = self.spec_path.with_name(f"spec.json.{os.getpid()}.tmp")
+        tmp.write_text(serialized)
+        try:
+            os.link(tmp, self.spec_path)
             return
-        _atomic_write_json(self.spec_path, document)
+        except FileExistsError:
+            pass
+        except OSError:
+            # Filesystem without hard links: fall back to an O_EXCL create
+            # of the final path (still exclusive; the torn-write window on
+            # a crash mid-write is the price of the degraded filesystem).
+            try:
+                fd = os.open(
+                    self.spec_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL
+                )
+            except FileExistsError:
+                pass
+            else:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(serialized)
+                return
+        finally:
+            tmp.unlink(missing_ok=True)
+        existing = _read_json(self.spec_path)
+        if canonical_json(existing) != canonical_json(document):
+            raise StoreError(
+                f"campaign {self.name!r} at {self.dir} already has a "
+                "different spec; pick a new campaign name"
+            )
 
     def load_spec(self) -> CampaignSpec:
         """Load and re-validate the persisted spec."""
@@ -148,6 +230,10 @@ class CampaignStore:
         compose results (the fabric is reproducible from the memoized
         block digest plus the copy count).  The now-obsolete checkpoint is
         dropped afterwards.
+
+        Solved plain-ORP points additionally publish one leaderboard
+        record to ``index.jsonl`` — strictly after their artifacts are
+        complete, so an index entry always points at a whole artifact set.
         """
         # Imported lazily: repro.compose builds on this store, so a
         # module-level import would be circular.
@@ -161,6 +247,15 @@ class CampaignStore:
             _atomic_write_text(pdir / _GRAPH_FILE, graph_to_text(solution.graph))
             _atomic_write_json(pdir / _POINT_FILE, point)
             _atomic_write_json(pdir / _RESULT_FILE, orp_solution_to_dict(solution))
+            if isinstance(point, dict) and "kind" not in point:
+                self._index_publish(
+                    IndexEntry(
+                        digest=digest,
+                        n=int(point["n"]),
+                        r=int(point["r"]),
+                        h_aspl=float(solution.h_aspl),
+                    )
+                )
         self.clear_checkpoint(digest)
         self.clear_failure(digest)
 
@@ -183,19 +278,55 @@ class CampaignStore:
     def load_point(self, digest: str) -> dict[str, Any]:
         return _read_json(self.point_dir(digest) / _POINT_FILE)
 
-    def best_for(self, n: int, r: int) -> BestPoint | None:
-        """Best solved ORP result for exactly ``(n, r)``, or ``None``.
+    # ------------------------------------------------------------ index --
 
-        Scans every stored point, keeps plain ORP points (resilience and
-        compose artifacts carry a ``kind`` and are skipped) whose graph
-        artifact is present, and returns the lowest h-ASPL among them —
-        ties break to the lexicographically smallest digest, so the answer
-        is deterministic for a given store.  This is the compose
-        subsystem's memoization hook: any solved campaign point at the
-        block's ``(n, r)`` is reusable, regardless of which sweep (steps,
-        seed, schedule) produced it.
+    @property
+    def index_path(self) -> Path:
+        return self.dir / INDEX_FILE
+
+    def has_index(self) -> bool:
+        return self.index_path.exists()
+
+    def index_entries(self) -> list[IndexEntry]:
+        """All leaderboard records (tolerant of torn trailing lines)."""
+        try:
+            text = self.index_path.read_text()
+        except OSError:
+            return []
+        return decode_index_text(text)
+
+    def _index_publish(self, entry: IndexEntry) -> None:
+        """Append one record; first write into a legacy store rebuilds.
+
+        The append is a single ``O_APPEND`` write (atomic between
+        concurrent pool workers).  A store that predates the index but
+        already holds points gets a one-time full rebuild here instead of
+        a bare append — an index missing older entries would serve wrong
+        leaders, which is worse than one migration scan at *write* time.
         """
-        best: BestPoint | None = None
+        if not self.has_index():
+            self.rebuild_index()
+            return
+        data = encode_entry(entry).encode()
+        fd = os.open(self.index_path, os.O_WRONLY | os.O_APPEND | os.O_CREAT)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    def rebuild_index(self) -> IndexRebuildStats:
+        """Regenerate ``index.jsonl`` from a full artifact scan.
+
+        The **only** O(points) path left in the query story (explicit
+        ``--rebuild-index`` in the CLI, or the one-time legacy-store
+        migration in :meth:`_index_publish`).  Corrupt or torn points are
+        skipped and counted — a single bad artifact must never take down
+        the whole leaderboard.  The new index is published atomically
+        (temp + :func:`os.replace`), so concurrent readers see either the
+        old or the new file, never a partial one.
+        """
+        entries: list[IndexEntry] = []
+        skipped: list[str] = []
         for digest in self.digests():
             pdir = self.point_dir(digest)
             if not (pdir / _RESULT_FILE).exists():
@@ -203,7 +334,108 @@ class CampaignStore:
             point_path = pdir / _POINT_FILE
             if not point_path.exists():
                 continue
-            point = _read_json(point_path)
+            point = _read_json_opt(point_path)
+            if point is None:
+                skipped.append(digest)
+                continue
+            if not isinstance(point, dict) or "kind" in point:
+                continue
+            if not self.graph_path(digest).exists():
+                continue
+            document = _read_json_opt(pdir / _RESULT_FILE)
+            if document is None:
+                skipped.append(digest)
+                continue
+            h_aspl = document.get("h_aspl") if isinstance(document, dict) else None
+            if not isinstance(h_aspl, (int, float)) or isinstance(h_aspl, bool):
+                skipped.append(digest)
+                continue
+            if not isinstance(point.get("n"), int) or not isinstance(point.get("r"), int):
+                skipped.append(digest)
+                continue
+            entries.append(
+                IndexEntry(
+                    digest=digest,
+                    n=point["n"],
+                    r=point["r"],
+                    h_aspl=float(h_aspl),
+                )
+            )
+        _atomic_write_text(
+            self.index_path, "".join(encode_entry(entry) for entry in entries)
+        )
+        return IndexRebuildStats(
+            entries=len(entries),
+            skipped=len(skipped),
+            skipped_digests=tuple(skipped),
+        )
+
+    def best_for(self, n: int, r: int) -> BestPoint | None:
+        """Best known plain-ORP result for exactly ``(n, r)``, or ``None``.
+
+        Answers from the leaderboard index in one small file read — **no
+        point-directory scan** — which is what makes this usable as the
+        compose subsystem's memoization hook and :mod:`repro.serve`'s
+        query backend.  Candidates are walked best-first (lowest h-ASPL,
+        ties to the lexicographically smallest digest, exactly the
+        historical full-scan tie-break) and the first one whose artifacts
+        still verify on disk wins, so a point deleted or corrupted behind
+        the index falls through to the next-best instead of poisoning the
+        query.  A store without an index (legacy, or no solved ORP points
+        yet) answers ``None``; run ``rebuild_index`` (CLI
+        ``--rebuild-index``) to migrate a legacy store.
+        """
+        for entry in best_candidates(self.index_entries(), n, r):
+            verified = self.verify_entry(entry)
+            if verified is not None:
+                return verified
+        return None
+
+    def verify_entry(self, entry: IndexEntry) -> BestPoint | None:
+        """Cheap artifact check for one index candidate (O(1) reads).
+
+        ``None`` when the entry's artifacts no longer verify on disk —
+        callers (``best_for``, the serve layer's warm caches) fall through
+        to the next candidate.
+        """
+        graph = self.graph_path(entry.digest)
+        if not graph.exists():
+            return None
+        point = _read_json_opt(self.point_dir(entry.digest) / _POINT_FILE)
+        if not isinstance(point, dict) or "kind" in point:
+            return None
+        return BestPoint(
+            digest=entry.digest,
+            point=point,
+            h_aspl=entry.h_aspl,
+            graph_path=graph,
+        )
+
+    def best_for_scan(self, n: int, r: int) -> ScanBest:
+        """Full-scan reference answer for ``(n, r)`` (slow path).
+
+        Scans every stored point, keeps plain ORP points (resilience and
+        compose artifacts carry a ``kind`` and are skipped) whose graph
+        artifact is present, and returns the lowest h-ASPL among them —
+        ties break to the lexicographically smallest digest.  Unreadable
+        points are *skipped and counted* (``ScanBest.skipped``) instead of
+        raising: one truncated ``point.json`` used to fail the whole query
+        and every compose block resolution behind it.  The property suite
+        holds :meth:`best_for` bit-identical to this answer.
+        """
+        best: BestPoint | None = None
+        skipped = 0
+        for digest in self.digests():
+            pdir = self.point_dir(digest)
+            if not (pdir / _RESULT_FILE).exists():
+                continue
+            point_path = pdir / _POINT_FILE
+            if not point_path.exists():
+                continue
+            point = _read_json_opt(point_path)
+            if point is None:
+                skipped += 1
+                continue
             if not isinstance(point, dict) or "kind" in point:
                 continue
             if point.get("n") != n or point.get("r") != r:
@@ -211,7 +443,10 @@ class CampaignStore:
             graph = self.graph_path(digest)
             if not graph.exists():
                 continue
-            document = _read_json(pdir / _RESULT_FILE)
+            document = _read_json_opt(pdir / _RESULT_FILE)
+            if document is None:
+                skipped += 1
+                continue
             h_aspl = (
                 document.get("h_aspl") if isinstance(document, dict) else None
             )
@@ -224,7 +459,23 @@ class CampaignStore:
                     h_aspl=float(h_aspl),
                     graph_path=graph,
                 )
-        return best
+        return ScanBest(best=best, skipped=skipped)
+
+    def unreadable_points(self) -> list[str]:
+        """Digests whose ``point.json``/``result.json`` exist but won't read.
+
+        The corrupt artifacts a scan skips; ``repro campaign status``
+        surfaces the count so silent tolerance never hides rot.
+        """
+        bad: list[str] = []
+        for digest in self.digests():
+            pdir = self.point_dir(digest)
+            for artifact in (_POINT_FILE, _RESULT_FILE):
+                path = pdir / artifact
+                if path.exists() and _read_json_opt(path) is None:
+                    bad.append(digest)
+                    break
+        return bad
 
     def result_graph_digest(self, digest: str) -> str:
         """SHA-256 of the stored graph artifact (for identity assertions)."""
@@ -240,8 +491,21 @@ class CampaignStore:
         _atomic_write_json(self.point_dir(digest) / _CHECKPOINT_FILE, state)
 
     def load_checkpoint(self, digest: str) -> dict[str, Any] | None:
+        """The point's checkpoint state, or ``None`` when there is none.
+
+        Tolerates the file vanishing between the existence check and the
+        read (``save_result`` clears checkpoints concurrently with
+        monitoring readers) — a mid-write state, not an error.
+        """
         path = self.point_dir(digest) / _CHECKPOINT_FILE
-        return _read_json(path) if path.exists() else None
+        if not path.exists():
+            return None
+        try:
+            return _read_json(path)
+        except StoreError:
+            if not path.exists():
+                return None
+            raise
 
     def clear_checkpoint(self, digest: str) -> None:
         (self.point_dir(digest) / _CHECKPOINT_FILE).unlink(missing_ok=True)
@@ -264,10 +528,28 @@ class CampaignStore:
     # ------------------------------------------------------------ status --
 
     def digests(self) -> list[str]:
-        """Digests with any on-disk artifact, sorted."""
+        """Digests with any *complete* on-disk artifact, sorted.
+
+        Point directories holding nothing but ``*.tmp`` debris (a worker
+        killed before its first :func:`os.replace`) are not points yet and
+        are excluded — listing them would make every reader trip over
+        files that may vanish mid-iteration.
+        """
         if not self.points_dir.exists():
             return []
-        return sorted(p.name for p in self.points_dir.iterdir() if p.is_dir())
+        names: list[str] = []
+        for p in self.points_dir.iterdir():
+            if not p.is_dir():
+                continue
+            try:
+                has_artifact = any(
+                    not child.name.endswith(".tmp") for child in p.iterdir()
+                )
+            except OSError:
+                continue
+            if has_artifact:
+                names.append(p.name)
+        return sorted(names)
 
     def point_state(self, digest: str) -> str:
         """One of :data:`POINT_STATES` for ``digest``."""

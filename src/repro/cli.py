@@ -30,6 +30,14 @@ Commands
 ``resilience``
     k-simultaneous-failure sweep with degraded (reachability-aware)
     metrics and percentile reporting (:mod:`repro.analysis.resilience`).
+``serve``
+    Long-running topology-as-a-service daemon over a campaign store root
+    (:mod:`repro.serve`): answers "best known topology for (n, r)" from
+    the stores' leaderboard indexes, falls back to composition/bounds,
+    and refines misses in the background (single-flight per key).
+``query n r``
+    Client for a running ``repro serve``; prints the answer (source,
+    h-ASPL, provenance digest) human-readably or as ``--json``.
 ``telemetry summarize|validate|analyze|flamegraph PATH``
     Report on, schema-check, span-tree-analyze, or flamegraph-export a
     ``--telemetry-out`` JSONL trace (:mod:`repro.obs.analyze`).
@@ -255,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
             cp.add_argument("--best", action="store_true",
                             help="append the store's best known ORP result "
                                  "at each point's (n, r)")
+        if cname == "status":
+            cp.add_argument("--rebuild-index", action="store_true",
+                            help="regenerate the leaderboard index from a "
+                                 "full artifact scan before reporting (the "
+                                 "only scanning query path)")
         if cname in ("run", "resume"):
             cp.add_argument("--jobs", type=int, default=None,
                             help="override executor.jobs from the spec")
@@ -271,6 +284,50 @@ def build_parser() -> argparse.ArgumentParser:
         add_help=False,
     )
     p.add_argument("rest", nargs=argparse.REMAINDER)
+
+    p = add_command("serve", help="topology-as-a-service daemon over a store root")
+    p.add_argument("--store", default="campaigns",
+                   help="campaign store root to serve (default: campaigns)")
+    p.add_argument("--campaigns", nargs="*", default=None,
+                   help="shard (campaign) names to serve "
+                        "(default: discover every campaign under --store)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421,
+                   help="TCP port (0 picks an ephemeral port; default: 7421)")
+    p.add_argument("--port-file", default=None,
+                   help="write the bound port here once listening "
+                        "(for scripts using --port 0)")
+    p.add_argument("--block-hosts", type=int, default=None,
+                   help="block size cap for the compose fallback "
+                        "(default: library default, 1024)")
+    p.add_argument("--no-refine", action="store_true",
+                   help="disable background refinement on cache miss")
+    p.add_argument("--refine-steps", type=int, default=2000,
+                   help="annealing steps per background refinement "
+                        "(default: 2000)")
+    p.add_argument("--refine-campaign", default="serve-refine",
+                   help="campaign receiving refinement results "
+                        "(default: serve-refine)")
+    p.add_argument("--max-concurrency", type=int, default=8,
+                   help="distinct keys answered concurrently (default: 8)")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="queries allowed to wait before fast rejection "
+                        "(default: 64)")
+    p.add_argument("--rebuild-index", action="store_true",
+                   help="rebuild every shard's leaderboard index from a "
+                        "full scan before serving")
+
+    p = add_command("query", help="ask a running `repro serve` for (n, r)")
+    p.add_argument("n", type=int)
+    p.add_argument("r", type=int)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--port-file", default=None,
+                   help="read the port from this file (overrides --port)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="socket timeout in seconds (default: 30)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw answer object as JSON")
 
     p = add_command("telemetry", help="inspect a repro.obs JSONL trace")
     tsub = p.add_subparsers(dest="telemetry_command", required=True)
@@ -613,6 +670,13 @@ def _cmd_campaign(args, telemetry) -> int:
     spec = load_spec(json.loads(Path(args.spec).read_text()))
 
     if args.campaign_command == "status":
+        if getattr(args, "rebuild_index", False):
+            stats = CampaignStore(args.store, spec.name).rebuild_index()
+            _emit(
+                f"index rebuilt: {stats.entries} entr"
+                f"{'y' if stats.entries == 1 else 'ies'}, "
+                f"{stats.skipped} unreadable point(s) skipped"
+            )
         _emit(format_status(spec, args.store))
         return 0
     if args.campaign_command == "report":
@@ -643,6 +707,92 @@ def _cmd_campaign(args, telemetry) -> int:
     if result.interrupted:
         return 130
     return 1 if result.count("failed") else 0
+
+
+def _cmd_serve(args, telemetry) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.campaign.store import CampaignStore
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        store_root=Path(args.store),
+        campaigns=tuple(args.campaigns) if args.campaigns else (),
+        block_hosts=args.block_hosts,
+        refine=not args.no_refine,
+        refine_steps=args.refine_steps,
+        refine_campaign=args.refine_campaign,
+        max_concurrency=args.max_concurrency,
+        max_pending=args.max_pending,
+    )
+    if args.rebuild_index:
+        from repro.serve.service import TopologyService
+
+        for name in TopologyService(config, telemetry=None).shard_names:
+            store = CampaignStore(args.store, name)
+            if store.dir.exists():
+                stats = store.rebuild_index()
+                _log.info(
+                    "index %s: %d entries, %d skipped",
+                    name, stats.entries, stats.skipped,
+                )
+    _log.info("serving %s on %s:%s", args.store, args.host, args.port)
+    try:
+        asyncio.run(
+            run_server(
+                config,
+                host=args.host,
+                port=args.port,
+                port_file=Path(args.port_file) if args.port_file else None,
+                telemetry=telemetry,
+            )
+        )
+    except KeyboardInterrupt:
+        _log.info("interrupted; drained and stopped")
+        return 130
+    return 0
+
+
+def _cmd_query(args, telemetry) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.serve.client import ServerError, query
+
+    port = args.port
+    if args.port_file:
+        port = int(Path(args.port_file).read_text().strip())
+    try:
+        answer = query(args.host, port, args.n, args.r, timeout=args.timeout)
+    except (OSError, ServerError) as exc:
+        _log.error("query failed: %s", exc)
+        busy = isinstance(exc, ServerError) and exc.busy
+        return 75 if busy else 1  # EX_TEMPFAIL for back-off-and-retry
+    if args.json:
+        _emit(json.dumps(answer, sort_keys=True))
+        return 0
+    lines = [f"(n={args.n}, r={args.r}) source={answer.get('source')}"]
+    if answer.get("h_aspl") is not None:
+        lines.append(f"  h-ASPL: {answer['h_aspl']:.4f}")
+    if answer.get("h_aspl_lower_bound") is not None:
+        lines.append(f"  lower bound: {answer['h_aspl_lower_bound']:.4f}")
+    if answer.get("digest"):
+        lines.append(f"  digest: {answer['digest']}")
+    if answer.get("campaign"):
+        lines.append(f"  campaign: {answer['campaign']}")
+    if answer.get("graph_path"):
+        lines.append(f"  graph: {answer['graph_path']}")
+    detail = answer.get("detail") or {}
+    if detail:
+        lines.append(
+            "  plan: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(detail.items()))
+        )
+    if answer.get("refine"):
+        lines.append(f"  refinement: {answer['refine']}")
+    _emit(*lines)
+    return 0
 
 
 def _telemetry_regress(args) -> int:
@@ -751,6 +901,8 @@ _HANDLERS = {
     "simulate": _cmd_simulate,
     "traffic": _cmd_traffic,
     "resilience": _cmd_resilience,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
     "telemetry": _cmd_telemetry,
     "monitor": _cmd_monitor,
 }

@@ -13,6 +13,13 @@ SHA-256 content digest ``repro campaign`` uses), so:
   reproducibility);
 - a miss solves via :func:`repro.core.solver.solve_orp` and stores the
   result as a plain ORP point, immediately reusable by campaigns.
+
+``best_for`` answers from the store's append-only leaderboard index
+(:mod:`repro.campaign.index`), not a point-directory scan, so resolving a
+block against a store with thousands of memoized points costs one small
+file read — which is what lets :mod:`repro.serve` route live queries
+through this exact path.  A corrupt exact-hit artifact falls through to
+the best-known/solve path instead of failing the resolution.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.campaign.spec import normalize_point, point_digest
-from repro.campaign.store import CampaignStore
+from repro.campaign.store import CampaignStore, StoreError
 from repro.core.hostswitch import HostSwitchGraph
 from repro.core.serialization import load_graph
 from repro.obs import NULL_TELEMETRY, TelemetryRegistry
@@ -97,23 +104,29 @@ def resolve_block(
     digest = point_digest(point)
     if store is not None:
         if store.has_result(digest):
-            solution = store.load_result(digest)
-            tel.event(
-                "compose.block_cached",
-                digest=digest,
-                n=n,
-                r=r,
-                h_aspl=solution.h_aspl,
-                source="store",
-            )
-            return ResolvedBlock(
-                graph=solution.graph,
-                h_aspl=solution.h_aspl,
-                digest=digest,
-                point=point,
-                cached=True,
-                source="store",
-            )
+            try:
+                solution = store.load_result(digest)
+            except StoreError:
+                # Torn/corrupt cached artifact: fall through to the
+                # best-known or solve path rather than failing the block.
+                solution = None
+            if solution is not None:
+                tel.event(
+                    "compose.block_cached",
+                    digest=digest,
+                    n=n,
+                    r=r,
+                    h_aspl=solution.h_aspl,
+                    source="store",
+                )
+                return ResolvedBlock(
+                    graph=solution.graph,
+                    h_aspl=solution.h_aspl,
+                    digest=digest,
+                    point=point,
+                    cached=True,
+                    source="store",
+                )
         if use_best:
             best = store.best_for(n, r)
             if best is not None:

@@ -79,6 +79,19 @@ INSTRUMENTS: frozenset[str] = frozenset(
         "compose.block_solved",
         "compose.build",
         "compose.done",
+        # repro.serve
+        "serve.batched",
+        "serve.drain",
+        "serve.hit",
+        "serve.miss",
+        "serve.query_s",
+        "serve.refine.done",
+        "serve.refine.failed",
+        "serve.refine.start",
+        "serve.rejected",
+        "serve.request",
+        "serve.start",
+        "serve.stop",
         # repro.obs internals
         "obs.events_dropped",
     }

@@ -245,11 +245,22 @@ class StoreProgress:
     def _campaign_section(
         self, store: Any, name: str, points: dict[str, dict[str, Any]]
     ) -> str:
+        from repro.campaign.index import best_by_nr as index_best_by_nr
         from repro.campaign.store import StoreError
 
         counts = {"solved": 0, "failed": 0, "checkpointed": 0, "pending": 0}
         retried = 0
-        best_by_nr: dict[tuple[int, int], float] = {}
+        # Plain-ORP bests come straight from the leaderboard index — one
+        # small file read instead of re-loading every solved result on each
+        # refresh.  Solved digests *not* in the index (kinded points such as
+        # resilience/compose sweeps, or a legacy store without an index)
+        # keep the per-artifact fallback below.
+        entries = store.index_entries()
+        best_by_nr: dict[tuple[int, int], float] = {
+            nr: entry.h_aspl
+            for nr, entry in index_best_by_nr(entries).items()
+        }
+        indexed_digests = {entry.digest for entry in entries}
         active_lines: list[str] = []
         digests = set(store.digests()) | set(points)
         for digest in sorted(digests):
@@ -257,7 +268,7 @@ class StoreProgress:
             counts[state] += 1
             point = points.get(digest)
             try:
-                if state == "solved":
+                if state == "solved" and digest not in indexed_digests:
                     solution = store.load_result(digest)
                     if point is None:
                         point = store.load_point(digest)

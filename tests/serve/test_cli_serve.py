@@ -1,0 +1,97 @@
+"""`repro serve` / `repro query` / `campaign status --rebuild-index` CLI."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.campaign.store import CampaignStore
+from repro.cli import main
+from repro.compose.blocks import resolve_block
+from repro.serve import client
+
+
+@pytest.fixture(scope="module")
+def seeded_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("stores")
+    store = CampaignStore(root, "seed")
+    resolve_block(16, 4, store=store, steps=60)
+    return root
+
+
+def _wait_for_port(port_file, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            return int(port_file.read_text())
+        time.sleep(0.02)
+    raise TimeoutError(f"server never published its port in {port_file}")
+
+
+class TestServeAndQuery:
+    def test_serve_then_query_round_trip(self, seeded_root, tmp_path, capsys):
+        port_file = tmp_path / "port"
+        serve_exit: list[int] = []
+
+        def serve():
+            serve_exit.append(
+                main(
+                    ["serve", "--store", str(seeded_root), "--campaigns", "seed",
+                     "--port", "0", "--port-file", str(port_file), "--no-refine"]
+                )
+            )
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            port = _wait_for_port(port_file)
+            code = main(
+                ["query", "16", "4", "--port-file", str(port_file), "--json"]
+            )
+            assert code == 0
+            answer = json.loads(capsys.readouterr().out)
+            assert answer["source"] == "index"
+            assert answer["campaign"] == "seed"
+
+            assert main(["query", "12", "4", "--port", str(port)]) == 0
+            human = capsys.readouterr().out
+            assert "source=bounds" in human
+            assert "lower bound" in human
+        finally:
+            client.shutdown("127.0.0.1", port)
+            thread.join(timeout=15)
+        assert not thread.is_alive()
+        assert serve_exit == [0]
+
+    def test_query_against_dead_server_fails_cleanly(self, tmp_path):
+        # Port 1 is privileged and unbound: connection refused, exit 1.
+        assert main(["query", "16", "4", "--port", "1", "--timeout", "1"]) == 1
+
+
+class TestRebuildIndexFlag:
+    def test_status_rebuild_index_reports_and_heals(self, tmp_path, capsys):
+        spec_doc = {
+            "name": "cli-idx",
+            "grid": {"n": [16], "r": [4]},
+            "defaults": {"steps": 60, "restarts": 1},
+        }
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(spec_doc))
+        store_root = tmp_path / "campaigns"
+        assert main(
+            ["campaign", "run", str(spec_file), "--store", str(store_root)]
+        ) == 0
+        store = CampaignStore(store_root, "cli-idx")
+        store.index_path.unlink()  # simulate a legacy store
+        assert store.best_for(16, 4) is None
+        capsys.readouterr()
+        assert main(
+            ["campaign", "status", str(spec_file), "--store", str(store_root),
+             "--rebuild-index"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "index rebuilt: 1 entry, 0 unreadable point(s) skipped" in out
+        assert store.best_for(16, 4) is not None

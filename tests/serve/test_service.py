@@ -1,0 +1,282 @@
+"""TopologyService: hits, fallbacks, single-flight, batching, rate limits.
+
+The environment ships no async test plugin, so every test is a sync
+function driving its coroutine through ``asyncio.run`` — which also
+exercises the service's own claim that it owns no loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.campaign.store import CampaignStore
+from repro.compose.blocks import resolve_block
+from repro.obs import MemorySink, TelemetryRegistry
+from repro.serve import ServeBusy, ServeConfig, TopologyService
+
+
+@pytest.fixture(scope="module")
+def seeded_root(tmp_path_factory):
+    """A store root with one solved block at (16, 4)."""
+    root = tmp_path_factory.mktemp("stores")
+    store = CampaignStore(root, "seed")
+    store.save_spec.__doc__  # touch to keep mypy quiet about unused fixture
+    block = resolve_block(16, 4, store=store, steps=60)
+    return root, block
+
+
+def _config(root, **overrides):
+    defaults = dict(
+        store_root=root,
+        campaigns=("seed",),
+        refine_steps=50,
+        refine_restarts=1,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def _events(tel, name):
+    return [e for e in tel.snapshot()["events"] if e["name"] == name]
+
+
+class TestAnswers:
+    def test_index_hit(self, seeded_root):
+        root, block = seeded_root
+        service = TopologyService(_config(root))
+
+        async def run():
+            answer = await service.query(16, 4)
+            await service.aclose()
+            return answer
+
+        answer = asyncio.run(run())
+        assert answer.source == "index"
+        assert answer.digest == block.digest
+        assert answer.h_aspl == block.h_aspl
+        assert answer.campaign == "seed"
+        assert answer.refine is None
+        assert service.counts["hits"] == 1
+
+    def test_bounds_fallback_on_miss(self, seeded_root):
+        root, _ = seeded_root
+        service = TopologyService(_config(root, refine=False))
+
+        async def run():
+            answer = await service.query(12, 4)
+            await service.aclose()
+            return answer
+
+        answer = asyncio.run(run())
+        assert answer.source == "bounds"
+        assert answer.h_aspl_lower_bound is not None
+        assert answer.refine == "disabled"
+        assert service.counts["misses"] == 1
+
+    def test_compose_predicted_from_stored_block(self, seeded_root):
+        # (32, 6) with block_hosts=16 plans 2 copies of a (16, 5) block.
+        root, _ = seeded_root
+        store = CampaignStore(root, "seed")
+        block = resolve_block(16, 5, store=store, steps=60)
+        service = TopologyService(_config(root, block_hosts=16, refine=False))
+
+        async def run():
+            answer = await service.query(32, 6)
+            await service.aclose()
+            return answer
+
+        answer = asyncio.run(run())
+        assert answer.source == "compose-predicted"
+        assert answer.digest == block.digest
+        assert answer.h_aspl is not None
+        assert answer.detail["copies"] == 2
+        assert answer.detail["block_radix"] == 5
+
+    def test_warm_cache_revalidates_on_index_growth(self, seeded_root, tmp_path):
+        root, _ = seeded_root
+        # Use a private root so the shared fixture store stays untouched.
+        own = tmp_path / "stores"
+        store = CampaignStore(own, "seed")
+        resolve_block(16, 4, store=store, steps=60)
+        service = TopologyService(_config(own, refine=False))
+
+        async def run():
+            first = await service.query(20, 4)
+            resolve_block(20, 4, store=store, steps=60, seed=3)
+            second = await service.query(20, 4)
+            await service.aclose()
+            return first, second
+
+        first, second = asyncio.run(run())
+        assert first.source == "bounds"
+        assert second.source == "index"
+
+
+class TestRefinement:
+    def test_miss_starts_single_flight_refinement(self, seeded_root, tmp_path):
+        root, _ = seeded_root
+        tel = TelemetryRegistry("t")
+        service = TopologyService(
+            _config(root, refine_campaign=f"refine-{tmp_path.name}"),
+            telemetry=tel,
+        )
+
+        async def run():
+            first = await service.query(12, 4)
+            second = await service.query(12, 4)  # refine still in flight
+            await service.aclose(drain=True)
+            return first, second
+
+        first, second = asyncio.run(run())
+        assert first.refine == "started"
+        assert second.refine == "in-flight"
+        assert service.counts["refinements"] == 1
+        assert len(_events(tel, "serve.refine.start")) == 1
+        assert len(_events(tel, "serve.refine.done")) == 1
+
+        # ... and the refined key is an index hit for a fresh service.
+        fresh = TopologyService(
+            _config(root, refine_campaign=f"refine-{tmp_path.name}")
+        )
+
+        async def requery():
+            answer = await fresh.query(12, 4)
+            await fresh.aclose()
+            return answer
+
+        assert asyncio.run(requery()).source == "index"
+
+    def test_failed_refinement_emits_event_and_allows_retry(
+        self, seeded_root, monkeypatch, tmp_path
+    ):
+        root, _ = seeded_root
+        tel = TelemetryRegistry("t")
+        service = TopologyService(
+            _config(root, refine_campaign=f"refine-{tmp_path.name}"), telemetry=tel
+        )
+
+        def boom(n, r):
+            raise RuntimeError("solver exploded")
+
+        monkeypatch.setattr(service, "_refine_solve", boom)
+
+        async def run():
+            first = await service.query(12, 4)
+            await asyncio.gather(
+                *[t for t in service._refining.values()], return_exceptions=True
+            )
+            second = await service.query(12, 4)
+            await service.aclose()
+            return first, second
+
+        first, second = asyncio.run(run())
+        assert first.refine == "started"
+        assert second.refine == "started"  # done (failed) task is replaced
+        # Both attempts fail under the patched solver (the second during
+        # the aclose drain), and each failure is reported.
+        assert len(_events(tel, "serve.refine.failed")) == 2
+        assert service.counts["refinements"] == 2
+
+
+class TestConcurrencyControl:
+    def test_same_key_queries_batch_onto_one_answer(self, seeded_root):
+        root, block = seeded_root
+        tel = TelemetryRegistry("t")
+        service = TopologyService(_config(root), telemetry=tel)
+        calls = 0
+        real_answer = service._answer
+
+        async def slow_answer(n, r):
+            nonlocal calls
+            calls += 1
+            await asyncio.sleep(0.05)
+            return await real_answer(n, r)
+
+        service._answer = slow_answer
+
+        async def run():
+            answers = await asyncio.gather(
+                service.query(16, 4), service.query(16, 4), service.query(16, 4)
+            )
+            await service.aclose()
+            return answers
+
+        answers = asyncio.run(run())
+        assert calls == 1
+        assert {a.digest for a in answers} == {block.digest}
+        assert service.counts["batched"] == 2
+        assert len(_events(tel, "serve.batched")) == 2
+
+    def test_overload_rejects_fast(self, seeded_root):
+        root, _ = seeded_root
+        tel = TelemetryRegistry("t")
+        service = TopologyService(
+            _config(root, refine=False, max_concurrency=1, max_pending=1),
+            telemetry=tel,
+        )
+        async def run():
+            gate = asyncio.Event()
+            real_answer = service._answer
+
+            async def gated_answer(n, r):
+                await gate.wait()
+                return await real_answer(n, r)
+
+            service._answer = gated_answer
+            first = asyncio.create_task(service.query(16, 4))
+            await asyncio.sleep(0.01)  # first holds the slot
+            second = asyncio.create_task(service.query(20, 4))
+            await asyncio.sleep(0.01)  # second waits (1 >= max_pending)
+            with pytest.raises(ServeBusy):
+                await service.query(24, 4)
+            gate.set()
+            await asyncio.gather(first, second)
+            await service.aclose()
+
+        asyncio.run(run())
+        assert service.counts["rejected"] == 1
+        assert len(_events(tel, "serve.rejected")) == 1
+
+    def test_drain_waits_for_inflight_refinement(self, seeded_root, tmp_path):
+        root, _ = seeded_root
+        service = TopologyService(
+            _config(root, refine_campaign=f"refine-{tmp_path.name}")
+        )
+
+        async def run():
+            await service.query(12, 4)  # miss: refinement starts
+            assert service.stats()["refining"] == 1
+            await service.aclose(drain=True)
+            assert service.stats()["refining"] == 0
+            with pytest.raises(ServeBusy, match="draining"):
+                await service.query(16, 4)
+
+        asyncio.run(run())
+        refined = CampaignStore(root, f"refine-{tmp_path.name}").best_for(12, 4)
+        assert refined is not None  # the refinement ran to completion
+
+    def test_telemetry_uses_closed_registry_names(self, seeded_root, tmp_path):
+        from repro.obs.names import INSTRUMENTS
+
+        root, _ = seeded_root
+        tel = TelemetryRegistry("t")
+        sink = MemorySink()
+        tel.add_sink(sink)
+        service = TopologyService(
+            _config(root, refine_campaign=f"refine-{tmp_path.name}"), telemetry=tel
+        )
+
+        async def run():
+            await service.query(16, 4)
+            await service.query(12, 4)
+            await service.aclose(drain=True)
+
+        asyncio.run(run())
+        served = {
+            e["name"] for e in tel.snapshot()["events"]
+            if e["name"].startswith("serve.")
+        }
+        assert served  # the service actually reported
+        assert served <= INSTRUMENTS
